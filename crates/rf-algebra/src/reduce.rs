@@ -1,0 +1,183 @@
+//! Reduction operators `⊕` underlying the reductions `R_i`.
+//!
+//! A reduction derives a single value from a sequence through repeated
+//! application of an associative, commutative binary operator. The paper's
+//! formal model (Eq. 1) writes the `i`-th reduction as
+//! `d_i = R_i_{l=1..L0} F_i(X[l], D_i)`; this module captures the `R_i` part.
+
+use std::fmt;
+
+use crate::op::BinaryOp;
+
+/// A reduction operator, i.e. the `⊕_i` used by `R_i`.
+///
+/// The distinction from [`BinaryOp`] is one of role: a `ReduceOp` is the
+/// operator that folds the mapped elements together (the vertical dimension of
+/// the reduction tree), while a `BinaryOp` is the combine operator `⊗_i` used
+/// to factor the map function. Table 1 of the paper links the two; see
+/// [`crate::table1::compatible_combine`].
+///
+/// # Examples
+///
+/// ```
+/// use rf_algebra::ReduceOp;
+///
+/// let xs = [1.0, 4.0, 2.0];
+/// assert_eq!(ReduceOp::Sum.reduce(xs), 7.0);
+/// assert_eq!(ReduceOp::Max.reduce(xs), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ReduceOp {
+    /// Summation (`Σ`). Covers sum, inner product, matrix multiply.
+    Sum,
+    /// Product (`Π`). The paper notes it can be rewritten as a sum of logs.
+    Prod,
+    /// Maximum. Covers max, argmax (value part), top-k (threshold part).
+    Max,
+    /// Minimum. Covers min and argmin (value part).
+    Min,
+}
+
+impl ReduceOp {
+    /// All reduction operators in a fixed order.
+    pub const ALL: [ReduceOp; 4] = [ReduceOp::Sum, ReduceOp::Prod, ReduceOp::Max, ReduceOp::Min];
+
+    /// The underlying binary operator `⊕`.
+    #[inline]
+    pub fn binary_op(self) -> BinaryOp {
+        match self {
+            ReduceOp::Sum => BinaryOp::Add,
+            ReduceOp::Prod => BinaryOp::Mul,
+            ReduceOp::Max => BinaryOp::Max,
+            ReduceOp::Min => BinaryOp::Min,
+        }
+    }
+
+    /// The identity (neutral) element of the reduction.
+    #[inline]
+    pub fn identity(self) -> f64 {
+        self.binary_op().identity()
+    }
+
+    /// Combines two partial reduction results.
+    #[inline]
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        self.binary_op().apply(a, b)
+    }
+
+    /// The `⊕` operator used *for fusion analysis*.
+    ///
+    /// This is identical to [`ReduceOp::binary_op`] except for `Prod`: the
+    /// paper's Table 1 footnote rewrites products as sums of logarithms
+    /// (`Π F = sgn(·) 2^(Σ log2 |F|)`), so the fused form reduces with `+`.
+    #[inline]
+    pub fn fusion_plus(self) -> BinaryOp {
+        match self {
+            ReduceOp::Prod => BinaryOp::Add,
+            other => other.binary_op(),
+        }
+    }
+
+    /// Reduces a sequence of values.
+    pub fn reduce<I: IntoIterator<Item = f64>>(self, values: I) -> f64 {
+        self.binary_op().fold(values)
+    }
+
+    /// Reduces a slice, splitting it into `segments` contiguous chunks, reducing
+    /// each chunk independently and then combining the partial results.
+    ///
+    /// Because `⊕` is associative and commutative this always equals
+    /// [`ReduceOp::reduce`]; it mirrors the reduction-tree evaluation order and
+    /// is exercised by the property tests.
+    pub fn reduce_segmented(self, values: &[f64], segments: usize) -> f64 {
+        assert!(segments > 0, "segments must be positive");
+        let chunk = values.len().div_ceil(segments.max(1)).max(1);
+        let partials = values
+            .chunks(chunk)
+            .map(|c| self.reduce(c.iter().copied()));
+        self.reduce(partials)
+    }
+
+    /// A short lowercase mnemonic used by IR printers.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Prod => "prod",
+            ReduceOp::Max => "max",
+            ReduceOp::Min => "min",
+        }
+    }
+}
+
+impl fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+impl From<ReduceOp> for BinaryOp {
+    fn from(value: ReduceOp) -> Self {
+        value.binary_op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reduce_basic() {
+        assert_eq!(ReduceOp::Sum.reduce([1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(ReduceOp::Prod.reduce([1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(ReduceOp::Max.reduce([1.0, 5.0, 3.0]), 5.0);
+        assert_eq!(ReduceOp::Min.reduce([1.0, 5.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn reduce_empty_is_identity() {
+        assert_eq!(ReduceOp::Sum.reduce([]), 0.0);
+        assert_eq!(ReduceOp::Prod.reduce([]), 1.0);
+        assert_eq!(ReduceOp::Max.reduce([]), f64::NEG_INFINITY);
+        assert_eq!(ReduceOp::Min.reduce([]), f64::INFINITY);
+    }
+
+    #[test]
+    fn conversion_to_binary_op() {
+        assert_eq!(BinaryOp::from(ReduceOp::Sum), BinaryOp::Add);
+        assert_eq!(BinaryOp::from(ReduceOp::Max), BinaryOp::Max);
+    }
+
+    #[test]
+    #[should_panic(expected = "segments must be positive")]
+    fn segmented_zero_segments_panics() {
+        ReduceOp::Sum.reduce_segmented(&[1.0], 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_segmented_matches_flat(
+            op in prop::sample::select(ReduceOp::ALL.to_vec()),
+            values in prop::collection::vec(-100.0f64..100.0, 1..64),
+            segments in 1usize..8,
+        ) {
+            let flat = op.reduce(values.iter().copied());
+            let seg = op.reduce_segmented(&values, segments);
+            let tol = 1e-9 * (1.0 + flat.abs());
+            // Product can diverge in magnitude; loosen relative tolerance.
+            let tol = if op == ReduceOp::Prod { 1e-6 * (1.0 + flat.abs()) } else { tol };
+            prop_assert!((flat - seg).abs() <= tol, "flat={flat} seg={seg}");
+        }
+
+        #[test]
+        fn prop_reduce_is_order_insensitive(
+            op in prop::sample::select(vec![ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min]),
+            mut values in prop::collection::vec(-100.0f64..100.0, 1..32),
+        ) {
+            let forward = op.reduce(values.iter().copied());
+            values.reverse();
+            let backward = op.reduce(values.iter().copied());
+            prop_assert!((forward - backward).abs() <= 1e-9 * (1.0 + forward.abs()));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Table 1 of the paper: compatible combine operators for each reduction.
+//!
+//! | Reduction operation `R_i`              | `⊕_i` | `⊗_i` |
+//! |----------------------------------------|-------|-------|
+//! | Max, ArgMax, TopK, …                   | max   | +     |
+//! | Min, ArgMin, …                         | min   | +     |
+//! | Sum, Inner Product, Matrix Multiply, … | +     | *     |
+//! | Prod                                   | +     | *     |
+//!
+//! (The paper rewrites products as sums of logs, so `Prod` shares `Sum`'s row.)
+//!
+//! The pairing is exactly the distributivity requirement of §3.2.1:
+//! `max` distributes over `+` (`max(a,b)+c = max(a+c, b+c)`) and `+`
+//! distributes over `*`.
+
+use crate::op::BinaryOp;
+use crate::reduce::ReduceOp;
+
+/// Returns the combine operator `⊗_i` compatible with the given reduction
+/// operator, per Table 1 of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use rf_algebra::{compatible_combine, BinaryOp, ReduceOp};
+///
+/// assert_eq!(compatible_combine(ReduceOp::Max), BinaryOp::Add);
+/// assert_eq!(compatible_combine(ReduceOp::Sum), BinaryOp::Mul);
+/// ```
+#[inline]
+pub fn compatible_combine(reduce: ReduceOp) -> BinaryOp {
+    match reduce {
+        ReduceOp::Max | ReduceOp::Min => BinaryOp::Add,
+        ReduceOp::Sum | ReduceOp::Prod => BinaryOp::Mul,
+    }
+}
+
+/// A row of Table 1: a reduction operator, its underlying `⊕`, and the
+/// compatible `⊗`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Row {
+    /// Reduction operation family name as printed in the paper.
+    pub family: &'static str,
+    /// The reduction operator.
+    pub reduce: ReduceOp,
+    /// The underlying `⊕` operator.
+    pub plus: BinaryOp,
+    /// The compatible combine operator `⊗`.
+    pub times: BinaryOp,
+}
+
+/// The full contents of Table 1, in paper order.
+pub fn table1() -> Vec<Table1Row> {
+    [
+        ("Max, ArgMax, TopK", ReduceOp::Max),
+        ("Min, ArgMin", ReduceOp::Min),
+        ("Sum, Inner Product, Matrix Multiply", ReduceOp::Sum),
+        ("Prod", ReduceOp::Prod),
+    ]
+    .into_iter()
+    .map(|(family, reduce)| Table1Row {
+        family,
+        reduce,
+        plus: reduce.fusion_plus(),
+        times: compatible_combine(reduce),
+    })
+    .collect()
+}
+
+/// Numerically verifies that `⊕` distributes over `⊗` for the given pair, on a
+/// grid of sample points. Used both in tests and by the Table 1 harness.
+pub fn verify_distributivity(plus: BinaryOp, times: BinaryOp) -> bool {
+    let samples = [-7.5, -2.0, -0.5, 0.0, 0.5, 1.0, 3.25, 9.0];
+    for &a in &samples {
+        for &b in &samples {
+            for &c in &samples {
+                let lhs = times.apply(plus.apply(a, b), c);
+                let rhs = plus.apply(times.apply(a, c), times.apply(b, c));
+                if (lhs - rhs).abs() > 1e-9 * (1.0 + lhs.abs().max(rhs.abs())) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table_has_four_rows() {
+        let t = table1();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0].reduce, ReduceOp::Max);
+        assert_eq!(t[2].times, BinaryOp::Mul);
+    }
+
+    #[test]
+    fn every_row_is_distributive() {
+        for row in table1() {
+            assert!(
+                verify_distributivity(row.plus, row.times),
+                "{} must distribute over {}",
+                row.plus,
+                row.times
+            );
+        }
+    }
+
+    #[test]
+    fn incompatible_pair_fails_distributivity() {
+        // `*` does not distribute over `+` in the direction required here:
+        // (a + b) * c == a*c + b*c holds, but (a * b) + c != (a+c)*(b+c).
+        assert!(!verify_distributivity(BinaryOp::Mul, BinaryOp::Add));
+        // max over * also fails: max(a,b)*c != max(a*c, b*c) for negative c.
+        assert!(!verify_distributivity(BinaryOp::Max, BinaryOp::Mul));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_max_plus_distributes(a in -100.0f64..100.0, b in -100.0f64..100.0, c in -100.0f64..100.0) {
+            let lhs = BinaryOp::Add.apply(BinaryOp::Max.apply(a, b), c);
+            let rhs = BinaryOp::Max.apply(BinaryOp::Add.apply(a, c), BinaryOp::Add.apply(b, c));
+            prop_assert!((lhs - rhs).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_sum_mul_distributes(a in -100.0f64..100.0, b in -100.0f64..100.0, c in -100.0f64..100.0) {
+            let lhs = BinaryOp::Mul.apply(BinaryOp::Add.apply(a, b), c);
+            let rhs = BinaryOp::Add.apply(BinaryOp::Mul.apply(a, c), BinaryOp::Mul.apply(b, c));
+            prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs()));
+        }
+    }
+}

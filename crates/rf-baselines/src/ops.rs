@@ -1,0 +1,214 @@
+//! Operator lists: the logical operator sequence of each evaluated subgraph.
+//!
+//! Each [`OpSpec`] records the work and the global-memory traffic of one
+//! framework-level operator executed in isolation (its inputs read from and
+//! its outputs written to global memory). The baseline models in
+//! [`crate::sequences`] then decide which of these operators share a kernel
+//! and which intermediates are actually spilled.
+
+use rf_workloads::{InertiaConfig, MhaConfig, MlaConfig, MoeConfig, Precision, QuantGemmConfig, VarianceConfig};
+
+/// One framework-level operator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpSpec {
+    /// Operator name, e.g. `"gemm_qk"` or `"softmax_sum"`.
+    pub name: String,
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Bytes read from global memory when executed stand-alone.
+    pub read_bytes: u64,
+    /// Bytes written to global memory when executed stand-alone.
+    pub write_bytes: u64,
+    /// Whether the operator is element-wise (fusable by Inductor-style fusion).
+    pub elementwise: bool,
+    /// Whether the operator is GEMM-shaped (eligible for tensor cores).
+    pub gemm: bool,
+    /// Dominant precision of the operator.
+    pub precision: &'static str,
+}
+
+impl OpSpec {
+    fn new(name: &str, flops: u64, read_bytes: u64, write_bytes: u64) -> Self {
+        OpSpec {
+            name: name.to_string(),
+            flops,
+            read_bytes,
+            write_bytes,
+            elementwise: false,
+            gemm: false,
+            precision: "fp16",
+        }
+    }
+
+    fn elementwise(mut self) -> Self {
+        self.elementwise = true;
+        self
+    }
+
+    fn gemm(mut self) -> Self {
+        self.gemm = true;
+        self
+    }
+
+    /// Total stand-alone traffic of the operator.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+}
+
+const E16: u64 = Precision::Fp16.bytes() as u64;
+const E32: u64 = Precision::Fp32.bytes() as u64;
+const E8: u64 = Precision::Fp8.bytes() as u64;
+
+/// Operator list of an MHA forward pass: `QK^T` GEMM, row max, shift + exp,
+/// row sum, normalise, `PV` GEMM.
+pub fn mha_op_list(c: &MhaConfig) -> Vec<OpSpec> {
+    let rows = c.rows() as u64;
+    let kv = c.kv as u64;
+    let hd = c.hd as u64;
+    let q_bytes = rows * hd * E16;
+    let kv_bytes = (c.bs * c.hn * c.kv * c.hd) as u64 * E16;
+    let score_bytes = rows * kv * E16;
+    let stat_bytes = rows * E32;
+    vec![
+        OpSpec::new("gemm_qk", 2 * rows * kv * hd, q_bytes + kv_bytes, score_bytes).gemm(),
+        OpSpec::new("softmax_max", rows * kv, score_bytes, stat_bytes),
+        OpSpec::new("softmax_shift_exp", 2 * rows * kv, score_bytes + stat_bytes, score_bytes).elementwise(),
+        OpSpec::new("softmax_sum", rows * kv, score_bytes, stat_bytes),
+        OpSpec::new("softmax_div", rows * kv, score_bytes + stat_bytes, score_bytes).elementwise(),
+        OpSpec::new("gemm_pv", 2 * rows * kv * hd, score_bytes + kv_bytes, q_bytes).gemm(),
+    ]
+}
+
+/// Operator list of an MLA decode step (query length 1, latent KV cache).
+pub fn mla_op_list(c: &MlaConfig) -> Vec<OpSpec> {
+    let rows = c.rows() as u64;
+    let kv = c.kv as u64;
+    let qk_dim = c.qk_dim() as u64;
+    let hd = c.hd as u64;
+    let q_bytes = rows * qk_dim * E16;
+    let kv_cache_bytes = (c.bs * c.kv) as u64 * (qk_dim + hd) * E16;
+    let score_bytes = rows * kv * E16;
+    let stat_bytes = rows * E32;
+    let out_bytes = rows * hd * E16;
+    vec![
+        OpSpec::new("gemm_qk", 2 * rows * kv * qk_dim, q_bytes + kv_cache_bytes, score_bytes).gemm(),
+        OpSpec::new("softmax_max", rows * kv, score_bytes, stat_bytes),
+        OpSpec::new("softmax_shift_exp", 2 * rows * kv, score_bytes + stat_bytes, score_bytes).elementwise(),
+        OpSpec::new("softmax_sum", rows * kv, score_bytes, stat_bytes),
+        OpSpec::new("softmax_div", rows * kv, score_bytes + stat_bytes, score_bytes).elementwise(),
+        OpSpec::new("gemm_pv", 2 * rows * kv * hd, score_bytes + kv_cache_bytes, out_bytes).gemm(),
+    ]
+}
+
+/// Operator list of MoE routing: scoring GEMM, softmax (max / exp / sum /
+/// normalise) and top-k selection.
+pub fn moe_op_list(c: &MoeConfig) -> Vec<OpSpec> {
+    let s = c.s as u64;
+    let hd = c.hd as u64;
+    let en = c.en as u64;
+    let act_bytes = s * hd * E16;
+    let w_bytes = hd * en * E16;
+    let score_bytes = s * en * E16;
+    let stat_bytes = s * E32;
+    let out_bytes = s * c.topk as u64 * (E32 + 4);
+    vec![
+        OpSpec::new("gemm_scores", 2 * s * hd * en, act_bytes + w_bytes, score_bytes).gemm(),
+        OpSpec::new("softmax_max", s * en, score_bytes, stat_bytes),
+        OpSpec::new("softmax_shift_exp", 2 * s * en, score_bytes + stat_bytes, score_bytes).elementwise(),
+        OpSpec::new("softmax_sum", s * en, score_bytes, stat_bytes),
+        OpSpec::new("softmax_div", s * en, score_bytes + stat_bytes, score_bytes).elementwise(),
+        OpSpec::new("topk", s * en * (c.topk.max(2) as u64).ilog2() as u64, score_bytes, out_bytes),
+    ]
+}
+
+/// Operator list of FP8 per-token quantization + GEMM.
+pub fn quant_op_list(c: &QuantGemmConfig) -> Vec<OpSpec> {
+    let m = c.m as u64;
+    let n = c.n as u64;
+    let k = c.k as u64;
+    let act_bytes = m * k * E16;
+    let q_bytes = m * k * E8;
+    let w_bytes = k * n * E8;
+    let out_bytes = m * n * E16;
+    let scale_bytes = m * E32;
+    vec![
+        OpSpec::new("absmax", m * k, act_bytes, scale_bytes),
+        OpSpec::new("quantize", 2 * m * k, act_bytes + scale_bytes, q_bytes).elementwise(),
+        OpSpec {
+            precision: "fp8",
+            ..OpSpec::new("gemm_fp8", 2 * m * n * k, q_bytes + w_bytes, out_bytes).gemm()
+        },
+        OpSpec::new("dequantize", m * n, out_bytes + scale_bytes, out_bytes).elementwise(),
+    ]
+}
+
+/// Operator list of batched variance (mean, centred squares, mean again).
+pub fn variance_op_list(c: &VarianceConfig) -> Vec<OpSpec> {
+    let elems = c.elements() as u64;
+    let data_bytes = elems * E32;
+    let stat_bytes = c.bs as u64 * E32;
+    vec![
+        OpSpec::new("mean", elems, data_bytes, stat_bytes),
+        OpSpec::new("centre_square", 2 * elems, data_bytes + stat_bytes, data_bytes).elementwise(),
+        OpSpec::new("mean_of_squares", elems, data_bytes, stat_bytes),
+    ]
+}
+
+/// Operator list of the moment-of-inertia computation (total mass, centre of
+/// mass, centred squared distances, weighted sum).
+pub fn inertia_op_list(c: &InertiaConfig) -> Vec<OpSpec> {
+    let particles = c.particles() as u64;
+    let dim = c.dim as u64;
+    let mass_bytes = particles * E32;
+    let pos_bytes = particles * dim * E32;
+    let stat_bytes = c.bs as u64 * E32;
+    let centre_bytes = c.bs as u64 * dim * E32;
+    vec![
+        OpSpec::new("mass_sum", particles, mass_bytes, stat_bytes),
+        OpSpec::new("weighted_position_sum", 2 * particles * dim, mass_bytes + pos_bytes, centre_bytes),
+        OpSpec::new("centre_divide", c.bs as u64 * dim, centre_bytes + stat_bytes, centre_bytes).elementwise(),
+        OpSpec::new("centred_norm_sq", 3 * particles * dim, pos_bytes + centre_bytes, mass_bytes).elementwise(),
+        OpSpec::new("weighted_sum", 2 * particles, 2 * mass_bytes, stat_bytes),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_workloads::{inertia_configs, mha_configs, mla_configs, moe_configs, quant_configs, variance_configs};
+
+    #[test]
+    fn every_workload_has_a_nonempty_op_list() {
+        assert_eq!(mha_op_list(&mha_configs()[0]).len(), 6);
+        assert_eq!(mla_op_list(&mla_configs()[0]).len(), 6);
+        assert_eq!(moe_op_list(&moe_configs()[0]).len(), 6);
+        assert_eq!(quant_op_list(&quant_configs()[0]).len(), 4);
+        assert_eq!(variance_op_list(&variance_configs()[0]).len(), 3);
+        assert_eq!(inertia_op_list(&inertia_configs()[0]).len(), 5);
+    }
+
+    #[test]
+    fn traffic_and_flops_are_positive() {
+        for op in mha_op_list(&mha_configs()[2]) {
+            assert!(op.flops > 0, "{}", op.name);
+            assert!(op.total_bytes() > 0, "{}", op.name);
+        }
+    }
+
+    #[test]
+    fn gemm_dominates_quant_flops() {
+        let ops = quant_op_list(&quant_configs()[0]);
+        let gemm: u64 = ops.iter().filter(|o| o.gemm).map(|o| o.flops).sum();
+        let rest: u64 = ops.iter().filter(|o| !o.gemm).map(|o| o.flops).sum();
+        assert!(gemm > 10 * rest);
+        assert_eq!(ops[2].precision, "fp8");
+    }
+
+    #[test]
+    fn elementwise_flags_mark_fusable_ops() {
+        let ops = mha_op_list(&mha_configs()[0]);
+        let elementwise: Vec<&str> = ops.iter().filter(|o| o.elementwise).map(|o| o.name.as_str()).collect();
+        assert_eq!(elementwise, vec!["softmax_shift_exp", "softmax_div"]);
+    }
+}

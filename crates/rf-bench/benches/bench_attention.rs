@@ -1,0 +1,21 @@
+//! Criterion benchmark: naive vs FlashAttention-style vs FlashDecoding-style
+//! attention kernels (scaled-down BERT-base head).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rf_kernels::attention::{attention_naive, flash_attention, flash_decoding};
+use rf_workloads::Matrix;
+
+fn bench_attention(c: &mut Criterion) {
+    let (q_len, kv_len, d) = (64, 256, 32);
+    let q = Matrix::random(q_len, d, 1, -1.0, 1.0);
+    let k = Matrix::random(kv_len, d, 2, -1.0, 1.0);
+    let v = Matrix::random(kv_len, d, 3, -1.0, 1.0);
+    let scale = 1.0 / (d as f64).sqrt();
+    let mut group = c.benchmark_group("attention");
+    group.bench_function("naive", |b| b.iter(|| attention_naive(&q, &k, &v, scale)));
+    group.bench_function("flash_attention", |b| b.iter(|| flash_attention(&q, &k, &v, scale, 64)));
+    group.bench_function("flash_decoding_4_splits", |b| b.iter(|| flash_decoding(&q, &k, &v, scale, 4, 64)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_attention);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion benchmark: cost of the ACRF analysis and of the generic fused
+//! evaluators themselves (the compiler-side overhead of RedFuser).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rf_fusion::{analyze_cascade, patterns, CascadeInput, IncrementalEvaluator, NaiveCascadeEvaluator};
+use rf_workloads::random_vec;
+
+fn bench_fusion_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fusion_engine");
+    group.bench_function("acrf_attention_row", |b| b.iter(|| analyze_cascade(&patterns::attention_row()).unwrap()));
+    group.bench_function("acrf_quant_gemm", |b| b.iter(|| analyze_cascade(&patterns::fp8_quant_gemm()).unwrap()));
+
+    let spec = patterns::attention_row();
+    let plan = analyze_cascade(&spec).unwrap();
+    let input = CascadeInput::new([
+        ("p".to_string(), random_vec(2048, 1, -2.0, 2.0)),
+        ("v".to_string(), random_vec(2048, 2, -2.0, 2.0)),
+    ]);
+    group.bench_function("naive_cascade_eval_2048", |b| {
+        b.iter(|| NaiveCascadeEvaluator::new().evaluate(&spec, &input))
+    });
+    group.bench_function("incremental_eval_2048", |b| {
+        b.iter(|| IncrementalEvaluator::new().evaluate(&plan, &input))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion_engine);
+criterion_main!(benches);

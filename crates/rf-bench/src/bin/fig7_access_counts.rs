@@ -1,0 +1,16 @@
+//! Regenerates Figure 7: the number of times a dependent reduction must load
+//! the preceding reduction's result, with and without fusion at level k.
+use rf_fusion::TreeShape;
+
+fn main() {
+    let shape = TreeShape::new(vec![4096, 256, 8, 1]).expect("valid shape");
+    println!("Figure 7: dependency loads of d_K for a reduction tree {shape}");
+    println!("{:<24}{:>18}", "fusion", "loads of d_K");
+    println!("{:<24}{:>18}", "unfused", shape.dependency_loads(None));
+    for k in 1..=shape.depth() {
+        println!("{:<24}{:>18}", format!("fused at level {k}"), shape.dependency_loads(Some(k)));
+    }
+    println!("\nInput loads for a 3-reduction cascade over 2 input vectors:");
+    println!("  unfused: {}", shape.input_loads(3, 2, false));
+    println!("  fused:   {}", shape.input_loads(3, 2, true));
+}

@@ -1,0 +1,198 @@
+//! Fusion-level and computation-mode latency models (Figures 6a and 6b).
+
+use rf_gpusim::{estimate_latency, GpuArch, KernelProfile};
+
+use crate::strategy::{FusionLevel, Mode};
+
+/// Latency of the safe-softmax cascade fused at one level vs the unfused
+/// two-kernel execution (the experiment of §5.3 / Figure 6a).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusionLevelReport {
+    /// The fusion level.
+    pub level: FusionLevel,
+    /// Input length per row.
+    pub input_len: usize,
+    /// Estimated latency of the fused kernel, in microseconds.
+    pub fused_us: f64,
+    /// Estimated latency of the unfused execution, in microseconds.
+    pub unfused_us: f64,
+    /// Normalized performance (unfused latency / fused latency), > 1 means the
+    /// fusion helps.
+    pub normalized: f64,
+}
+
+/// Models the §5.3 experiment: batched safe softmax over `rows` rows of
+/// `input_len` elements, fused at `level`, on `arch`.
+pub fn fusion_level_latency(arch: &GpuArch, rows: usize, input_len: usize, level: FusionLevel) -> FusionLevelReport {
+    let threads = 256usize;
+    let blocks = rows;
+    let bytes = (rows * input_len * 2) as u64;
+    let base_flops = (rows * input_len * 4) as u64;
+
+    // Unfused: two reduction kernels, each re-reading the input, no overlap
+    // between the dependent reductions.
+    let unfused_kernel = KernelProfile {
+        name: "softmax_unfused_pass".into(),
+        flops: base_flops / 2,
+        hbm_bytes: bytes,
+        blocks: blocks as u64,
+        threads_per_block: threads as u32,
+        shared_mem_per_block: 16 * 1024,
+        overlap: 0.5,
+        ..Default::default()
+    };
+    let unfused_us = 2.0 * estimate_latency(arch, &unfused_kernel).total_us;
+
+    // Fused: the input is read once; corrections add flops proportional to the
+    // level's output length L_k; the level also determines how much of the
+    // dependent reduction overlaps the memory traffic. The inter-block level
+    // needs a second (combine) launch because blocks must synchronise.
+    let corrections = level.correction_count(input_len, threads, 1) * rows;
+    let fused_kernel = KernelProfile {
+        name: format!("softmax_fused_{}", level.name()),
+        flops: base_flops + 3 * corrections as u64,
+        hbm_bytes: bytes,
+        blocks: blocks as u64,
+        threads_per_block: threads as u32,
+        shared_mem_per_block: 16 * 1024,
+        overlap: level.overlap(),
+        launches: if level == FusionLevel::InterBlock { 2 } else { 1 },
+        ..Default::default()
+    };
+    let fused_us = estimate_latency(arch, &fused_kernel).total_us;
+    FusionLevelReport {
+        level,
+        input_len,
+        fused_us,
+        unfused_us,
+        normalized: unfused_us / fused_us,
+    }
+}
+
+/// One point of the incremental vs non-incremental sweep (Figure 6b).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncrementalPoint {
+    /// KV elements processed per CTA.
+    pub kv_per_cta: usize,
+    /// Resulting waves per SM.
+    pub waves_per_sm: f64,
+    /// Latency of the incremental kernel, in microseconds.
+    pub incremental_us: f64,
+    /// Latency of the non-incremental kernel, in microseconds — `None` when
+    /// the configuration does not fit in on-chip memory.
+    pub non_incremental_us: Option<f64>,
+}
+
+/// Sweeps the per-CTA segment length for the BERT-base attention pattern
+/// (`rows` attention rows over a KV length of `kv_len`, head dimension
+/// `head_dim`) and reports both computation modes at every parallelism level.
+pub fn incremental_sweep(
+    arch: &GpuArch,
+    rows: usize,
+    kv_len: usize,
+    head_dim: usize,
+    points: &[usize],
+) -> Vec<IncrementalPoint> {
+    points
+        .iter()
+        .map(|&kv_per_cta| {
+            let kv_per_cta = kv_per_cta.clamp(1, kv_len);
+            let ctas_per_row = kv_len.div_ceil(kv_per_cta);
+            let blocks = (rows * ctas_per_row) as u64;
+            let bytes = (rows * kv_len * head_dim * 2 * 2) as u64 / ctas_per_row.max(1) as u64 * ctas_per_row as u64;
+            let flops = (rows * kv_len * head_dim * 4) as u64;
+            // Non-incremental mode must stage the whole per-CTA segment
+            // (scores + value rows) in shared memory.
+            let staged_bytes = (kv_per_cta * (head_dim + 1) * 4) as u64;
+
+            let base = KernelProfile {
+                name: "attention_mode_sweep".into(),
+                flops,
+                hbm_bytes: bytes,
+                blocks,
+                threads_per_block: 128,
+                shared_mem_per_block: 32 * 1024,
+                compute_efficiency: 0.7,
+                overlap: 0.85,
+                launches: if ctas_per_row > 1 { 2 } else { 1 },
+                ..Default::default()
+            };
+            let incremental = KernelProfile {
+                // Eq. 15 corrections on every streaming step.
+                flops: flops + (rows * ctas_per_row * head_dim * 3) as u64 + (rows * kv_len) as u64,
+                ..base.clone()
+            };
+            let non_incremental = KernelProfile {
+                shared_mem_per_block: 32 * 1024 + staged_bytes,
+                ..base.clone()
+            };
+            let breakdown = estimate_latency(arch, &incremental);
+            let non_inc = Mode::NonIncremental
+                .fits(arch, kv_per_cta, (head_dim + 1) * 4, 32 * 1024)
+                .then(|| estimate_latency(arch, &non_incremental).total_us)
+                .filter(|us| us.is_finite());
+            IncrementalPoint {
+                kv_per_cta,
+                waves_per_sm: breakdown.waves_per_sm,
+                incremental_us: breakdown.total_us,
+                non_incremental_us: non_inc,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_fusion_levels_beat_unfused() {
+        let arch = GpuArch::a10();
+        for level in FusionLevel::ALL {
+            for len in [1024, 8192] {
+                let report = fusion_level_latency(&arch, 4096, len, level);
+                assert!(report.normalized > 1.0, "{} at {len}: {}", level.name(), report.normalized);
+            }
+        }
+    }
+
+    #[test]
+    fn intra_block_is_the_fastest_level() {
+        let arch = GpuArch::a10();
+        let reports: Vec<FusionLevelReport> = FusionLevel::ALL
+            .iter()
+            .map(|&l| fusion_level_latency(&arch, 4096, 4096, l))
+            .collect();
+        let best = reports
+            .iter()
+            .max_by(|a, b| a.normalized.partial_cmp(&b.normalized).unwrap())
+            .unwrap();
+        assert_eq!(best.level, FusionLevel::IntraBlock);
+        // Among the intra-kernel levels the paper's ordering holds: deeper
+        // levels hide more latency (intra-thread < intra-warp < intra-block).
+        assert!(reports[0].normalized < reports[1].normalized);
+        assert!(reports[1].normalized < reports[2].normalized);
+    }
+
+    #[test]
+    fn non_incremental_is_capacity_limited_but_faster_when_feasible() {
+        let arch = GpuArch::a10();
+        let points: Vec<usize> = vec![32, 64, 96, 128, 512, 4096];
+        let sweep = incremental_sweep(&arch, 32 * 12, 512, 64, &points);
+        assert_eq!(sweep.len(), points.len());
+        // Long segments are infeasible for the non-incremental mode.
+        assert!(sweep.last().unwrap().non_incremental_us.is_none());
+        // Where both modes are feasible, the non-incremental mode is at least
+        // as fast (no correction overhead) — the §5.4 observation.
+        for point in sweep.iter().filter(|p| p.non_incremental_us.is_some()) {
+            assert!(point.non_incremental_us.unwrap() <= point.incremental_us * 1.001);
+        }
+    }
+
+    #[test]
+    fn waves_per_sm_decreases_with_longer_segments() {
+        let arch = GpuArch::a10();
+        let sweep = incremental_sweep(&arch, 32 * 12, 512, 64, &[32, 256]);
+        assert!(sweep[0].waves_per_sm > sweep[1].waves_per_sm);
+    }
+}

@@ -1,0 +1,357 @@
+//! Workload-specific lowering to tile programs.
+//!
+//! [`attention_program`] reproduces the tile-level structure of Figures 12b
+//! (FlashAttention, Single-Segment) and 13b (FlashDecoding, Multi-Segment):
+//! a per-block pipeline over KV tiles with `copy`/`gemm`/`reduce`/`parallel`
+//! ops and, for the Multi-Segment strategy, a separate combine kernel.
+//! [`cascade_program`] lowers generic row-parallel cascades (softmax, MoE
+//! routing, Quant+GEMM rows, variance, inertia) through the tensorization pass
+//! of `rf-tile`.
+
+use rf_tile::{tensorize_cascade, MemoryScope, StageLoop, TensorizeConfig, TileBuffer, TileOp, TileProgram};
+
+use crate::strategy::{Mode, Strategy};
+
+/// The shape of one attention problem as seen by the code generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttentionShape {
+    /// Number of independent (batch × head) attention problems.
+    pub heads: usize,
+    /// Query sequence length per head.
+    pub q_len: usize,
+    /// Key/value sequence length per head.
+    pub kv_len: usize,
+    /// Head dimension of the values / output.
+    pub head_dim: usize,
+    /// Query/key dimension (differs from `head_dim` for MLA's RoPE extension).
+    pub qk_dim: usize,
+}
+
+impl AttentionShape {
+    /// Shape of an MHA configuration.
+    pub fn from_mha(c: &rf_workloads::MhaConfig) -> Self {
+        AttentionShape {
+            heads: c.bs * c.hn,
+            q_len: c.q,
+            kv_len: c.kv,
+            head_dim: c.hd,
+            qk_dim: c.hd,
+        }
+    }
+
+    /// Shape of an MLA decode configuration.
+    ///
+    /// In MLA the latent KV cache is shared by all heads of a batch entry, so
+    /// the lowering treats the `hn` heads of one batch as the query rows of a
+    /// single attention problem (exactly how FlashMLA tiles the computation):
+    /// the KV cache is then loaded once per batch entry rather than once per
+    /// head.
+    pub fn from_mla(c: &rf_workloads::MlaConfig) -> Self {
+        AttentionShape {
+            heads: c.bs,
+            q_len: c.hn,
+            kv_len: c.kv,
+            head_dim: c.hd,
+            qk_dim: c.qk_dim(),
+        }
+    }
+}
+
+/// Tuning parameters of the attention lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttentionTiling {
+    /// Query rows per block tile.
+    pub block_q: usize,
+    /// KV rows per main-loop iteration.
+    pub block_kv: usize,
+    /// Threads per block.
+    pub threads: u32,
+    /// Software pipeline depth.
+    pub pipeline_depth: u32,
+}
+
+impl Default for AttentionTiling {
+    fn default() -> Self {
+        AttentionTiling { block_q: 128, block_kv: 128, threads: 256, pipeline_depth: 2 }
+    }
+}
+
+/// Builds the fused attention tile program for the given strategy.
+///
+/// Single-Segment (`Strategy::SingleSegment`) yields the Figure 12b kernel;
+/// Multi-Segment splits the KV axis across `segments` blocks per (head,
+/// q-block) pair and appends the Figure 13b combine kernel.
+pub fn attention_program(shape: &AttentionShape, tiling: &AttentionTiling, strategy: Strategy) -> TileProgram {
+    let block_q = tiling.block_q.min(shape.q_len).max(1);
+    let block_kv = tiling.block_kv.min(shape.kv_len).max(1);
+    let q_blocks = shape.q_len.div_ceil(block_q);
+    let segments = strategy.segments() as usize;
+    let kv_per_segment = shape.kv_len.div_ceil(segments);
+    let iterations = kv_per_segment.div_ceil(block_kv) as u64;
+    let grid = (shape.heads * q_blocks * segments) as u64;
+
+    let mut program = TileProgram::new(
+        match strategy {
+            Strategy::SingleSegment => "flash_attention",
+            Strategy::MultiSegment { .. } => "flash_decoding_partial",
+        },
+        grid,
+        tiling.threads,
+    );
+    program.pipeline_depth = tiling.pipeline_depth;
+    program.buffers = vec![
+        TileBuffer::new("Q", vec![shape.heads * shape.q_len, shape.qk_dim], MemoryScope::Global, 2),
+        TileBuffer::new("K", vec![shape.heads * shape.kv_len, shape.qk_dim], MemoryScope::Global, 2),
+        TileBuffer::new("V", vec![shape.heads * shape.kv_len, shape.head_dim], MemoryScope::Global, 2),
+        TileBuffer::new("o", vec![shape.heads * shape.q_len, shape.head_dim], MemoryScope::Global, 2),
+        TileBuffer::new("Q_shared", vec![block_q, shape.qk_dim], MemoryScope::Shared, 2),
+        TileBuffer::new("K_shared", vec![block_kv, shape.qk_dim], MemoryScope::Shared, 2),
+        TileBuffer::new("V_shared", vec![block_kv, shape.head_dim], MemoryScope::Shared, 2),
+        TileBuffer::new("P_frag", vec![block_q, block_kv], MemoryScope::Fragment, 4),
+        TileBuffer::new("o_frag", vec![block_q, shape.head_dim], MemoryScope::Fragment, 4),
+        TileBuffer::new("pmax", vec![block_q], MemoryScope::Fragment, 4),
+        TileBuffer::new("pmax_prev", vec![block_q], MemoryScope::Fragment, 4),
+        TileBuffer::new("psum", vec![block_q], MemoryScope::Fragment, 4),
+        TileBuffer::new("psum_prev", vec![block_q], MemoryScope::Fragment, 4),
+    ];
+    program.prologue = vec![
+        TileOp::Fill { tile: "o_frag".into(), value: 0.0, elements: (block_q * shape.head_dim) as u64 },
+        TileOp::Copy { src: "Q".into(), dst: "Q_shared".into(), elements: (block_q * shape.qk_dim) as u64 },
+    ];
+    program.main_loop = StageLoop {
+        iterations,
+        ops: vec![
+            TileOp::Copy { src: "K".into(), dst: "K_shared".into(), elements: (block_kv * shape.qk_dim) as u64 },
+            TileOp::Copy { src: "V".into(), dst: "V_shared".into(), elements: (block_kv * shape.head_dim) as u64 },
+            // reduction 1: gemm(Q, K)
+            TileOp::Gemm {
+                a: "Q_shared".into(),
+                b: "K_shared".into(),
+                c: "P_frag".into(),
+                m: block_q as u64,
+                n: block_kv as u64,
+                k: shape.qk_dim as u64,
+            },
+            // reduction 2: max(P) — step 1 store previous, step 3 reduce.
+            TileOp::Copy { src: "pmax".into(), dst: "pmax_prev".into(), elements: block_q as u64 },
+            TileOp::Reduce {
+                src: "P_frag".into(),
+                dst: "pmax".into(),
+                axis_len: block_kv as u64,
+                rows: block_q as u64,
+                op: rf_algebra::BinaryOp::Max,
+            },
+            // reduction 3: sum(exp(P - pmax)) — steps 1, 2, 3.
+            TileOp::Copy { src: "psum".into(), dst: "psum_prev".into(), elements: block_q as u64 },
+            TileOp::Parallel {
+                expr: "psum[i] *= exp(pmax_prev[i] - pmax[i])".into(),
+                elements: block_q as u64,
+                flops_per_element: 3,
+            },
+            TileOp::Parallel {
+                expr: "pexp[i, j] = exp(P_frag[i, j] - pmax[i])".into(),
+                elements: (block_q * block_kv) as u64,
+                flops_per_element: 2,
+            },
+            TileOp::Reduce {
+                src: "P_frag".into(),
+                dst: "psum".into(),
+                axis_len: block_kv as u64,
+                rows: block_q as u64,
+                op: rf_algebra::BinaryOp::Add,
+            },
+            // reduction 4: gemm(exp(P - pmax) / psum, V) — steps 2 and 3.
+            TileOp::Parallel {
+                expr: "o_frag[i, j] *= exp(pmax_prev[i] - pmax[i]) * (psum_prev[i] / psum[i])".into(),
+                elements: (block_q * shape.head_dim) as u64,
+                flops_per_element: 4,
+            },
+            TileOp::Gemm {
+                a: "P_frag".into(),
+                b: "V_shared".into(),
+                c: "o_frag".into(),
+                m: block_q as u64,
+                n: shape.head_dim as u64,
+                k: block_kv as u64,
+            },
+        ],
+    };
+    program.epilogue = vec![TileOp::Copy {
+        src: "o_frag".into(),
+        dst: "o".into(),
+        elements: (block_q * shape.head_dim) as u64,
+    }];
+
+    if strategy.needs_combine_kernel() {
+        program.epilogue = vec![
+            TileOp::Copy { src: "pmax".into(), dst: "pmax_part".into(), elements: block_q as u64 },
+            TileOp::Copy { src: "psum".into(), dst: "psum_part".into(), elements: block_q as u64 },
+            TileOp::Copy {
+                src: "o_frag".into(),
+                dst: "o_part".into(),
+                elements: (block_q * shape.head_dim) as u64,
+            },
+        ];
+        let mut combine = TileProgram::new("flash_decoding_combine", (shape.heads * q_blocks) as u64, tiling.threads);
+        combine.buffers = vec![
+            TileBuffer::new("pmax_part", vec![shape.heads * shape.q_len, segments], MemoryScope::Global, 4),
+            TileBuffer::new("psum_part", vec![shape.heads * shape.q_len, segments], MemoryScope::Global, 4),
+            TileBuffer::new("o_part", vec![shape.heads * shape.q_len, shape.head_dim * segments], MemoryScope::Global, 4),
+            TileBuffer::new("o", vec![shape.heads * shape.q_len, shape.head_dim], MemoryScope::Global, 2),
+            TileBuffer::new("part_frag", vec![block_q, shape.head_dim * segments], MemoryScope::Fragment, 4),
+            TileBuffer::new("o_final", vec![block_q, shape.head_dim], MemoryScope::Fragment, 4),
+        ];
+        combine.main_loop = StageLoop {
+            iterations: 1,
+            ops: vec![
+                TileOp::Copy {
+                    src: "pmax_part".into(),
+                    dst: "part_frag".into(),
+                    elements: (block_q * segments) as u64,
+                },
+                TileOp::Copy {
+                    src: "psum_part".into(),
+                    dst: "part_frag".into(),
+                    elements: (block_q * segments) as u64,
+                },
+                TileOp::Copy {
+                    src: "o_part".into(),
+                    dst: "part_frag".into(),
+                    elements: (block_q * shape.head_dim * segments) as u64,
+                },
+                TileOp::Reduce {
+                    src: "part_frag".into(),
+                    dst: "o_final".into(),
+                    axis_len: segments as u64,
+                    rows: block_q as u64,
+                    op: rf_algebra::BinaryOp::Max,
+                },
+                TileOp::Parallel {
+                    expr: "o_final[i, j, k] *= exp(pmax_frag[i, k] - pmax[i]) * (psum_frag[i, k] / psum[i])".into(),
+                    elements: (block_q * shape.head_dim * segments) as u64,
+                    flops_per_element: 4,
+                },
+                TileOp::Reduce {
+                    src: "part_frag".into(),
+                    dst: "o_final".into(),
+                    axis_len: segments as u64,
+                    rows: (block_q * shape.head_dim) as u64,
+                    op: rf_algebra::BinaryOp::Add,
+                },
+                TileOp::Copy {
+                    src: "o_final".into(),
+                    dst: "o".into(),
+                    elements: (block_q * shape.head_dim) as u64,
+                },
+            ],
+        };
+        program.combine_kernel = Some(Box::new(combine));
+    }
+
+    program
+}
+
+/// Lowers a generic row-parallel cascade (softmax / MoE routing / Quant+GEMM
+/// rows / variance / inertia) to a tile program via the tensorization pass,
+/// honouring the computation mode and strategy.
+pub fn cascade_program(
+    name: &str,
+    num_reductions: usize,
+    rows: usize,
+    axis_len: usize,
+    mode: Mode,
+    strategy: Strategy,
+    cfg: &TensorizeConfig,
+) -> TileProgram {
+    let segments = strategy.segments() as usize;
+    let axis_per_segment = axis_len.div_ceil(segments).max(1);
+    let effective_rows = rows * segments;
+    let tensorize_cfg = TensorizeConfig {
+        incremental: mode == Mode::Incremental,
+        ..*cfg
+    };
+    let mut program = tensorize_cascade(name, num_reductions, axis_per_segment, effective_rows, &tensorize_cfg);
+    if strategy.needs_combine_kernel() {
+        let mut combine = TileProgram::new(format!("{name}_combine"), rows.div_ceil(cfg.block_rows).max(1) as u64, cfg.threads_per_block);
+        combine.buffers = vec![
+            TileBuffer::new("partials", vec![rows, segments * num_reductions], MemoryScope::Global, 4),
+            TileBuffer::new("out", vec![rows, num_reductions], MemoryScope::Global, 4),
+            TileBuffer::new("partial_frag", vec![cfg.block_rows, segments * num_reductions], MemoryScope::Fragment, 4),
+        ];
+        combine.main_loop = StageLoop {
+            iterations: 1,
+            ops: vec![
+                TileOp::Copy {
+                    src: "partials".into(),
+                    dst: "partial_frag".into(),
+                    elements: (cfg.block_rows * segments * num_reductions) as u64,
+                },
+                TileOp::Reduce {
+                    src: "partial_frag".into(),
+                    dst: "out".into(),
+                    axis_len: segments as u64,
+                    rows: (cfg.block_rows * num_reductions) as u64,
+                    op: rf_algebra::BinaryOp::Add,
+                },
+                TileOp::Copy {
+                    src: "partial_frag".into(),
+                    dst: "out".into(),
+                    elements: (cfg.block_rows * num_reductions) as u64,
+                },
+            ],
+        };
+        program.combine_kernel = Some(Box::new(combine));
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_workloads::{mha_configs, mla_configs};
+
+    #[test]
+    fn single_segment_attention_is_one_kernel() {
+        let shape = AttentionShape::from_mha(&mha_configs()[1]);
+        let program = attention_program(&shape, &AttentionTiling::default(), Strategy::SingleSegment);
+        let cost = program.cost();
+        assert_eq!(cost.kernel_launches, 1);
+        assert!(cost.flops > 0 && cost.global_bytes > 0);
+        let text = program.to_string();
+        assert!(text.contains("gemm(Q_shared, K_shared, P_frag)"));
+        assert!(text.contains("psum[i] *= exp(pmax_prev[i] - pmax[i])"));
+    }
+
+    #[test]
+    fn multi_segment_attention_adds_a_combine_kernel() {
+        let shape = AttentionShape::from_mla(&mla_configs()[0]);
+        let single = attention_program(&shape, &AttentionTiling::default(), Strategy::SingleSegment);
+        let multi = attention_program(&shape, &AttentionTiling::default(), Strategy::MultiSegment { segments: 4 });
+        assert_eq!(multi.cost().kernel_launches, 2);
+        assert!(multi.grid_blocks > single.grid_blocks, "splitting increases parallelism");
+    }
+
+    #[test]
+    fn fused_attention_avoids_score_matrix_traffic() {
+        let config = &mha_configs()[1];
+        let shape = AttentionShape::from_mha(config);
+        let program = attention_program(&shape, &AttentionTiling::default(), Strategy::SingleSegment);
+        let score_bytes = config.score_bytes(rf_workloads::Precision::Fp16);
+        // Unfused execution spills the score matrix several times; the fused
+        // kernel's total global traffic is below even one score-matrix pass
+        // plus the unavoidable Q/K/V/O traffic.
+        assert!(program.cost().global_bytes < config.min_bytes(rf_workloads::Precision::Fp16) * 6 + score_bytes);
+    }
+
+    #[test]
+    fn cascade_program_modes_and_strategies() {
+        let cfg = rf_tile::TensorizeConfig::default();
+        let single = cascade_program("softmax", 2, 2048, 8192, Mode::Incremental, Strategy::SingleSegment, &cfg);
+        assert_eq!(single.cost().kernel_launches, 1);
+        let multi = cascade_program("softmax", 2, 2048, 8192, Mode::Incremental, Strategy::MultiSegment { segments: 4 }, &cfg);
+        assert_eq!(multi.cost().kernel_launches, 2);
+        assert!(multi.grid_blocks > single.grid_blocks);
+        let non_inc = cascade_program("softmax", 2, 2048, 8192, Mode::NonIncremental, Strategy::SingleSegment, &cfg);
+        assert!(non_inc.cost().shared_mem_per_block > single.cost().shared_mem_per_block);
+    }
+}

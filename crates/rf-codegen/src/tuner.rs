@@ -1,0 +1,180 @@
+//! The auto-tuner (§4.4): an empirical search space over block tile size,
+//! threads per block, software-pipeline depth and (for the Multi-Segment
+//! strategy) the number of segments, evaluated against the analytical GPU
+//! model.
+
+use rf_gpusim::{estimate_latency, GpuArch, KernelProfile};
+
+/// One point of the tuning search space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TuningPoint {
+    /// Rows (query rows / tokens) per block tile.
+    pub block_rows: usize,
+    /// Reduction-axis elements per main-loop iteration.
+    pub block_axis: usize,
+    /// Threads per block.
+    pub threads: u32,
+    /// Software-pipeline depth.
+    pub pipeline_depth: u32,
+    /// Number of axis segments (1 = Single-Segment strategy).
+    pub segments: u32,
+}
+
+/// The search space. The defaults mirror the paper's empirical space: a few
+/// power-of-two tile sizes, warp-multiple thread counts, shallow pipelines and
+/// small split factors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuningSpace {
+    /// Candidate block-row tile sizes.
+    pub block_rows: Vec<usize>,
+    /// Candidate block-axis tile sizes.
+    pub block_axis: Vec<usize>,
+    /// Candidate thread counts.
+    pub threads: Vec<u32>,
+    /// Candidate pipeline depths.
+    pub pipeline_depths: Vec<u32>,
+    /// Candidate segment counts.
+    pub segments: Vec<u32>,
+}
+
+impl Default for TuningSpace {
+    fn default() -> Self {
+        TuningSpace {
+            block_rows: vec![16, 32, 64, 128],
+            block_axis: vec![16, 32, 64, 128, 256],
+            threads: vec![128, 256],
+            pipeline_depths: vec![1, 2, 3],
+            segments: vec![1, 2, 4, 8, 16, 32, 64],
+        }
+    }
+}
+
+impl TuningSpace {
+    /// Enumerates every point of the space.
+    pub fn points(&self) -> Vec<TuningPoint> {
+        let mut out = Vec::new();
+        for &block_rows in &self.block_rows {
+            for &block_axis in &self.block_axis {
+                for &threads in &self.threads {
+                    for &pipeline_depth in &self.pipeline_depths {
+                        for &segments in &self.segments {
+                            out.push(TuningPoint { block_rows, block_axis, threads, pipeline_depth, segments });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The winning configuration and its estimated latency.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuningChoice {
+    /// The chosen point.
+    pub point: TuningPoint,
+    /// Its kernel profile.
+    pub profile: KernelProfile,
+    /// Estimated latency in microseconds.
+    pub latency_us: f64,
+    /// Number of candidates evaluated.
+    pub evaluated: usize,
+}
+
+/// Exhaustively evaluates a search space against one architecture.
+#[derive(Debug, Clone)]
+pub struct AutoTuner {
+    arch: GpuArch,
+    space: TuningSpace,
+}
+
+impl AutoTuner {
+    /// Creates a tuner for one architecture with the default search space.
+    pub fn new(arch: GpuArch) -> Self {
+        AutoTuner { arch, space: TuningSpace::default() }
+    }
+
+    /// Replaces the search space.
+    pub fn with_space(mut self, space: TuningSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// The architecture being tuned for.
+    pub fn arch(&self) -> &GpuArch {
+        &self.arch
+    }
+
+    /// Evaluates `build` at every point and returns the lowest-latency choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the search space is empty or every candidate is infeasible
+    /// (infinite latency) — callers always include at least one incremental
+    /// Single-Segment point, which is feasible on every supported GPU.
+    pub fn tune<F>(&self, build: F) -> TuningChoice
+    where
+        F: Fn(&TuningPoint) -> KernelProfile,
+    {
+        let points = self.space.points();
+        assert!(!points.is_empty(), "tuning space must not be empty");
+        let mut best: Option<TuningChoice> = None;
+        let evaluated = points.len();
+        for point in points {
+            let profile = build(&point);
+            let latency = estimate_latency(&self.arch, &profile).total_us;
+            if best.as_ref().map(|b| latency < b.latency_us).unwrap_or(true) {
+                best = Some(TuningChoice { point, profile, latency_us: latency, evaluated });
+            }
+        }
+        let choice = best.expect("at least one tuning point evaluated");
+        assert!(
+            choice.latency_us.is_finite(),
+            "every candidate configuration was infeasible on {}",
+            self.arch.name
+        );
+        choice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_enumerates_cartesian_product() {
+        let space = TuningSpace::default();
+        assert_eq!(space.points().len(), 4 * 5 * 2 * 3 * 7);
+    }
+
+    #[test]
+    fn tuner_picks_the_fastest_candidate() {
+        let tuner = AutoTuner::new(GpuArch::a10());
+        let choice = tuner.tune(|p| KernelProfile {
+            // Smaller block_axis is artificially made cheaper here.
+            flops: (p.block_axis as u64) << 22,
+            hbm_bytes: 1 << 24,
+            blocks: 1024,
+            threads_per_block: p.threads,
+            ..Default::default()
+        });
+        assert_eq!(choice.point.block_axis, 16);
+        assert!(choice.latency_us.is_finite());
+        assert_eq!(choice.evaluated, TuningSpace::default().points().len());
+    }
+
+    #[test]
+    fn infeasible_candidates_are_skipped() {
+        let arch = GpuArch::a10();
+        let tuner = AutoTuner::new(arch.clone());
+        let choice = tuner.tune(|p| KernelProfile {
+            flops: 1 << 26,
+            hbm_bytes: 1 << 24,
+            blocks: 2048,
+            // Pipeline depth 3 demands more shared memory than the SM has.
+            shared_mem_per_block: if p.pipeline_depth == 3 { arch.shared_mem_per_sm * 2 } else { 32 * 1024 },
+            ..Default::default()
+        });
+        assert_ne!(choice.point.pipeline_depth, 3);
+    }
+}

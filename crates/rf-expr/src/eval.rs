@@ -1,0 +1,173 @@
+//! Expression evaluation against a variable environment.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ast::{Expr, ExprKind};
+
+/// Errors produced while evaluating an [`Expr`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A free variable had no binding in the environment.
+    UnboundVariable(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(name) => write!(f, "unbound variable `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A variable environment mapping names to `f64` values.
+///
+/// # Examples
+///
+/// ```
+/// use rf_expr::{Expr, eval::Env};
+///
+/// let e = Expr::var("a") * Expr::var("b");
+/// let env = Env::from_pairs([("a", 2.0), ("b", 3.0)]);
+/// assert_eq!(e.eval(&env).unwrap(), 6.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Env {
+    bindings: HashMap<String, f64>,
+}
+
+impl Env {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Creates an environment from `(name, value)` pairs.
+    pub fn from_pairs<I, S>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (S, f64)>,
+        S: Into<String>,
+    {
+        let mut env = Env::new();
+        for (name, value) in pairs {
+            env.set(name, value);
+        }
+        env
+    }
+
+    /// Binds (or rebinds) a variable.
+    pub fn set(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.bindings.insert(name.into(), value);
+        self
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.bindings.get(name).copied()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether the environment has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+impl Expr {
+    /// Evaluates the expression against `env`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::UnboundVariable`] if a free variable of the
+    /// expression has no binding. Domain errors (log of a negative number,
+    /// division by zero, …) follow IEEE-754 semantics and produce `NaN`/`inf`
+    /// rather than errors, matching the behaviour of generated kernels.
+    pub fn eval(&self, env: &Env) -> Result<f64, EvalError> {
+        match self.kind() {
+            ExprKind::Const(c) => Ok(*c),
+            ExprKind::Var(name) => env
+                .get(name)
+                .ok_or_else(|| EvalError::UnboundVariable(name.clone())),
+            ExprKind::Unary(f, a) => Ok(f.apply(a.eval(env)?)),
+            ExprKind::Binary(op, a, b) => Ok(op.apply(a.eval(env)?, b.eval(env)?)),
+            ExprKind::Sub(a, b) => Ok(a.eval(env)? - b.eval(env)?),
+            ExprKind::Div(a, b) => Ok(a.eval(env)? / b.eval(env)?),
+        }
+    }
+
+    /// Evaluates a closed expression (no free variables).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression has free variables; use [`Expr::eval`] when the
+    /// expression may be open.
+    pub fn eval_closed(&self) -> f64 {
+        self.eval(&Env::new())
+            .expect("expression has free variables; use eval() with an environment")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_constants_and_vars() {
+        let e = Expr::constant(2.0) * Expr::var("x") + Expr::constant(1.0);
+        let env = Env::from_pairs([("x", 5.0)]);
+        assert_eq!(e.eval(&env).unwrap(), 11.0);
+    }
+
+    #[test]
+    fn unbound_variable_is_an_error() {
+        let e = Expr::var("missing");
+        let err = e.eval(&Env::new()).unwrap_err();
+        assert_eq!(err, EvalError::UnboundVariable("missing".to_string()));
+        assert!(err.to_string().contains("missing"));
+    }
+
+    #[test]
+    fn division_by_zero_yields_infinity() {
+        let e = Expr::one() / Expr::zero();
+        assert!(e.eval(&Env::new()).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn eval_closed_works_without_env() {
+        let e = (Expr::constant(3.0) - Expr::constant(1.0)).exp();
+        assert!((e.eval_closed() - (2.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "free variables")]
+    fn eval_closed_panics_on_open_expression() {
+        Expr::var("x").eval_closed();
+    }
+
+    #[test]
+    fn env_accessors() {
+        let mut env = Env::new();
+        assert!(env.is_empty());
+        env.set("a", 1.0).set("b", 2.0);
+        assert_eq!(env.len(), 2);
+        assert_eq!(env.get("a"), Some(1.0));
+        assert_eq!(env.get("c"), None);
+    }
+
+    #[test]
+    fn max_min_sub_div_evaluate() {
+        let env = Env::from_pairs([("x", -4.0), ("y", 3.0)]);
+        let x = Expr::var("x");
+        let y = Expr::var("y");
+        assert_eq!(x.clone().max(y.clone()).eval(&env).unwrap(), 3.0);
+        assert_eq!(x.clone().min(y.clone()).eval(&env).unwrap(), -4.0);
+        assert_eq!((x.clone() - y.clone()).eval(&env).unwrap(), -7.0);
+        assert_eq!((y / x).eval(&env).unwrap(), -0.75);
+    }
+}

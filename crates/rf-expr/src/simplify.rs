@@ -1,0 +1,209 @@
+//! Algebraic simplification.
+//!
+//! The simplifier performs constant folding and the small set of identity
+//! rewrites that make ACRF's extracted `G_i`/`H_i` expressions readable (and
+//! cheaper to evaluate in generated scalar kernels):
+//!
+//! * `x + 0 → x`, `0 + x → x`
+//! * `x * 1 → x`, `1 * x → x`, `x * 0 → 0`
+//! * `x - 0 → x`, `x - x → 0`
+//! * `x / 1 → x`, `0 / x → 0` (when `x` is a non-zero constant)
+//! * `max(x, -inf) → x`, `min(x, +inf) → x`
+//! * `neg(neg(x)) → x`, `recip(recip(x)) → x`
+//! * `exp(ln(x)) → x`, `ln(exp(x)) → x`
+//!
+//! Simplification never changes the meaning of an expression on its defined
+//! domain; the property test below checks this by evaluating both forms on
+//! random environments.
+
+use std::rc::Rc;
+
+use rf_algebra::BinaryOp;
+
+use crate::ast::{Expr, ExprKind, UnaryFn};
+
+/// Simplifies an expression bottom-up. Idempotent.
+pub fn simplify(expr: &Expr) -> Expr {
+    let out = simplify_once(expr);
+    // A second pass catches rewrites enabled by the first (cheap in practice:
+    // expressions in this system are small).
+    simplify_once(&out)
+}
+
+fn simplify_once(expr: &Expr) -> Expr {
+    match expr.kind() {
+        ExprKind::Const(_) | ExprKind::Var(_) => expr.clone(),
+        ExprKind::Unary(f, a) => {
+            let a = simplify_once(a);
+            simplify_unary(*f, a)
+        }
+        ExprKind::Binary(op, a, b) => {
+            let a = simplify_once(a);
+            let b = simplify_once(b);
+            simplify_binary(*op, a, b)
+        }
+        ExprKind::Sub(a, b) => {
+            let a = simplify_once(a);
+            let b = simplify_once(b);
+            simplify_sub(a, b)
+        }
+        ExprKind::Div(a, b) => {
+            let a = simplify_once(a);
+            let b = simplify_once(b);
+            simplify_div(a, b)
+        }
+    }
+}
+
+fn simplify_unary(f: UnaryFn, a: Expr) -> Expr {
+    if let Some(c) = a.as_const() {
+        return Expr::constant(f.apply(c));
+    }
+    match (f, a.kind()) {
+        (UnaryFn::Neg, ExprKind::Unary(UnaryFn::Neg, inner)) => inner.clone(),
+        (UnaryFn::Recip, ExprKind::Unary(UnaryFn::Recip, inner)) => inner.clone(),
+        (UnaryFn::Exp, ExprKind::Unary(UnaryFn::Ln, inner)) => inner.clone(),
+        (UnaryFn::Ln, ExprKind::Unary(UnaryFn::Exp, inner)) => inner.clone(),
+        _ => Expr(Rc::new(ExprKind::Unary(f, a))),
+    }
+}
+
+fn simplify_binary(op: BinaryOp, a: Expr, b: Expr) -> Expr {
+    if let (Some(ca), Some(cb)) = (a.as_const(), b.as_const()) {
+        return Expr::constant(op.apply(ca, cb));
+    }
+    let identity = op.identity();
+    if a.as_const() == Some(identity) {
+        return b;
+    }
+    if b.as_const() == Some(identity) {
+        return a;
+    }
+    if op == BinaryOp::Mul && (a.as_const() == Some(0.0) || b.as_const() == Some(0.0)) {
+        return Expr::zero();
+    }
+    Expr::binary(op, a, b)
+}
+
+fn simplify_sub(a: Expr, b: Expr) -> Expr {
+    if let (Some(ca), Some(cb)) = (a.as_const(), b.as_const()) {
+        return Expr::constant(ca - cb);
+    }
+    if b.as_const() == Some(0.0) {
+        return a;
+    }
+    if a == b {
+        return Expr::zero();
+    }
+    Expr(Rc::new(ExprKind::Sub(a, b)))
+}
+
+fn simplify_div(a: Expr, b: Expr) -> Expr {
+    if let (Some(ca), Some(cb)) = (a.as_const(), b.as_const()) {
+        return Expr::constant(ca / cb);
+    }
+    if b.as_const() == Some(1.0) {
+        return a;
+    }
+    if a.as_const() == Some(0.0) && b.as_const().map(|c| c != 0.0).unwrap_or(false) {
+        return Expr::zero();
+    }
+    Expr(Rc::new(ExprKind::Div(a, b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::Env;
+    use proptest::prelude::*;
+
+    #[test]
+    fn folds_constants() {
+        let e = Expr::constant(2.0) + Expr::constant(3.0);
+        assert_eq!(simplify(&e).as_const(), Some(5.0));
+    }
+
+    #[test]
+    fn removes_additive_and_multiplicative_identities() {
+        let x = Expr::var("x");
+        assert_eq!(simplify(&(x.clone() + Expr::zero())), x);
+        assert_eq!(simplify(&(Expr::one() * x.clone())), x);
+        assert_eq!(simplify(&(x.clone() * Expr::zero())).as_const(), Some(0.0));
+        assert_eq!(simplify(&(x.clone() - Expr::zero())), x);
+        assert_eq!(simplify(&(x.clone() / Expr::one())), x);
+    }
+
+    #[test]
+    fn self_subtraction_is_zero() {
+        let x = Expr::var("x");
+        assert_eq!(simplify(&(x.clone() - x)).as_const(), Some(0.0));
+    }
+
+    #[test]
+    fn max_with_neg_infinity_disappears() {
+        let x = Expr::var("x");
+        let e = x.clone().max(Expr::constant(f64::NEG_INFINITY));
+        assert_eq!(simplify(&e), x);
+    }
+
+    #[test]
+    fn involutions_cancel() {
+        let x = Expr::var("x");
+        assert_eq!(simplify(&(-(-x.clone()))), x);
+        assert_eq!(simplify(&x.clone().recip().recip()), x);
+        assert_eq!(simplify(&x.clone().exp().ln()), x);
+        assert_eq!(simplify(&x.clone().ln().exp()), x);
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let x = Expr::var("x");
+        let e = ((x.clone() + Expr::zero()) * Expr::one()).exp().ln();
+        let s1 = simplify(&e);
+        let s2 = simplify(&s1);
+        assert_eq!(s1, s2);
+    }
+
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (-10.0f64..10.0).prop_map(Expr::constant),
+            prop::sample::select(vec!["x", "y", "z"]).prop_map(Expr::var),
+        ];
+        leaf.prop_recursive(4, 32, 2, |inner| {
+            prop_oneof![
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a + b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a * b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a - b),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.max(b)),
+                (inner.clone(), inner.clone()).prop_map(|(a, b)| a.min(b)),
+                inner.clone().prop_map(|a| -a),
+                inner.clone().prop_map(|a| a.abs()),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn prop_simplify_preserves_semantics(
+            e in arb_expr(),
+            x in -10.0f64..10.0,
+            y in -10.0f64..10.0,
+            z in -10.0f64..10.0,
+        ) {
+            let env = Env::from_pairs([("x", x), ("y", y), ("z", z)]);
+            let original = e.eval(&env).unwrap();
+            let simplified = simplify(&e).eval(&env).unwrap();
+            if original.is_nan() {
+                prop_assert!(simplified.is_nan());
+            } else {
+                prop_assert!((original - simplified).abs() <= 1e-9 * (1.0 + original.abs()),
+                    "orig={original} simp={simplified} expr={e}");
+            }
+        }
+
+        #[test]
+        fn prop_simplify_never_grows(e in arb_expr()) {
+            prop_assert!(simplify(&e).node_count() <= e.node_count());
+        }
+    }
+}

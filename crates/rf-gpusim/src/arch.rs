@@ -1,0 +1,156 @@
+//! GPU architecture parameter sets.
+//!
+//! The numbers are public datasheet values (memory bandwidth, peak FP16/FP32
+//! throughput, SM count, shared memory per SM) plus a measured-order-of-
+//! magnitude kernel launch overhead. They parameterise the latency model of
+//! [`crate::model`].
+
+/// Parameters of one GPU (or GPU-like accelerator).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuArch {
+    /// Marketing name, e.g. `"NVIDIA A10"`.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors (compute units on AMD).
+    pub sms: u32,
+    /// Usable shared memory (LDS) per SM in bytes.
+    pub shared_mem_per_sm: u64,
+    /// Maximum resident thread blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// HBM/GDDR bandwidth in bytes per microsecond (i.e. GB/s × 1e3 / 1e6).
+    pub mem_bandwidth_bytes_per_us: f64,
+    /// Peak dense FP16/BF16 tensor throughput in flops per microsecond.
+    pub fp16_flops_per_us: f64,
+    /// Peak FP32 (vector) throughput in flops per microsecond.
+    pub fp32_flops_per_us: f64,
+    /// Peak FP8 tensor throughput in flops per microsecond (0 if unsupported).
+    pub fp8_flops_per_us: f64,
+    /// Fixed overhead per kernel launch in microseconds.
+    pub launch_overhead_us: f64,
+}
+
+impl GpuArch {
+    /// NVIDIA A10 (24 GB, Ampere).
+    pub fn a10() -> Self {
+        GpuArch {
+            name: "NVIDIA A10",
+            sms: 72,
+            shared_mem_per_sm: 100 * 1024,
+            max_blocks_per_sm: 16,
+            max_threads_per_sm: 1536,
+            mem_bandwidth_bytes_per_us: 600e3,
+            fp16_flops_per_us: 125e6,
+            fp32_flops_per_us: 31e6,
+            fp8_flops_per_us: 0.0,
+            launch_overhead_us: 5.0,
+        }
+    }
+
+    /// NVIDIA A100 SXM (80 GB, Ampere).
+    pub fn a100() -> Self {
+        GpuArch {
+            name: "NVIDIA A100",
+            sms: 108,
+            shared_mem_per_sm: 164 * 1024,
+            max_blocks_per_sm: 32,
+            max_threads_per_sm: 2048,
+            mem_bandwidth_bytes_per_us: 2039e3,
+            fp16_flops_per_us: 312e6,
+            fp32_flops_per_us: 19.5e6,
+            fp8_flops_per_us: 0.0,
+            launch_overhead_us: 5.0,
+        }
+    }
+
+    /// NVIDIA H800 SXM (80 GB, Hopper; export variant of the H100).
+    pub fn h800() -> Self {
+        GpuArch {
+            name: "NVIDIA H800",
+            sms: 132,
+            shared_mem_per_sm: 228 * 1024,
+            max_blocks_per_sm: 32,
+            max_threads_per_sm: 2048,
+            mem_bandwidth_bytes_per_us: 3350e3,
+            fp16_flops_per_us: 990e6,
+            fp32_flops_per_us: 67e6,
+            fp8_flops_per_us: 1979e6,
+            launch_overhead_us: 4.0,
+        }
+    }
+
+    /// AMD MI308X (CDNA3-class accelerator).
+    pub fn mi308x() -> Self {
+        GpuArch {
+            name: "AMD MI308X",
+            sms: 80,
+            shared_mem_per_sm: 64 * 1024,
+            max_blocks_per_sm: 16,
+            max_threads_per_sm: 2048,
+            mem_bandwidth_bytes_per_us: 5300e3,
+            fp16_flops_per_us: 330e6,
+            fp32_flops_per_us: 41e6,
+            fp8_flops_per_us: 660e6,
+            launch_overhead_us: 8.0,
+        }
+    }
+
+    /// The four evaluation platforms of the paper, in the order they appear.
+    pub fn all() -> Vec<GpuArch> {
+        vec![GpuArch::a10(), GpuArch::a100(), GpuArch::h800(), GpuArch::mi308x()]
+    }
+
+    /// Looks an architecture up by (case-insensitive) short name:
+    /// `"a10"`, `"a100"`, `"h800"`, `"mi308x"`.
+    pub fn by_name(name: &str) -> Option<GpuArch> {
+        match name.to_ascii_lowercase().as_str() {
+            "a10" => Some(GpuArch::a10()),
+            "a100" => Some(GpuArch::a100()),
+            "h800" => Some(GpuArch::h800()),
+            "mi308x" => Some(GpuArch::mi308x()),
+            _ => None,
+        }
+    }
+
+    /// Peak flops for the given precision tag (`"fp16"`, `"fp32"`, `"fp8"`).
+    /// Unsupported FP8 falls back to FP16 throughput.
+    pub fn flops_per_us(&self, precision: &str) -> f64 {
+        match precision {
+            "fp32" => self.fp32_flops_per_us,
+            "fp8" if self.fp8_flops_per_us > 0.0 => self.fp8_flops_per_us,
+            _ => self.fp16_flops_per_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_capability() {
+        let a10 = GpuArch::a10();
+        let h800 = GpuArch::h800();
+        assert!(h800.mem_bandwidth_bytes_per_us > a10.mem_bandwidth_bytes_per_us);
+        assert!(h800.fp16_flops_per_us > a10.fp16_flops_per_us);
+        assert!(h800.fp8_flops_per_us > 0.0);
+        assert_eq!(a10.fp8_flops_per_us, 0.0);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(GpuArch::by_name("A10").unwrap().name, "NVIDIA A10");
+        assert_eq!(GpuArch::by_name("h800").unwrap().name, "NVIDIA H800");
+        assert!(GpuArch::by_name("tpu").is_none());
+        assert_eq!(GpuArch::all().len(), 4);
+    }
+
+    #[test]
+    fn precision_fallback() {
+        let a10 = GpuArch::a10();
+        assert_eq!(a10.flops_per_us("fp8"), a10.fp16_flops_per_us);
+        assert_eq!(a10.flops_per_us("fp32"), a10.fp32_flops_per_us);
+        let h800 = GpuArch::h800();
+        assert!(h800.flops_per_us("fp8") > h800.flops_per_us("fp16"));
+    }
+}

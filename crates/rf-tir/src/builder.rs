@@ -1,0 +1,338 @@
+//! Builders for the canonical unfused loop nests of the paper's workloads.
+//!
+//! The single-row builders (`unfused_softmax`, `unfused_attention_row`,
+//! `unfused_quant_gemm_row`, `unfused_sum_sum`) emit one reduction loop per
+//! reduction over a shared axis `l`, with scalar result buffers — the form the
+//! pattern detector consumes. [`figure11_attention`] reproduces the full
+//! two-dimensional unfused attention loop nest of Figure 11 for IR dumps and
+//! interpreter-level validation against the dense kernels.
+
+use rf_algebra::BinaryOp;
+use rf_expr::UnaryFn;
+
+use crate::ir::{BufferDecl, Stmt, TirExpr, TirFunction};
+
+fn reduction_loop(axis: &str, extent: usize, buffer: &str, op: BinaryOp, value: TirExpr) -> Stmt {
+    Stmt::For {
+        var: axis.to_string(),
+        start: 0,
+        extent,
+        body: vec![Stmt::Update {
+            buffer: buffer.to_string(),
+            indices: vec![],
+            op,
+            value,
+        }],
+    }
+}
+
+/// Unfused safe softmax statistics over a length-`len` vector `x`:
+/// a max-reduction loop followed by a sum-of-exponentials loop.
+pub fn unfused_softmax(len: usize) -> TirFunction {
+    let x = || TirExpr::load1("x", "l");
+    let m = || TirExpr::load0("m");
+    TirFunction {
+        name: "unfused_softmax".into(),
+        buffers: vec![
+            BufferDecl::input("x", vec![len]),
+            BufferDecl::output("m", vec![], f64::NEG_INFINITY),
+            BufferDecl::output("t", vec![], 0.0),
+        ],
+        body: vec![
+            reduction_loop("l", len, "m", BinaryOp::Max, x()),
+            reduction_loop(
+                "l",
+                len,
+                "t",
+                BinaryOp::Add,
+                TirExpr::Unary(UnaryFn::Exp, Box::new(TirExpr::Sub(Box::new(x()), Box::new(m())))),
+            ),
+        ],
+    }
+}
+
+/// Unfused single attention row (Appendix A.2.1): score vector `p[kv]`, value
+/// component vector `v[kv]`, producing the max `m`, the normaliser `t` and the
+/// output component `o`.
+pub fn unfused_attention_row(kv: usize) -> TirFunction {
+    let p = || TirExpr::load1("p", "l");
+    let v = || TirExpr::load1("v", "l");
+    let m = || TirExpr::load0("m");
+    let t = || TirExpr::load0("t");
+    let shifted_exp =
+        || TirExpr::Unary(UnaryFn::Exp, Box::new(TirExpr::Sub(Box::new(p()), Box::new(m()))));
+    TirFunction {
+        name: "unfused_attention_row".into(),
+        buffers: vec![
+            BufferDecl::input("p", vec![kv]),
+            BufferDecl::input("v", vec![kv]),
+            BufferDecl::output("m", vec![], f64::NEG_INFINITY),
+            BufferDecl::output("t", vec![], 0.0),
+            BufferDecl::output("o", vec![], 0.0),
+        ],
+        body: vec![
+            reduction_loop("l", kv, "m", BinaryOp::Max, p()),
+            reduction_loop("l", kv, "t", BinaryOp::Add, shifted_exp()),
+            reduction_loop(
+                "l",
+                kv,
+                "o",
+                BinaryOp::Add,
+                TirExpr::Binary(
+                    BinaryOp::Mul,
+                    Box::new(TirExpr::Div(Box::new(shifted_exp()), Box::new(t()))),
+                    Box::new(v()),
+                ),
+            ),
+        ],
+    }
+}
+
+/// Unfused FP8 per-token quantization + one GEMM output element (§3.4):
+/// abs-max over the activation row `a[k]`, then the scaled inner product with
+/// the weight column `w[k]`.
+pub fn unfused_quant_gemm_row(k: usize) -> TirFunction {
+    let a = || TirExpr::load1("a", "l");
+    let w = || TirExpr::load1("w", "l");
+    let m = || TirExpr::load0("m");
+    TirFunction {
+        name: "unfused_quant_gemm_row".into(),
+        buffers: vec![
+            BufferDecl::input("a", vec![k]),
+            BufferDecl::input("w", vec![k]),
+            BufferDecl::output("m", vec![], f64::NEG_INFINITY),
+            BufferDecl::output("c", vec![], 0.0),
+        ],
+        body: vec![
+            reduction_loop("l", k, "m", BinaryOp::Max, TirExpr::Unary(UnaryFn::Abs, Box::new(a()))),
+            reduction_loop(
+                "l",
+                k,
+                "c",
+                BinaryOp::Add,
+                TirExpr::Binary(
+                    BinaryOp::Mul,
+                    Box::new(TirExpr::Div(
+                        Box::new(TirExpr::Binary(
+                            BinaryOp::Mul,
+                            Box::new(TirExpr::Const(448.0)),
+                            Box::new(a()),
+                        )),
+                        Box::new(m()),
+                    )),
+                    Box::new(w()),
+                ),
+            ),
+        ],
+    }
+}
+
+/// Unfused "Sum + Sum" internal pattern (Appendix A.2.3).
+pub fn unfused_sum_sum(len: usize) -> TirFunction {
+    let x1 = || TirExpr::load1("x1", "l");
+    let x2 = || TirExpr::load1("x2", "l");
+    let m = || TirExpr::load0("m");
+    let denom = TirExpr::Unary(
+        UnaryFn::Sqrt,
+        Box::new(TirExpr::Binary(
+            BinaryOp::Max,
+            Box::new(TirExpr::Sub(Box::new(m()), Box::new(TirExpr::Const(10.0)))),
+            Box::new(TirExpr::Const(1e-3)),
+        )),
+    );
+    TirFunction {
+        name: "unfused_sum_sum".into(),
+        buffers: vec![
+            BufferDecl::input("x1", vec![len]),
+            BufferDecl::input("x2", vec![len]),
+            BufferDecl::output("m", vec![], 0.0),
+            BufferDecl::output("s", vec![], 0.0),
+        ],
+        body: vec![
+            reduction_loop(
+                "l",
+                len,
+                "m",
+                BinaryOp::Add,
+                TirExpr::Binary(BinaryOp::Mul, Box::new(x1()), Box::new(x1())),
+            ),
+            reduction_loop(
+                "l",
+                len,
+                "s",
+                BinaryOp::Add,
+                TirExpr::Div(
+                    Box::new(TirExpr::Binary(BinaryOp::Mul, Box::new(x1()), Box::new(x2()))),
+                    Box::new(denom),
+                ),
+            ),
+        ],
+    }
+}
+
+/// The full unfused attention loop nest of Figure 11: query block `Q[q, d]`,
+/// keys `K[kv, d]`, values `V[kv, d]`, with the score matrix `P`, row maxima
+/// `pmax`, row sums `psum` and output `o` all materialised.
+pub fn figure11_attention(q: usize, kv: usize, d: usize) -> TirFunction {
+    let load2 = |buf: &str, i: &str, j: &str| TirExpr::Load {
+        buffer: buf.into(),
+        indices: vec![i.into(), j.into()],
+    };
+    let load1 = |buf: &str, i: &str| TirExpr::Load { buffer: buf.into(), indices: vec![i.into()] };
+    let shifted_exp = TirExpr::Unary(
+        UnaryFn::Exp,
+        Box::new(TirExpr::Sub(
+            Box::new(load2("P", "qs", "kvs")),
+            Box::new(load1("pmax", "qs")),
+        )),
+    );
+    TirFunction {
+        name: "figure11_attention".into(),
+        buffers: vec![
+            BufferDecl::input("Q", vec![q, d]),
+            BufferDecl::input("K", vec![kv, d]),
+            BufferDecl::input("V", vec![kv, d]),
+            BufferDecl::temp("P", vec![q, kv], 0.0),
+            BufferDecl::temp("pmax", vec![q], f64::NEG_INFINITY),
+            BufferDecl::temp("psum", vec![q], 0.0),
+            BufferDecl::output("o", vec![q, d], 0.0),
+        ],
+        body: vec![Stmt::For {
+            var: "qs".into(),
+            start: 0,
+            extent: q,
+            body: vec![
+                // reduction 1: gemm(Q, K)
+                Stmt::For {
+                    var: "kvs".into(),
+                    start: 0,
+                    extent: kv,
+                    body: vec![Stmt::For {
+                        var: "dd".into(),
+                        start: 0,
+                        extent: d,
+                        body: vec![Stmt::Update {
+                            buffer: "P".into(),
+                            indices: vec!["qs".into(), "kvs".into()],
+                            op: BinaryOp::Add,
+                            value: TirExpr::Binary(
+                                BinaryOp::Mul,
+                                Box::new(load2("Q", "qs", "dd")),
+                                Box::new(load2("K", "kvs", "dd")),
+                            ),
+                        }],
+                    }],
+                },
+                // reduction 2: max(P)
+                Stmt::For {
+                    var: "kvs".into(),
+                    start: 0,
+                    extent: kv,
+                    body: vec![Stmt::Update {
+                        buffer: "pmax".into(),
+                        indices: vec!["qs".into()],
+                        op: BinaryOp::Max,
+                        value: load2("P", "qs", "kvs"),
+                    }],
+                },
+                // reduction 3: sum(exp(P - pmax))
+                Stmt::For {
+                    var: "kvs".into(),
+                    start: 0,
+                    extent: kv,
+                    body: vec![Stmt::Update {
+                        buffer: "psum".into(),
+                        indices: vec!["qs".into()],
+                        op: BinaryOp::Add,
+                        value: shifted_exp.clone(),
+                    }],
+                },
+                // reduction 4: gemm(exp(P - pmax) / psum, V)
+                Stmt::For {
+                    var: "kvs".into(),
+                    start: 0,
+                    extent: kv,
+                    body: vec![Stmt::For {
+                        var: "dd".into(),
+                        start: 0,
+                        extent: d,
+                        body: vec![Stmt::Update {
+                            buffer: "o".into(),
+                            indices: vec!["qs".into(), "dd".into()],
+                            op: BinaryOp::Add,
+                            value: TirExpr::Binary(
+                                BinaryOp::Mul,
+                                Box::new(TirExpr::Div(
+                                    Box::new(shifted_exp.clone()),
+                                    Box::new(load1("psum", "qs")),
+                                )),
+                                Box::new(load2("V", "kvs", "dd")),
+                            ),
+                        }],
+                    }],
+                },
+            ],
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interpreter;
+    use std::collections::HashMap;
+
+    #[test]
+    fn softmax_builder_runs_and_matches_kernel_semantics() {
+        let f = unfused_softmax(16);
+        let x: Vec<f64> = (0..16).map(|i| (i as f64 * 0.37).sin()).collect();
+        let out = Interpreter::new()
+            .run(&f, &HashMap::from([("x".to_string(), x.clone())]))
+            .unwrap();
+        let max = x.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let sum: f64 = x.iter().map(|v| (v - max).exp()).sum();
+        assert!((out["m"][0] - max).abs() < 1e-12);
+        assert!((out["t"][0] - sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attention_row_builder_has_three_reductions() {
+        let f = unfused_attention_row(8);
+        assert_eq!(f.body.len(), 3);
+        assert_eq!(f.output_names(), vec!["m", "t", "o"]);
+        let text = f.to_string();
+        assert!(text.contains("o[0] +="));
+    }
+
+    #[test]
+    fn figure11_matches_figure_structure() {
+        let f = figure11_attention(4, 8, 2);
+        let text = f.to_string();
+        assert!(text.contains("for qs in range(4):"));
+        assert!(text.contains("P[qs, kvs] += (Q[qs, dd] * K[kvs, dd])"));
+        assert!(text.contains("pmax[qs] = max(pmax[qs], P[qs, kvs])"));
+        assert!(f.stmt_count() > 10);
+    }
+
+    #[test]
+    fn figure11_runs_numerically() {
+        let (q, kv, d) = (2, 4, 3);
+        let f = figure11_attention(q, kv, d);
+        let qm = rf_workloads::random_matrix(q, d, 1, -1.0, 1.0);
+        let km = rf_workloads::random_matrix(kv, d, 2, -1.0, 1.0);
+        let vm = rf_workloads::random_matrix(kv, d, 3, -1.0, 1.0);
+        let inputs = HashMap::from([
+            ("Q".to_string(), qm.as_slice().to_vec()),
+            ("K".to_string(), km.as_slice().to_vec()),
+            ("V".to_string(), vm.as_slice().to_vec()),
+        ]);
+        let out = Interpreter::new().run(&f, &inputs).unwrap();
+        // The attention rows of the interpreted IR must sum each probability
+        // row to one: check via the identity sum_d o = sum over value columns
+        // weighted by probabilities; instead verify against the dense kernel.
+        let expected = rf_kernels::attention::attention_naive(&qm, &km, &vm, 1.0);
+        for (a, b) in out["o"].iter().zip(expected.as_slice()) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+}

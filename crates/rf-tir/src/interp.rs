@@ -1,0 +1,308 @@
+//! Reference interpreter for the scalar loop-nest IR.
+//!
+//! The interpreter executes a [`TirFunction`] against caller-provided input
+//! buffers and returns the output buffers. It is intentionally simple (no
+//! vectorisation, no caching) — its only job is to define the semantics that
+//! the fusion passes must preserve, which the tests check by running the
+//! unfused and fused functions on the same inputs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ir::{BufferKind, Stmt, TirExpr, TirFunction};
+
+/// Errors produced while running a function.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// An input buffer was not supplied or has the wrong length.
+    BadInput {
+        /// Buffer name.
+        buffer: String,
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count (0 when missing).
+        provided: usize,
+    },
+    /// A load or store referenced an undeclared buffer.
+    UnknownBuffer(String),
+    /// A load or store used an index variable that is not an enclosing loop
+    /// variable, or the wrong number of indices.
+    BadIndex {
+        /// Buffer name.
+        buffer: String,
+        /// Diagnostic message.
+        message: String,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::BadInput { buffer, expected, provided } => {
+                write!(f, "input `{buffer}` has {provided} elements, expected {expected}")
+            }
+            RunError::UnknownBuffer(name) => write!(f, "unknown buffer `{name}`"),
+            RunError::BadIndex { buffer, message } => write!(f, "bad index into `{buffer}`: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Executes scalar loop-nest functions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Interpreter;
+
+impl Interpreter {
+    /// Creates an interpreter.
+    pub fn new() -> Self {
+        Interpreter
+    }
+
+    /// Runs `function` with the given input buffers and returns all output
+    /// buffers by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError`] if inputs are missing or mis-sized, or the body
+    /// references unknown buffers or invalid indices.
+    pub fn run(
+        &self,
+        function: &TirFunction,
+        inputs: &HashMap<String, Vec<f64>>,
+    ) -> Result<HashMap<String, Vec<f64>>, RunError> {
+        let mut storage: HashMap<String, Vec<f64>> = HashMap::new();
+        let mut shapes: HashMap<String, Vec<usize>> = HashMap::new();
+        for decl in &function.buffers {
+            shapes.insert(decl.name.clone(), decl.shape.clone());
+            match decl.kind {
+                BufferKind::Input => {
+                    let provided = inputs.get(&decl.name).cloned().unwrap_or_default();
+                    if provided.len() != decl.len() {
+                        return Err(RunError::BadInput {
+                            buffer: decl.name.clone(),
+                            expected: decl.len(),
+                            provided: provided.len(),
+                        });
+                    }
+                    storage.insert(decl.name.clone(), provided);
+                }
+                BufferKind::Output | BufferKind::Temp => {
+                    storage.insert(decl.name.clone(), vec![decl.init; decl.len()]);
+                }
+            }
+        }
+
+        let mut loop_vars: HashMap<String, usize> = HashMap::new();
+        exec_block(&function.body, &mut storage, &shapes, &mut loop_vars)?;
+
+        Ok(function
+            .buffers
+            .iter()
+            .filter(|b| b.kind == BufferKind::Output)
+            .map(|b| (b.name.clone(), storage.remove(&b.name).unwrap()))
+            .collect())
+    }
+}
+
+fn exec_block(
+    stmts: &[Stmt],
+    storage: &mut HashMap<String, Vec<f64>>,
+    shapes: &HashMap<String, Vec<usize>>,
+    loop_vars: &mut HashMap<String, usize>,
+) -> Result<(), RunError> {
+    for stmt in stmts {
+        match stmt {
+            Stmt::For { var, start, extent, body } => {
+                for i in *start..*extent {
+                    loop_vars.insert(var.clone(), i);
+                    exec_block(body, storage, shapes, loop_vars)?;
+                }
+                loop_vars.remove(var);
+            }
+            Stmt::Store { buffer, indices, value } => {
+                let v = eval_expr(value, storage, shapes, loop_vars)?;
+                let offset = flat_index(buffer, indices, shapes, loop_vars)?;
+                let data = storage
+                    .get_mut(buffer)
+                    .ok_or_else(|| RunError::UnknownBuffer(buffer.clone()))?;
+                data[offset] = v;
+            }
+            Stmt::Update { buffer, indices, op, value } => {
+                let v = eval_expr(value, storage, shapes, loop_vars)?;
+                let offset = flat_index(buffer, indices, shapes, loop_vars)?;
+                let data = storage
+                    .get_mut(buffer)
+                    .ok_or_else(|| RunError::UnknownBuffer(buffer.clone()))?;
+                data[offset] = op.apply(data[offset], v);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn flat_index(
+    buffer: &str,
+    indices: &[String],
+    shapes: &HashMap<String, Vec<usize>>,
+    loop_vars: &HashMap<String, usize>,
+) -> Result<usize, RunError> {
+    let shape = shapes
+        .get(buffer)
+        .ok_or_else(|| RunError::UnknownBuffer(buffer.to_string()))?;
+    if shape.len() != indices.len() {
+        return Err(RunError::BadIndex {
+            buffer: buffer.to_string(),
+            message: format!("{} indices for {}-dimensional buffer", indices.len(), shape.len()),
+        });
+    }
+    let mut offset = 0usize;
+    for (dim, index_var) in shape.iter().zip(indices) {
+        let value = *loop_vars.get(index_var).ok_or_else(|| RunError::BadIndex {
+            buffer: buffer.to_string(),
+            message: format!("`{index_var}` is not an enclosing loop variable"),
+        })?;
+        if value >= *dim {
+            return Err(RunError::BadIndex {
+                buffer: buffer.to_string(),
+                message: format!("index {value} out of bounds for extent {dim}"),
+            });
+        }
+        offset = offset * dim + value;
+    }
+    Ok(offset)
+}
+
+fn eval_expr(
+    expr: &TirExpr,
+    storage: &HashMap<String, Vec<f64>>,
+    shapes: &HashMap<String, Vec<usize>>,
+    loop_vars: &HashMap<String, usize>,
+) -> Result<f64, RunError> {
+    Ok(match expr {
+        TirExpr::Const(c) => *c,
+        TirExpr::Var(v) => *loop_vars.get(v).unwrap_or(&0) as f64,
+        TirExpr::Load { buffer, indices } => {
+            let offset = flat_index(buffer, indices, shapes, loop_vars)?;
+            let data = storage
+                .get(buffer)
+                .ok_or_else(|| RunError::UnknownBuffer(buffer.clone()))?;
+            data[offset]
+        }
+        TirExpr::Unary(f, a) => f.apply(eval_expr(a, storage, shapes, loop_vars)?),
+        TirExpr::Binary(op, a, b) => op.apply(
+            eval_expr(a, storage, shapes, loop_vars)?,
+            eval_expr(b, storage, shapes, loop_vars)?,
+        ),
+        TirExpr::Sub(a, b) => {
+            eval_expr(a, storage, shapes, loop_vars)? - eval_expr(b, storage, shapes, loop_vars)?
+        }
+        TirExpr::Div(a, b) => {
+            eval_expr(a, storage, shapes, loop_vars)? / eval_expr(b, storage, shapes, loop_vars)?
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::BufferDecl;
+    use rf_algebra::BinaryOp;
+
+    fn sum_function(len: usize) -> TirFunction {
+        TirFunction {
+            name: "sum".into(),
+            buffers: vec![
+                BufferDecl::input("x", vec![len]),
+                BufferDecl::output("s", vec![], 0.0),
+            ],
+            body: vec![Stmt::For {
+                var: "l".into(),
+                start: 0,
+                extent: len,
+                body: vec![Stmt::Update {
+                    buffer: "s".into(),
+                    indices: vec![],
+                    op: BinaryOp::Add,
+                    value: TirExpr::load1("x", "l"),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn runs_a_simple_reduction() {
+        let f = sum_function(4);
+        let inputs = HashMap::from([("x".to_string(), vec![1.0, 2.0, 3.0, 4.0])]);
+        let out = Interpreter::new().run(&f, &inputs).unwrap();
+        assert_eq!(out["s"], vec![10.0]);
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let f = sum_function(4);
+        let err = Interpreter::new().run(&f, &HashMap::new()).unwrap_err();
+        assert!(matches!(err, RunError::BadInput { .. }));
+        assert!(err.to_string().contains("expected 4"));
+    }
+
+    #[test]
+    fn unknown_buffer_is_reported() {
+        let mut f = sum_function(2);
+        f.body = vec![Stmt::Store {
+            buffer: "ghost".into(),
+            indices: vec![],
+            value: TirExpr::Const(1.0),
+        }];
+        let inputs = HashMap::from([("x".to_string(), vec![1.0, 2.0])]);
+        let err = Interpreter::new().run(&f, &inputs).unwrap_err();
+        assert_eq!(err, RunError::UnknownBuffer("ghost".into()));
+    }
+
+    #[test]
+    fn bad_index_variable_is_reported() {
+        let mut f = sum_function(2);
+        f.body = vec![Stmt::Update {
+            buffer: "s".into(),
+            indices: vec![],
+            op: BinaryOp::Add,
+            value: TirExpr::load1("x", "not_a_loop"),
+        }];
+        let inputs = HashMap::from([("x".to_string(), vec![1.0, 2.0])]);
+        let err = Interpreter::new().run(&f, &inputs).unwrap_err();
+        assert!(matches!(err, RunError::BadIndex { .. }));
+    }
+
+    #[test]
+    fn two_dimensional_buffers_use_row_major_layout() {
+        let f = TirFunction {
+            name: "rowsum".into(),
+            buffers: vec![
+                BufferDecl::input("x", vec![2, 3]),
+                BufferDecl::output("s", vec![2], 0.0),
+            ],
+            body: vec![Stmt::For {
+                var: "r".into(),
+                start: 0,
+                extent: 2,
+                body: vec![Stmt::For {
+                    var: "c".into(),
+                    start: 0,
+                    extent: 3,
+                    body: vec![Stmt::Update {
+                        buffer: "s".into(),
+                        indices: vec!["r".into()],
+                        op: BinaryOp::Add,
+                        value: TirExpr::Load { buffer: "x".into(), indices: vec!["r".into(), "c".into()] },
+                    }],
+                }],
+            }],
+        };
+        let inputs = HashMap::from([(
+            "x".to_string(),
+            vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0],
+        )]);
+        let out = Interpreter::new().run(&f, &inputs).unwrap();
+        assert_eq!(out["s"], vec![6.0, 60.0]);
+    }
+}

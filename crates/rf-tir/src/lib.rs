@@ -1,0 +1,47 @@
+//! Scalar loop-nest IR (the TensorIR substitute) and its fusion passes.
+//!
+//! RedFuser's front-end (§4.1 of the paper) lowers a computational graph to a
+//! scalar loop-nest IR, detects cascaded-reduction patterns in it, lifts them
+//! to mathematical expressions for the ACRF analysis, and re-emits a fused
+//! loop nest following the three-step reduction template of Appendix A.4
+//! (store previous result → apply correction → perform reduction), with
+//! dataflow-based elimination of unnecessary steps.
+//!
+//! Modules:
+//!
+//! * [`ir`] — expressions, statements, buffers and functions of the scalar IR,
+//!   plus a pretty-printer that reproduces the style of Figures 11–13.
+//! * [`interp`] — a reference interpreter used to validate transformations.
+//! * [`builder`] — canonical unfused loop nests for the paper's workloads
+//!   (safe softmax, one attention row, FP8 quant + GEMM, …).
+//! * [`detect`] — cascaded-reduction pattern detection: finds reductions that
+//!   share a reduction axis and depend on each other, and lifts them into a
+//!   [`rf_fusion::CascadeSpec`].
+//! * [`fuse`] — fused-kernel generation from a [`rf_fusion::FusionPlan`]: a
+//!   single loop over the shared axis applying the three-step template.
+
+pub mod builder;
+pub mod detect;
+pub mod fuse;
+pub mod interp;
+pub mod ir;
+
+pub use detect::{detect_cascade, DetectedCascade, DetectError};
+pub use fuse::generate_fused;
+pub use interp::{Interpreter, RunError};
+pub use ir::{BufferDecl, BufferKind, Stmt, TirExpr, TirFunction};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_softmax_pipeline() {
+        let unfused = builder::unfused_softmax(64);
+        let detected = detect_cascade(&unfused).unwrap();
+        assert_eq!(detected.cascade.reductions.len(), 2);
+        let plan = rf_fusion::analyze_cascade(&detected.cascade).unwrap();
+        let fused = generate_fused(&plan, &detected);
+        assert!(fused.to_string().contains("for"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Attention workload configurations (Table 2a and 2b of the paper).
+//!
+//! MHA tensors are shaped `[bs, hn, q, hd]` for the query and `[bs, hn, kv, hd]`
+//! for key/value. MLA models the decode phase: the query length is always 1 and
+//! the hidden dimensions of query and key are extended by the RoPE embedding
+//! dimension `ped`.
+
+use crate::Precision;
+
+/// One Multi-Head Attention configuration (a row of Table 2a).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MhaConfig {
+    /// Row name (`H1..H9`).
+    pub name: &'static str,
+    /// Batch size.
+    pub bs: usize,
+    /// Number of attention heads.
+    pub hn: usize,
+    /// Query sequence length.
+    pub q: usize,
+    /// Key/value sequence length.
+    pub kv: usize,
+    /// Head dimension.
+    pub hd: usize,
+    /// The model this configuration is taken from.
+    pub model: &'static str,
+}
+
+impl MhaConfig {
+    /// Number of independent attention rows (`bs * hn * q`), each of which is
+    /// one cascaded reduction over the `kv` axis.
+    pub fn rows(&self) -> usize {
+        self.bs * self.hn * self.q
+    }
+
+    /// Total floating-point operations of the attention forward pass
+    /// (QK^T + softmax + PV), counted as multiply-adds = 2 flops.
+    pub fn flops(&self) -> u64 {
+        let rows = self.rows() as u64;
+        let kv = self.kv as u64;
+        let hd = self.hd as u64;
+        let qk = 2 * rows * kv * hd;
+        let softmax = 5 * rows * kv;
+        let pv = 2 * rows * kv * hd;
+        qk + softmax + pv
+    }
+
+    /// Bytes of tensor data that must cross HBM at minimum (Q, K, V read once,
+    /// O written once) at the given activation precision.
+    pub fn min_bytes(&self, precision: Precision) -> u64 {
+        let e = precision.bytes() as u64;
+        let q = (self.bs * self.hn * self.q * self.hd) as u64;
+        let kv = (self.bs * self.hn * self.kv * self.hd) as u64;
+        (q + 2 * kv + q) * e
+    }
+
+    /// Bytes of the intermediate score/probability matrix `[q, kv]` per batch ×
+    /// head, which unfused execution must spill to HBM (twice: write + read)
+    /// for each of the softmax stages.
+    pub fn score_bytes(&self, precision: Precision) -> u64 {
+        (self.bs * self.hn * self.q * self.kv) as u64 * precision.bytes() as u64
+    }
+}
+
+/// One Multi-Latent Attention (decode) configuration (a row of Table 2b).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlaConfig {
+    /// Row name (`L1..L9`).
+    pub name: &'static str,
+    /// Batch size.
+    pub bs: usize,
+    /// Number of attention heads.
+    pub hn: usize,
+    /// Key/value sequence length.
+    pub kv: usize,
+    /// Latent head dimension.
+    pub hd: usize,
+    /// RoPE positional-embedding extension of the query/key hidden dimension.
+    pub ped: usize,
+}
+
+impl MlaConfig {
+    /// Number of independent decode attention rows (`bs * hn`, query length 1).
+    pub fn rows(&self) -> usize {
+        self.bs * self.hn
+    }
+
+    /// Effective query/key dimension including the RoPE extension.
+    pub fn qk_dim(&self) -> usize {
+        self.hd + self.ped
+    }
+
+    /// Total floating-point operations of one decode step.
+    pub fn flops(&self) -> u64 {
+        let rows = self.rows() as u64;
+        let kv = self.kv as u64;
+        let qk = 2 * rows * kv * self.qk_dim() as u64;
+        let softmax = 5 * rows * kv;
+        let pv = 2 * rows * kv * self.hd as u64;
+        qk + softmax + pv
+    }
+
+    /// Minimal HBM traffic: for decode the KV cache read dominates.
+    pub fn min_bytes(&self, precision: Precision) -> u64 {
+        let e = precision.bytes() as u64;
+        let q = (self.bs * self.hn * self.qk_dim()) as u64;
+        let kv = (self.bs * self.kv * (self.qk_dim() + self.hd)) as u64;
+        let o = (self.bs * self.hn * self.hd) as u64;
+        (q + kv + o) * e
+    }
+
+    /// Bytes of the per-row score vector `[kv]`, which unfused execution
+    /// spills between the GEMM and softmax stages.
+    pub fn score_bytes(&self, precision: Precision) -> u64 {
+        (self.rows() * self.kv) as u64 * precision.bytes() as u64
+    }
+}
+
+/// Table 2a: the nine MHA configurations.
+pub fn mha_configs() -> Vec<MhaConfig> {
+    vec![
+        MhaConfig { name: "H1", bs: 32, hn: 8, q: 512, kv: 512, hd: 64, model: "BERT-Small" },
+        MhaConfig { name: "H2", bs: 32, hn: 12, q: 512, kv: 512, hd: 64, model: "BERT-Base" },
+        MhaConfig { name: "H3", bs: 32, hn: 16, q: 512, kv: 512, hd: 64, model: "BERT-Large" },
+        MhaConfig { name: "H4", bs: 32, hn: 12, q: 256, kv: 256, hd: 64, model: "ViT-Base" },
+        MhaConfig { name: "H5", bs: 32, hn: 16, q: 256, kv: 256, hd: 64, model: "ViT-Large" },
+        MhaConfig { name: "H6", bs: 32, hn: 16, q: 256, kv: 256, hd: 80, model: "ViT-Huge" },
+        MhaConfig { name: "H7", bs: 32, hn: 64, q: 1, kv: 1024, hd: 128, model: "LLaMA-65B" },
+        MhaConfig { name: "H8", bs: 32, hn: 64, q: 1, kv: 2048, hd: 128, model: "LLaMA-65B" },
+        MhaConfig { name: "H9", bs: 32, hn: 64, q: 1, kv: 4096, hd: 128, model: "LLaMA-65B" },
+    ]
+}
+
+/// Table 2b: the nine MLA decode configurations.
+pub fn mla_configs() -> Vec<MlaConfig> {
+    vec![
+        MlaConfig { name: "L1", bs: 32, hn: 128, kv: 1024, hd: 512, ped: 64 },
+        MlaConfig { name: "L2", bs: 32, hn: 128, kv: 2048, hd: 512, ped: 64 },
+        MlaConfig { name: "L3", bs: 32, hn: 128, kv: 4096, hd: 512, ped: 64 },
+        MlaConfig { name: "L4", bs: 16, hn: 128, kv: 1024, hd: 512, ped: 64 },
+        MlaConfig { name: "L5", bs: 16, hn: 128, kv: 2048, hd: 512, ped: 64 },
+        MlaConfig { name: "L6", bs: 16, hn: 128, kv: 4096, hd: 512, ped: 64 },
+        MlaConfig { name: "L7", bs: 1, hn: 128, kv: 1024, hd: 512, ped: 64 },
+        MlaConfig { name: "L8", bs: 1, hn: 128, kv: 2048, hd: 512, ped: 64 },
+        MlaConfig { name: "L9", bs: 1, hn: 128, kv: 4096, hd: 512, ped: 64 },
+    ]
+}
+
+/// A scaled-down MHA configuration for fast tests and examples: the same shape
+/// family as `H2` (BERT-Base) but with a small batch and sequence length.
+pub fn mha_tiny() -> MhaConfig {
+    MhaConfig { name: "tiny", bs: 2, hn: 2, q: 16, kv: 32, hd: 8, model: "unit-test" }
+}
+
+/// A scaled-down MLA configuration for fast tests and examples.
+pub fn mla_tiny() -> MlaConfig {
+    MlaConfig { name: "tiny", bs: 2, hn: 4, kv: 64, hd: 16, ped: 8 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2a_matches_paper() {
+        let configs = mha_configs();
+        assert_eq!(configs.len(), 9);
+        assert_eq!(configs[1].model, "BERT-Base");
+        assert_eq!(configs[1].hn, 12);
+        assert_eq!(configs[8].kv, 4096);
+        assert_eq!(configs[5].hd, 80);
+        assert!(configs.iter().all(|c| c.bs == 32));
+    }
+
+    #[test]
+    fn table2b_matches_paper() {
+        let configs = mla_configs();
+        assert_eq!(configs.len(), 9);
+        assert!(configs.iter().all(|c| c.hn == 128 && c.hd == 512 && c.ped == 64));
+        assert_eq!(configs[6].bs, 1);
+        assert_eq!(configs[2].kv, 4096);
+    }
+
+    #[test]
+    fn flops_scale_with_sequence_length() {
+        let configs = mha_configs();
+        // H7 -> H8 -> H9 double the kv length with other parameters fixed.
+        assert!(configs[7].flops() > configs[6].flops());
+        assert!(configs[8].flops() > configs[7].flops());
+        let ratio = configs[8].flops() as f64 / configs[7].flops() as f64;
+        assert!((ratio - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn traffic_accounting_is_consistent() {
+        let c = &mha_configs()[1];
+        assert!(c.min_bytes(Precision::Fp16) < c.min_bytes(Precision::Fp32));
+        assert!(c.score_bytes(Precision::Fp16) > 0);
+        let l = &mla_configs()[0];
+        assert_eq!(l.qk_dim(), 576);
+        assert!(l.min_bytes(Precision::Fp16) > 0);
+        assert_eq!(l.rows(), 32 * 128);
+    }
+
+    #[test]
+    fn tiny_configs_are_small() {
+        assert!(mha_tiny().rows() < 100);
+        assert!(mla_tiny().rows() < 100);
+    }
+}

@@ -1,0 +1,72 @@
+//! Workload configurations and synthetic data generation.
+//!
+//! The paper evaluates RedFuser on four ML subgraph families (Table 2) and two
+//! non-ML cascaded reductions (Table 3):
+//!
+//! * Multi-Head Attention (MHA) — configurations `H1..H9` ([`attention`]),
+//! * Multi-Latent Attention (MLA) decode — configurations `L1..L9` ([`attention`]),
+//! * MoE routing — configurations `R1..R8` ([`moe`]),
+//! * FP8 PerToken Quant + GEMM — configurations `Q1..Q10` ([`quant`]),
+//! * variance `V1..V8` and moment of inertia `I1..I8` ([`nonml`]).
+//!
+//! Every configuration struct knows its shape parameters, the model it was
+//! taken from, and provides floating-point-operation and memory-traffic
+//! accounting used by the analytical GPU model and the baselines. The
+//! [`data`] module provides deterministic random tensor generation shared by
+//! kernels, tests and benchmarks.
+
+pub mod attention;
+pub mod data;
+pub mod moe;
+pub mod nonml;
+pub mod quant;
+
+pub use attention::{mha_configs, mla_configs, MhaConfig, MlaConfig};
+pub use data::{random_matrix, random_vec, Matrix};
+pub use moe::{moe_configs, MoeConfig};
+pub use nonml::{inertia_configs, variance_configs, InertiaConfig, VarianceConfig};
+pub use quant::{quant_configs, QuantGemmConfig};
+
+/// Bytes per element for the storage precisions used in the paper's workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// 8-bit floating point (FP8 E4M3).
+    Fp8,
+    /// 16-bit floating point (FP16/BF16), the default activation precision.
+    Fp16,
+    /// 32-bit floating point, used for accumulators and the non-ML workloads.
+    Fp32,
+}
+
+impl Precision {
+    /// Size of one element in bytes.
+    pub const fn bytes(self) -> usize {
+        match self {
+            Precision::Fp8 => 1,
+            Precision::Fp16 => 2,
+            Precision::Fp32 => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_sizes() {
+        assert_eq!(Precision::Fp8.bytes(), 1);
+        assert_eq!(Precision::Fp16.bytes(), 2);
+        assert_eq!(Precision::Fp32.bytes(), 4);
+    }
+
+    #[test]
+    fn all_tables_have_paper_row_counts() {
+        assert_eq!(mha_configs().len(), 9);
+        assert_eq!(mla_configs().len(), 9);
+        assert_eq!(moe_configs().len(), 8);
+        assert_eq!(quant_configs().len(), 10);
+        assert_eq!(variance_configs().len(), 8);
+        assert_eq!(inertia_configs().len(), 8);
+    }
+}

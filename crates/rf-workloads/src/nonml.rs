@@ -1,0 +1,139 @@
+//! Non-ML workload configurations (Table 3 of the paper, Appendix A.6).
+//!
+//! Two cascaded reductions outside machine learning: per-batch variance of a
+//! data vector, and the moment of inertia of a particle system about its
+//! center of mass.
+
+use crate::Precision;
+
+/// One variance configuration (a row of Table 3a).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarianceConfig {
+    /// Row name (`V1..V8`).
+    pub name: &'static str,
+    /// Batch size (number of independent variance computations).
+    pub bs: usize,
+    /// Number of data points per batch.
+    pub l: usize,
+}
+
+impl VarianceConfig {
+    /// Floating-point operations of the two-pass definition (mean then
+    /// sum of squared deviations).
+    pub fn flops(&self) -> u64 {
+        (4 * self.bs * self.l) as u64
+    }
+
+    /// Minimal HBM traffic: data read once, one variance written per batch.
+    pub fn min_bytes(&self) -> u64 {
+        ((self.bs * self.l + self.bs) * Precision::Fp32.bytes()) as u64
+    }
+
+    /// Total number of input elements.
+    pub fn elements(&self) -> usize {
+        self.bs * self.l
+    }
+}
+
+/// One moment-of-inertia configuration (a row of Table 3b).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InertiaConfig {
+    /// Row name (`I1..I8`).
+    pub name: &'static str,
+    /// Batch size (number of independent particle systems).
+    pub bs: usize,
+    /// Number of particles per system.
+    pub n: usize,
+    /// Spatial dimensionality (always 3 in the paper).
+    pub dim: usize,
+}
+
+impl InertiaConfig {
+    /// Floating-point operations of the three-pass definition (total mass,
+    /// center of mass, then the weighted squared distances).
+    pub fn flops(&self) -> u64 {
+        (self.bs * self.n * (2 + 2 * self.dim + 3 * self.dim)) as u64
+    }
+
+    /// Minimal HBM traffic: masses and positions read once, one inertia value
+    /// written per batch.
+    pub fn min_bytes(&self) -> u64 {
+        ((self.bs * self.n * (1 + self.dim) + self.bs) * Precision::Fp32.bytes()) as u64
+    }
+
+    /// Total number of particles across the batch.
+    pub fn particles(&self) -> usize {
+        self.bs * self.n
+    }
+}
+
+/// Table 3a: the eight variance configurations.
+pub fn variance_configs() -> Vec<VarianceConfig> {
+    vec![
+        VarianceConfig { name: "V1", bs: 1, l: 8192 },
+        VarianceConfig { name: "V2", bs: 1, l: 32768 },
+        VarianceConfig { name: "V3", bs: 128, l: 8192 },
+        VarianceConfig { name: "V4", bs: 128, l: 32768 },
+        VarianceConfig { name: "V5", bs: 512, l: 8192 },
+        VarianceConfig { name: "V6", bs: 512, l: 32768 },
+        VarianceConfig { name: "V7", bs: 1024, l: 8192 },
+        VarianceConfig { name: "V8", bs: 1024, l: 32768 },
+    ]
+}
+
+/// Table 3b: the eight moment-of-inertia configurations.
+pub fn inertia_configs() -> Vec<InertiaConfig> {
+    vec![
+        InertiaConfig { name: "I1", bs: 1, n: 8192, dim: 3 },
+        InertiaConfig { name: "I2", bs: 1, n: 32768, dim: 3 },
+        InertiaConfig { name: "I3", bs: 128, n: 8192, dim: 3 },
+        InertiaConfig { name: "I4", bs: 128, n: 32768, dim: 3 },
+        InertiaConfig { name: "I5", bs: 512, n: 8192, dim: 3 },
+        InertiaConfig { name: "I6", bs: 512, n: 32768, dim: 3 },
+        InertiaConfig { name: "I7", bs: 1024, n: 8192, dim: 3 },
+        InertiaConfig { name: "I8", bs: 1024, n: 32768, dim: 3 },
+    ]
+}
+
+/// A scaled-down variance configuration for fast tests and examples.
+pub fn variance_tiny() -> VarianceConfig {
+    VarianceConfig { name: "tiny", bs: 4, l: 256 }
+}
+
+/// A scaled-down moment-of-inertia configuration for fast tests and examples.
+pub fn inertia_tiny() -> InertiaConfig {
+    InertiaConfig { name: "tiny", bs: 4, n: 128, dim: 3 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_paper() {
+        let v = variance_configs();
+        let i = inertia_configs();
+        assert_eq!(v.len(), 8);
+        assert_eq!(i.len(), 8);
+        assert_eq!(v[0].bs, 1);
+        assert_eq!(v[7].l, 32768);
+        assert!(i.iter().all(|c| c.dim == 3));
+        assert_eq!(i[7].bs, 1024);
+    }
+
+    #[test]
+    fn accounting_scales_with_size() {
+        let v = variance_configs();
+        assert!(v[7].flops() > v[0].flops());
+        assert!(v[7].min_bytes() > v[0].min_bytes());
+        let i = inertia_configs();
+        assert!(i[7].particles() > i[0].particles());
+        assert!(i[3].flops() > i[2].flops());
+    }
+
+    #[test]
+    fn tiny_configs_are_small() {
+        assert!(variance_tiny().elements() <= 1024);
+        assert!(inertia_tiny().particles() <= 1024);
+    }
+}

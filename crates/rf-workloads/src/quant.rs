@@ -1,0 +1,99 @@
+//! FP8 PerToken Quant + GEMM configurations (Table 2d of the paper).
+//!
+//! The workload quantizes an activation matrix `[M, K]` to FP8 with per-token
+//! (per-row) dynamic scaling factors derived from an abs-max reduction, then
+//! multiplies with a weight matrix `[K, N]`.
+
+use crate::Precision;
+
+/// One Quant + GEMM configuration (a row of Table 2d).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuantGemmConfig {
+    /// Row name (`Q1..Q10`).
+    pub name: &'static str,
+    /// Number of tokens (rows of the activation matrix).
+    pub m: usize,
+    /// Output dimension (columns of the weight matrix).
+    pub n: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// The model this configuration is taken from.
+    pub model: &'static str,
+}
+
+impl QuantGemmConfig {
+    /// Floating-point operations: abs-max + scaling over `[M, K]`, then the GEMM.
+    pub fn flops(&self) -> u64 {
+        let quant = 3 * (self.m * self.k) as u64;
+        let gemm = 2 * (self.m * self.n * self.k) as u64;
+        quant + gemm
+    }
+
+    /// Minimal HBM traffic: activations read once (FP16), weights read once
+    /// (FP8), outputs written once (FP16), scales written once (FP32).
+    pub fn min_bytes(&self) -> u64 {
+        let act = (self.m * self.k) as u64 * Precision::Fp16.bytes() as u64;
+        let weights = (self.k * self.n) as u64 * Precision::Fp8.bytes() as u64;
+        let out = (self.m * self.n) as u64 * Precision::Fp16.bytes() as u64;
+        let scales = self.m as u64 * Precision::Fp32.bytes() as u64;
+        act + weights + out + scales
+    }
+
+    /// Bytes of the quantized activation matrix `[M, K]` in FP8, which unfused
+    /// execution writes after the quantization kernel and re-reads in the GEMM.
+    pub fn quantized_bytes(&self) -> u64 {
+        (self.m * self.k) as u64 * Precision::Fp8.bytes() as u64
+    }
+}
+
+/// Table 2d: the ten Quant + GEMM configurations.
+pub fn quant_configs() -> Vec<QuantGemmConfig> {
+    vec![
+        QuantGemmConfig { name: "Q1", m: 4096, n: 1536, k: 2560, model: "ERNIE-21B-A3B" },
+        QuantGemmConfig { name: "Q2", m: 4096, n: 2560, k: 1536, model: "ERNIE-21B-A3B" },
+        QuantGemmConfig { name: "Q3", m: 4096, n: 3584, k: 8192, model: "ERNIE-300B-A47B" },
+        QuantGemmConfig { name: "Q4", m: 4096, n: 8192, k: 3584, model: "ERNIE-300B-A47B" },
+        QuantGemmConfig { name: "Q5", m: 4096, n: 7168, k: 2048, model: "DeepSeek-R1" },
+        QuantGemmConfig { name: "Q6", m: 4096, n: 2048, k: 7168, model: "DeepSeek-R1" },
+        QuantGemmConfig { name: "Q7", m: 4096, n: 2048, k: 768, model: "Qwen3-30B-A3B" },
+        QuantGemmConfig { name: "Q8", m: 4096, n: 768, k: 2048, model: "Qwen3-30B-A3B" },
+        QuantGemmConfig { name: "Q9", m: 4096, n: 4096, k: 1536, model: "Qwen3-235B-A30B" },
+        QuantGemmConfig { name: "Q10", m: 4096, n: 1536, k: 4096, model: "Qwen3-235B-A30B" },
+    ]
+}
+
+/// A scaled-down configuration for fast tests and examples.
+pub fn quant_tiny() -> QuantGemmConfig {
+    QuantGemmConfig { name: "tiny", m: 8, n: 12, k: 16, model: "unit-test" }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2d_matches_paper() {
+        let configs = quant_configs();
+        assert_eq!(configs.len(), 10);
+        assert!(configs.iter().all(|c| c.m == 4096));
+        assert_eq!(configs[4].n, 7168);
+        assert_eq!(configs[5].k, 7168);
+        assert_eq!(configs[9].model, "Qwen3-235B-A30B");
+    }
+
+    #[test]
+    fn flops_dominated_by_gemm() {
+        for c in quant_configs() {
+            let gemm = 2 * (c.m * c.n * c.k) as u64;
+            assert!(c.flops() >= gemm);
+            assert!(c.flops() < gemm + gemm / 10);
+        }
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let c = quant_tiny();
+        assert!(c.min_bytes() > 0);
+        assert_eq!(c.quantized_bytes(), (c.m * c.k) as u64);
+    }
+}

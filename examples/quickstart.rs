@@ -1,0 +1,37 @@
+//! Quickstart: define a cascaded reduction, run the ACRF analysis, inspect the
+//! fused and incremental forms, and evaluate them numerically.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use redfuser::fusion::{acrf::analyze_cascade, patterns, CascadeInput, FusedTreeEvaluator, IncrementalEvaluator, NaiveCascadeEvaluator, TreeShape};
+use redfuser::workloads::random_vec;
+
+fn main() {
+    // 1. A cascaded reduction: safe softmax (max reduction, then sum of
+    //    shifted exponentials that depends on the max).
+    let cascade = patterns::safe_softmax();
+    println!("{cascade}");
+
+    // 2. The ACRF analysis decides fusibility and extracts G/H per reduction.
+    let plan = analyze_cascade(&cascade).expect("safe softmax is fusable");
+    println!("{}", plan.report());
+
+    // 3. Evaluate the cascade three ways on the same input: the unfused
+    //    chain of reduction trees, the fused single pass (incremental form),
+    //    and the fused reduction tree with a GPU-style level hierarchy.
+    let input = CascadeInput::single("x", random_vec(4096, 7, -3.0, 3.0));
+    let naive = NaiveCascadeEvaluator::new().evaluate(&cascade, &input);
+    let streaming = IncrementalEvaluator::new().evaluate(&plan, &input);
+    let shape = TreeShape::gpu_hierarchy(4096, 256, 8, 4);
+    let tree = FusedTreeEvaluator::new().evaluate(&plan, &input, &shape);
+
+    println!("reduction tree shape: {shape}");
+    println!("{:<12}{:>20}{:>20}{:>20}", "result", "unfused", "fused streaming", "fused tree");
+    for (i, name) in cascade.result_names().iter().enumerate() {
+        println!("{:<12}{:>20.12}{:>20.12}{:>20.12}", name, naive[i], streaming[i], tree[i]);
+    }
+
+    // 4. A non-fusable cascade is rejected with a precise reason.
+    let rejected = analyze_cascade(&patterns::non_decomposable_variance()).unwrap_err();
+    println!("\ntwo-pass variance: {rejected}");
+}

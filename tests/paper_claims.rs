@@ -1,0 +1,100 @@
+//! Integration tests pinning the qualitative claims of the paper's evaluation
+//! (the "shape" of every table and figure), so regressions in any crate that
+//! would change a conclusion are caught by `cargo test --workspace`.
+
+use redfuser::algebra::{compatible_combine, BinaryOp, LawReport, ReduceOp};
+use redfuser::codegen::{fusion_level_latency, incremental_sweep, FusionLevel};
+use redfuser::fusion::{acrf::analyze_cascade, patterns, TreeShape};
+use redfuser::gpusim::GpuArch;
+
+#[test]
+fn table1_pairs_satisfy_the_fusion_feasibility_conditions() {
+    for reduce in ReduceOp::ALL {
+        let report = LawReport::evaluate(reduce.fusion_plus(), compatible_combine(reduce));
+        assert!(report.all_hold(), "{reduce}: {report:?}");
+    }
+    assert_eq!(compatible_combine(ReduceOp::Max), BinaryOp::Add);
+    assert_eq!(compatible_combine(ReduceOp::Sum), BinaryOp::Mul);
+}
+
+#[test]
+fn every_paper_pattern_is_fusable_and_flash_attention_is_a_special_case() {
+    for spec in patterns::all_fusable() {
+        let plan = analyze_cascade(&spec).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        assert_eq!(plan.len(), spec.reductions.len());
+    }
+    // Appendix A.2.1: the attention cascade's incremental form is exactly the
+    // FlashAttention online-softmax update (one correction per dependent
+    // reduction: the sum and the output, but not the max).
+    let plan = analyze_cascade(&patterns::attention_row()).unwrap();
+    assert_eq!(plan.corrections_per_element(), 2);
+}
+
+#[test]
+fn figure6a_all_levels_help_and_intra_block_wins() {
+    let arch = GpuArch::a10();
+    for size in [1024usize, 2048, 4096, 8192] {
+        let reports: Vec<_> = FusionLevel::ALL
+            .iter()
+            .map(|&l| fusion_level_latency(&arch, 4096, size, l))
+            .collect();
+        for report in &reports {
+            assert!(report.normalized > 1.0, "{} at {size}", report.level.name());
+        }
+        let best = reports
+            .iter()
+            .max_by(|a, b| a.normalized.partial_cmp(&b.normalized).unwrap())
+            .unwrap();
+        assert_eq!(best.level, FusionLevel::IntraBlock, "size {size}");
+    }
+}
+
+#[test]
+fn figure6b_incremental_mode_unlocks_configurations_non_incremental_cannot_reach() {
+    let arch = GpuArch::a10();
+    let points: Vec<usize> = vec![32, 64, 96, 112, 128, 256, 512];
+    let sweep = incremental_sweep(&arch, 32 * 12 * 512, 512, 64, &points);
+    // Non-incremental execution is only feasible for short per-CTA segments…
+    assert!(sweep.iter().any(|p| p.non_incremental_us.is_some()));
+    assert!(sweep.iter().any(|p| p.non_incremental_us.is_none()));
+    // …and where it is feasible it is at least as fast (no corrections),
+    // which is the §5.4 trade-off.
+    for p in &sweep {
+        if let Some(non_inc) = p.non_incremental_us {
+            assert!(non_inc <= p.incremental_us * 1.001, "kv_per_cta = {}", p.kv_per_cta);
+        }
+    }
+    // The whole sweep is reachable incrementally.
+    assert!(sweep.iter().all(|p| p.incremental_us.is_finite()));
+}
+
+#[test]
+fn figure7_fusion_reduces_dependency_and_input_traffic() {
+    let shape = TreeShape::new(vec![8192, 256, 8, 1]).unwrap();
+    let unfused = shape.dependency_loads(None);
+    let mut previous = unfused;
+    for k in 1..=shape.depth() {
+        let fused = shape.dependency_loads(Some(k));
+        assert!(fused < previous, "level {k} must reduce dependency loads further");
+        previous = fused;
+    }
+    assert_eq!(shape.input_loads(3, 1, true) * 3, shape.input_loads(3, 1, false));
+}
+
+#[test]
+fn table2_and_table3_configurations_match_the_paper() {
+    use redfuser::workloads as w;
+    assert_eq!(w::mha_configs().len(), 9);
+    assert_eq!(w::mla_configs().len(), 9);
+    assert_eq!(w::moe_configs().len(), 8);
+    assert_eq!(w::quant_configs().len(), 10);
+    assert_eq!(w::variance_configs().len(), 8);
+    assert_eq!(w::inertia_configs().len(), 8);
+    // Spot-check a few rows against the printed tables.
+    let h7 = &w::mha_configs()[6];
+    assert_eq!((h7.bs, h7.hn, h7.q, h7.kv, h7.hd), (32, 64, 1, 1024, 128));
+    let r6 = &w::moe_configs()[5];
+    assert_eq!((r6.s, r6.hd, r6.en, r6.topk), (2048, 2048, 64, 6));
+    let q5 = &w::quant_configs()[4];
+    assert_eq!((q5.m, q5.n, q5.k), (4096, 7168, 2048));
+}
