@@ -19,7 +19,9 @@ pub mod op;
 pub mod reduce;
 pub mod table1;
 
-pub use laws::{check_associative, check_commutative, check_distributes_over, check_identity, LawReport};
+pub use laws::{
+    check_associative, check_commutative, check_distributes_over, check_identity, LawReport,
+};
 pub use op::BinaryOp;
 pub use reduce::ReduceOp;
 pub use table1::compatible_combine;

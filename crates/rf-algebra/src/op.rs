@@ -160,7 +160,10 @@ mod tests {
     #[test]
     fn inverse_add() {
         assert_eq!(BinaryOp::Add.inverse(3.0), Some(-3.0));
-        assert_eq!(BinaryOp::Add.apply(3.0, BinaryOp::Add.inverse(3.0).unwrap()), 0.0);
+        assert_eq!(
+            BinaryOp::Add.apply(3.0, BinaryOp::Add.inverse(3.0).unwrap()),
+            0.0
+        );
     }
 
     #[test]

@@ -92,9 +92,7 @@ impl ReduceOp {
     pub fn reduce_segmented(self, values: &[f64], segments: usize) -> f64 {
         assert!(segments > 0, "segments must be positive");
         let chunk = values.len().div_ceil(segments.max(1)).max(1);
-        let partials = values
-            .chunks(chunk)
-            .map(|c| self.reduce(c.iter().copied()));
+        let partials = values.chunks(chunk).map(|c| self.reduce(c.iter().copied()));
         self.reduce(partials)
     }
 

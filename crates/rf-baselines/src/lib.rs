@@ -28,7 +28,9 @@
 pub mod ops;
 pub mod sequences;
 
-pub use ops::{inertia_op_list, mha_op_list, mla_op_list, moe_op_list, quant_op_list, variance_op_list, OpSpec};
+pub use ops::{
+    inertia_op_list, mha_op_list, mla_op_list, moe_op_list, quant_op_list, variance_op_list, OpSpec,
+};
 pub use sequences::{flash_attention2_profile, flash_mla_profile, CompilerBaseline};
 
 #[cfg(test)]
@@ -44,6 +46,9 @@ mod tests {
         let ops = mha_op_list(config);
         let eager = sequence_latency(&arch, &CompilerBaseline::PyTorchEager.kernels(&ops));
         let dynamo = sequence_latency(&arch, &CompilerBaseline::Dynamo.kernels(&ops));
-        assert!(dynamo < eager, "inductor-style elementwise fusion must help");
+        assert!(
+            dynamo < eager,
+            "inductor-style elementwise fusion must help"
+        );
     }
 }

@@ -6,7 +6,9 @@
 //! [`crate::sequences`] then decide which of these operators share a kernel
 //! and which intermediates are actually spilled.
 
-use rf_workloads::{InertiaConfig, MhaConfig, MlaConfig, MoeConfig, Precision, QuantGemmConfig, VarianceConfig};
+use rf_workloads::{
+    InertiaConfig, MhaConfig, MlaConfig, MoeConfig, Precision, QuantGemmConfig, VarianceConfig,
+};
 
 /// One framework-level operator.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,12 +73,36 @@ pub fn mha_op_list(c: &MhaConfig) -> Vec<OpSpec> {
     let score_bytes = rows * kv * E16;
     let stat_bytes = rows * E32;
     vec![
-        OpSpec::new("gemm_qk", 2 * rows * kv * hd, q_bytes + kv_bytes, score_bytes).gemm(),
+        OpSpec::new(
+            "gemm_qk",
+            2 * rows * kv * hd,
+            q_bytes + kv_bytes,
+            score_bytes,
+        )
+        .gemm(),
         OpSpec::new("softmax_max", rows * kv, score_bytes, stat_bytes),
-        OpSpec::new("softmax_shift_exp", 2 * rows * kv, score_bytes + stat_bytes, score_bytes).elementwise(),
+        OpSpec::new(
+            "softmax_shift_exp",
+            2 * rows * kv,
+            score_bytes + stat_bytes,
+            score_bytes,
+        )
+        .elementwise(),
         OpSpec::new("softmax_sum", rows * kv, score_bytes, stat_bytes),
-        OpSpec::new("softmax_div", rows * kv, score_bytes + stat_bytes, score_bytes).elementwise(),
-        OpSpec::new("gemm_pv", 2 * rows * kv * hd, score_bytes + kv_bytes, q_bytes).gemm(),
+        OpSpec::new(
+            "softmax_div",
+            rows * kv,
+            score_bytes + stat_bytes,
+            score_bytes,
+        )
+        .elementwise(),
+        OpSpec::new(
+            "gemm_pv",
+            2 * rows * kv * hd,
+            score_bytes + kv_bytes,
+            q_bytes,
+        )
+        .gemm(),
     ]
 }
 
@@ -92,12 +118,36 @@ pub fn mla_op_list(c: &MlaConfig) -> Vec<OpSpec> {
     let stat_bytes = rows * E32;
     let out_bytes = rows * hd * E16;
     vec![
-        OpSpec::new("gemm_qk", 2 * rows * kv * qk_dim, q_bytes + kv_cache_bytes, score_bytes).gemm(),
+        OpSpec::new(
+            "gemm_qk",
+            2 * rows * kv * qk_dim,
+            q_bytes + kv_cache_bytes,
+            score_bytes,
+        )
+        .gemm(),
         OpSpec::new("softmax_max", rows * kv, score_bytes, stat_bytes),
-        OpSpec::new("softmax_shift_exp", 2 * rows * kv, score_bytes + stat_bytes, score_bytes).elementwise(),
+        OpSpec::new(
+            "softmax_shift_exp",
+            2 * rows * kv,
+            score_bytes + stat_bytes,
+            score_bytes,
+        )
+        .elementwise(),
         OpSpec::new("softmax_sum", rows * kv, score_bytes, stat_bytes),
-        OpSpec::new("softmax_div", rows * kv, score_bytes + stat_bytes, score_bytes).elementwise(),
-        OpSpec::new("gemm_pv", 2 * rows * kv * hd, score_bytes + kv_cache_bytes, out_bytes).gemm(),
+        OpSpec::new(
+            "softmax_div",
+            rows * kv,
+            score_bytes + stat_bytes,
+            score_bytes,
+        )
+        .elementwise(),
+        OpSpec::new(
+            "gemm_pv",
+            2 * rows * kv * hd,
+            score_bytes + kv_cache_bytes,
+            out_bytes,
+        )
+        .gemm(),
     ]
 }
 
@@ -113,12 +163,29 @@ pub fn moe_op_list(c: &MoeConfig) -> Vec<OpSpec> {
     let stat_bytes = s * E32;
     let out_bytes = s * c.topk as u64 * (E32 + 4);
     vec![
-        OpSpec::new("gemm_scores", 2 * s * hd * en, act_bytes + w_bytes, score_bytes).gemm(),
+        OpSpec::new(
+            "gemm_scores",
+            2 * s * hd * en,
+            act_bytes + w_bytes,
+            score_bytes,
+        )
+        .gemm(),
         OpSpec::new("softmax_max", s * en, score_bytes, stat_bytes),
-        OpSpec::new("softmax_shift_exp", 2 * s * en, score_bytes + stat_bytes, score_bytes).elementwise(),
+        OpSpec::new(
+            "softmax_shift_exp",
+            2 * s * en,
+            score_bytes + stat_bytes,
+            score_bytes,
+        )
+        .elementwise(),
         OpSpec::new("softmax_sum", s * en, score_bytes, stat_bytes),
         OpSpec::new("softmax_div", s * en, score_bytes + stat_bytes, score_bytes).elementwise(),
-        OpSpec::new("topk", s * en * (c.topk.max(2) as u64).ilog2() as u64, score_bytes, out_bytes),
+        OpSpec::new(
+            "topk",
+            s * en * (c.topk.max(2) as u64).ilog2() as u64,
+            score_bytes,
+            out_bytes,
+        ),
     ]
 }
 
@@ -150,7 +217,13 @@ pub fn variance_op_list(c: &VarianceConfig) -> Vec<OpSpec> {
     let stat_bytes = c.bs as u64 * E32;
     vec![
         OpSpec::new("mean", elems, data_bytes, stat_bytes),
-        OpSpec::new("centre_square", 2 * elems, data_bytes + stat_bytes, data_bytes).elementwise(),
+        OpSpec::new(
+            "centre_square",
+            2 * elems,
+            data_bytes + stat_bytes,
+            data_bytes,
+        )
+        .elementwise(),
         OpSpec::new("mean_of_squares", elems, data_bytes, stat_bytes),
     ]
 }
@@ -166,9 +239,26 @@ pub fn inertia_op_list(c: &InertiaConfig) -> Vec<OpSpec> {
     let centre_bytes = c.bs as u64 * dim * E32;
     vec![
         OpSpec::new("mass_sum", particles, mass_bytes, stat_bytes),
-        OpSpec::new("weighted_position_sum", 2 * particles * dim, mass_bytes + pos_bytes, centre_bytes),
-        OpSpec::new("centre_divide", c.bs as u64 * dim, centre_bytes + stat_bytes, centre_bytes).elementwise(),
-        OpSpec::new("centred_norm_sq", 3 * particles * dim, pos_bytes + centre_bytes, mass_bytes).elementwise(),
+        OpSpec::new(
+            "weighted_position_sum",
+            2 * particles * dim,
+            mass_bytes + pos_bytes,
+            centre_bytes,
+        ),
+        OpSpec::new(
+            "centre_divide",
+            c.bs as u64 * dim,
+            centre_bytes + stat_bytes,
+            centre_bytes,
+        )
+        .elementwise(),
+        OpSpec::new(
+            "centred_norm_sq",
+            3 * particles * dim,
+            pos_bytes + centre_bytes,
+            mass_bytes,
+        )
+        .elementwise(),
         OpSpec::new("weighted_sum", 2 * particles, 2 * mass_bytes, stat_bytes),
     ]
 }
@@ -176,7 +266,9 @@ pub fn inertia_op_list(c: &InertiaConfig) -> Vec<OpSpec> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rf_workloads::{inertia_configs, mha_configs, mla_configs, moe_configs, quant_configs, variance_configs};
+    use rf_workloads::{
+        inertia_configs, mha_configs, mla_configs, moe_configs, quant_configs, variance_configs,
+    };
 
     #[test]
     fn every_workload_has_a_nonempty_op_list() {
@@ -208,7 +300,11 @@ mod tests {
     #[test]
     fn elementwise_flags_mark_fusable_ops() {
         let ops = mha_op_list(&mha_configs()[0]);
-        let elementwise: Vec<&str> = ops.iter().filter(|o| o.elementwise).map(|o| o.name.as_str()).collect();
+        let elementwise: Vec<&str> = ops
+            .iter()
+            .filter(|o| o.elementwise)
+            .map(|o| o.name.as_str())
+            .collect();
         assert_eq!(elementwise, vec!["softmax_shift_exp", "softmax_div"]);
     }
 }

@@ -21,8 +21,11 @@ pub enum CompilerBaseline {
 
 impl CompilerBaseline {
     /// All baselines, in the paper's presentation order.
-    pub const ALL: [CompilerBaseline; 3] =
-        [CompilerBaseline::PyTorchEager, CompilerBaseline::Dynamo, CompilerBaseline::Tvm];
+    pub const ALL: [CompilerBaseline; 3] = [
+        CompilerBaseline::PyTorchEager,
+        CompilerBaseline::Dynamo,
+        CompilerBaseline::Tvm,
+    ];
 
     /// Display name used in reports.
     pub fn name(self) -> &'static str {
@@ -36,7 +39,9 @@ impl CompilerBaseline {
     /// Lowers an operator list into the kernel sequence this baseline launches.
     pub fn kernels(self, ops: &[OpSpec]) -> Vec<KernelProfile> {
         match self {
-            CompilerBaseline::PyTorchEager => ops.iter().map(|op| profile_for(op, 0.55, false)).collect(),
+            CompilerBaseline::PyTorchEager => {
+                ops.iter().map(|op| profile_for(op, 0.55, false)).collect()
+            }
             CompilerBaseline::Tvm => ops.iter().map(|op| profile_for(op, 0.40, true)).collect(),
             CompilerBaseline::Dynamo => {
                 // Fuse each element-wise op into the kernel before it: the
@@ -69,7 +74,11 @@ impl CompilerBaseline {
 
 fn profile_for(op: &OpSpec, gemm_efficiency: f64, force_fp32_gemm: bool) -> KernelProfile {
     let bytes = op.total_bytes();
-    let precision = if op.gemm && force_fp32_gemm { "fp32" } else { op.precision };
+    let precision = if op.gemm && force_fp32_gemm {
+        "fp32"
+    } else {
+        op.precision
+    };
     let efficiency = if op.gemm { gemm_efficiency } else { 0.5 };
     KernelProfile {
         name: op.name.clone(),
@@ -112,7 +121,8 @@ pub fn flash_attention2_profile(c: &MhaConfig) -> KernelProfile {
 /// partial outputs and statistics once.
 pub fn flash_mla_profile(c: &MlaConfig) -> KernelProfile {
     let splits = 2u64;
-    let partial_bytes = 2 * splits * (c.rows() * (c.hd + 2)) as u64 * Precision::Fp32.bytes() as u64;
+    let partial_bytes =
+        2 * splits * (c.rows() * (c.hd + 2)) as u64 * Precision::Fp32.bytes() as u64;
     KernelProfile {
         name: format!("flash_mla_{}", c.name),
         flops: c.flops(),
@@ -140,7 +150,11 @@ mod tests {
         let eager = CompilerBaseline::PyTorchEager.kernels(&ops);
         let dynamo = CompilerBaseline::Dynamo.kernels(&ops);
         assert_eq!(eager.len(), 6);
-        assert_eq!(dynamo.len(), 4, "two element-wise ops fold into their producers");
+        assert_eq!(
+            dynamo.len(),
+            4,
+            "two element-wise ops fold into their producers"
+        );
         let eager_bytes: u64 = eager.iter().map(|k| k.hbm_bytes).sum();
         let dynamo_bytes: u64 = dynamo.iter().map(|k| k.hbm_bytes).sum();
         assert!(dynamo_bytes < eager_bytes);
@@ -153,7 +167,11 @@ mod tests {
             let ops = quant_op_list(config);
             let eager = sequence_latency(&arch, &CompilerBaseline::PyTorchEager.kernels(&ops));
             let tvm = sequence_latency(&arch, &CompilerBaseline::Tvm.kernels(&ops));
-            assert!(tvm > eager, "{}: TVM without tensor cores must trail eager", config.name);
+            assert!(
+                tvm > eager,
+                "{}: TVM without tensor cores must trail eager",
+                config.name
+            );
         }
     }
 

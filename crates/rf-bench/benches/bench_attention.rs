@@ -12,8 +12,12 @@ fn bench_attention(c: &mut Criterion) {
     let scale = 1.0 / (d as f64).sqrt();
     let mut group = c.benchmark_group("attention");
     group.bench_function("naive", |b| b.iter(|| attention_naive(&q, &k, &v, scale)));
-    group.bench_function("flash_attention", |b| b.iter(|| flash_attention(&q, &k, &v, scale, 64)));
-    group.bench_function("flash_decoding_4_splits", |b| b.iter(|| flash_decoding(&q, &k, &v, scale, 4, 64)));
+    group.bench_function("flash_attention", |b| {
+        b.iter(|| flash_attention(&q, &k, &v, scale, 64))
+    });
+    group.bench_function("flash_decoding_4_splits", |b| {
+        b.iter(|| flash_decoding(&q, &k, &v, scale, 4, 64))
+    });
     group.finish();
 }
 

@@ -1,13 +1,19 @@
 //! Criterion benchmark: cost of the ACRF analysis and of the generic fused
 //! evaluators themselves (the compiler-side overhead of RedFuser).
 use criterion::{criterion_group, criterion_main, Criterion};
-use rf_fusion::{analyze_cascade, patterns, CascadeInput, IncrementalEvaluator, NaiveCascadeEvaluator};
+use rf_fusion::{
+    analyze_cascade, patterns, CascadeInput, IncrementalEvaluator, NaiveCascadeEvaluator,
+};
 use rf_workloads::random_vec;
 
 fn bench_fusion_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("fusion_engine");
-    group.bench_function("acrf_attention_row", |b| b.iter(|| analyze_cascade(&patterns::attention_row()).unwrap()));
-    group.bench_function("acrf_quant_gemm", |b| b.iter(|| analyze_cascade(&patterns::fp8_quant_gemm()).unwrap()));
+    group.bench_function("acrf_attention_row", |b| {
+        b.iter(|| analyze_cascade(&patterns::attention_row()).unwrap())
+    });
+    group.bench_function("acrf_quant_gemm", |b| {
+        b.iter(|| analyze_cascade(&patterns::fp8_quant_gemm()).unwrap())
+    });
 
     let spec = patterns::attention_row();
     let plan = analyze_cascade(&spec).unwrap();

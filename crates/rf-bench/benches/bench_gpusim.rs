@@ -6,9 +6,16 @@ use rf_gpusim::{estimate_latency, GpuArch, KernelProfile};
 
 fn bench_gpusim(c: &mut Criterion) {
     let arch = GpuArch::h800();
-    let profile = KernelProfile { flops: 1 << 30, hbm_bytes: 1 << 26, blocks: 4096, ..Default::default() };
+    let profile = KernelProfile {
+        flops: 1 << 30,
+        hbm_bytes: 1 << 26,
+        blocks: 4096,
+        ..Default::default()
+    };
     let mut group = c.benchmark_group("gpusim");
-    group.bench_function("estimate_latency", |b| b.iter(|| estimate_latency(&arch, &profile)));
+    group.bench_function("estimate_latency", |b| {
+        b.iter(|| estimate_latency(&arch, &profile))
+    });
     let config = rf_workloads::mha_configs()[1].clone();
     group.bench_function("compile_and_autotune_mha", |b| {
         b.iter(|| compile_workload(&Workload::Mha(config.clone()), &arch))

@@ -1,6 +1,8 @@
 //! Criterion benchmark: unfused vs fused variance and moment of inertia.
 use criterion::{criterion_group, criterion_main, Criterion};
-use rf_kernels::nonml::{inertia_fused, inertia_naive, variance_fused, variance_naive, variance_welford};
+use rf_kernels::nonml::{
+    inertia_fused, inertia_naive, variance_fused, variance_naive, variance_welford,
+};
 use rf_workloads::{random_vec, Matrix};
 
 fn bench_nonml(c: &mut Criterion) {
@@ -11,8 +13,12 @@ fn bench_nonml(c: &mut Criterion) {
     group.bench_function("variance_unfused", |b| b.iter(|| variance_naive(&x)));
     group.bench_function("variance_fused", |b| b.iter(|| variance_fused(&x)));
     group.bench_function("variance_welford", |b| b.iter(|| variance_welford(&x)));
-    group.bench_function("inertia_unfused", |b| b.iter(|| inertia_naive(&masses, &positions)));
-    group.bench_function("inertia_fused", |b| b.iter(|| inertia_fused(&masses, &positions)));
+    group.bench_function("inertia_unfused", |b| {
+        b.iter(|| inertia_naive(&masses, &positions))
+    });
+    group.bench_function("inertia_fused", |b| {
+        b.iter(|| inertia_fused(&masses, &positions))
+    });
     group.finish();
 }
 

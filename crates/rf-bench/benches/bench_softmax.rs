@@ -7,8 +7,12 @@ fn bench_softmax(c: &mut Criterion) {
     let mut group = c.benchmark_group("softmax");
     for len in [1024usize, 8192] {
         let x = random_vec(len, 42, -4.0, 4.0);
-        group.bench_with_input(BenchmarkId::new("unfused", len), &x, |b, x| b.iter(|| softmax_naive(x)));
-        group.bench_with_input(BenchmarkId::new("fused_online", len), &x, |b, x| b.iter(|| softmax_online(x)));
+        group.bench_with_input(BenchmarkId::new("unfused", len), &x, |b, x| {
+            b.iter(|| softmax_naive(x))
+        });
+        group.bench_with_input(BenchmarkId::new("fused_online", len), &x, |b, x| {
+            b.iter(|| softmax_online(x))
+        });
     }
     group.finish();
 }

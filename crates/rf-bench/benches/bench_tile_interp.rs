@@ -16,8 +16,12 @@ fn bench_tile_interp(c: &mut Criterion) {
     ]);
     let interp = Interpreter::new();
     let mut group = c.benchmark_group("tir_interpreter");
-    group.bench_function("unfused_attention_row", |b| b.iter(|| interp.run(&unfused, &inputs).unwrap()));
-    group.bench_function("fused_attention_row", |b| b.iter(|| interp.run(&fused, &inputs).unwrap()));
+    group.bench_function("unfused_attention_row", |b| {
+        b.iter(|| interp.run(&unfused, &inputs).unwrap())
+    });
+    group.bench_function("fused_attention_row", |b| {
+        b.iter(|| interp.run(&fused, &inputs).unwrap())
+    });
     group.bench_function("detect_and_fuse", |b| {
         b.iter(|| {
             let d = detect_cascade(&unfused).unwrap();

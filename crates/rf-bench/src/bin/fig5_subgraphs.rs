@@ -7,13 +7,30 @@ use rf_gpusim::GpuArch;
 fn main() {
     let a10 = GpuArch::a10();
     let h800 = GpuArch::h800();
-    let mha = print_normalized_table("Figure 5a: MHA on A10 (speedup vs PyTorch Eager)", &eval::mha_rows(&a10));
-    let mla = print_normalized_table("Figure 5b: MLA on H800 (speedup vs PyTorch Eager)", &eval::mla_rows(&h800));
-    let moe = print_normalized_table("Figure 5c: MoE routing on A10 (speedup vs PyTorch Eager)", &eval::moe_rows(&a10));
-    let quant = print_normalized_table("Figure 5d: FP8 PerToken Quant+GEMM on H800 (speedup vs PyTorch Eager)", &eval::quant_rows(&h800));
+    let mha = print_normalized_table(
+        "Figure 5a: MHA on A10 (speedup vs PyTorch Eager)",
+        &eval::mha_rows(&a10),
+    );
+    let mla = print_normalized_table(
+        "Figure 5b: MLA on H800 (speedup vs PyTorch Eager)",
+        &eval::mla_rows(&h800),
+    );
+    let moe = print_normalized_table(
+        "Figure 5c: MoE routing on A10 (speedup vs PyTorch Eager)",
+        &eval::moe_rows(&a10),
+    );
+    let quant = print_normalized_table(
+        "Figure 5d: FP8 PerToken Quant+GEMM on H800 (speedup vs PyTorch Eager)",
+        &eval::quant_rows(&h800),
+    );
 
     println!("\n=== Headline comparison with the paper (§5.2) ===");
-    let pick = |geo: &[(String, f64)], name: &str| geo.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap_or(f64::NAN);
+    let pick = |geo: &[(String, f64)], name: &str| {
+        geo.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(f64::NAN)
+    };
     println!(
         "MHA: RedFuser / FlashAttention2 = {:.2} (paper: 1.09), RedFuser / Dynamo = {:.1} (paper: 2.8 on LLaMA-65B)",
         pick(&mha, "RedFuser") / pick(&mha, "FlashAttention2"),

@@ -7,8 +7,14 @@ use rf_gpusim::GpuArch;
 fn main() {
     let arch = GpuArch::a10();
     let rows = 4096;
-    println!("Figure 6a: normalized performance of fusion levels (safe softmax, {})", arch.name);
-    println!("{:<10}{:>16}{:>16}{:>16}{:>16}", "size", "intra-thread", "intra-warp", "intra-block", "inter-block");
+    println!(
+        "Figure 6a: normalized performance of fusion levels (safe softmax, {})",
+        arch.name
+    );
+    println!(
+        "{:<10}{:>16}{:>16}{:>16}{:>16}",
+        "size", "intra-thread", "intra-warp", "intra-block", "inter-block"
+    );
     for size in [1024usize, 2048, 4096, 8192] {
         print!("{size:<10}");
         for level in FusionLevel::ALL {

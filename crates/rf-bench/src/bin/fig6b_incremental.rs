@@ -9,17 +9,27 @@ fn main() {
     let arch = GpuArch::a10();
     // BERT-base: 12 heads, batch 32, sequence length 512, head dim 64.
     let rows = 32 * 12 * 512;
-    let points: Vec<usize> = vec![16, 32, 48, 64, 80, 96, 112, 128, 160, 192, 256, 320, 384, 448, 512];
+    let points: Vec<usize> = vec![
+        16, 32, 48, 64, 80, 96, 112, 128, 160, 192, 256, 320, 384, 448, 512,
+    ];
     let sweep = incremental_sweep(&arch, rows, 512, 64, &points);
     let max_us = sweep
         .iter()
         .flat_map(|p| [Some(p.incremental_us), p.non_incremental_us])
         .flatten()
         .fold(0.0f64, f64::max);
-    println!("Figure 6b: incremental vs non-incremental ({}, BERT-base attention)", arch.name);
+    println!(
+        "Figure 6b: incremental vs non-incremental ({}, BERT-base attention)",
+        arch.name
+    );
     println!(
         "{:>12}{:>14}{:>16}{:>22}{:>18}{:>24}",
-        "kv per CTA", "waves/SM", "incremental", "non-incremental", "incr (norm)", "non-incr (norm)"
+        "kv per CTA",
+        "waves/SM",
+        "incremental",
+        "non-incremental",
+        "incr (norm)",
+        "non-incr (norm)"
     );
     for p in &sweep {
         println!(
@@ -27,7 +37,9 @@ fn main() {
             p.kv_per_cta,
             p.waves_per_sm,
             format_us(p.incremental_us),
-            p.non_incremental_us.map(format_us).unwrap_or_else(|| "infeasible".into()),
+            p.non_incremental_us
+                .map(format_us)
+                .unwrap_or_else(|| "infeasible".into()),
             max_us / p.incremental_us,
             p.non_incremental_us
                 .map(|us| format!("{:.3}", max_us / us))

@@ -8,7 +8,11 @@ fn main() {
     println!("{:<24}{:>18}", "fusion", "loads of d_K");
     println!("{:<24}{:>18}", "unfused", shape.dependency_loads(None));
     for k in 1..=shape.depth() {
-        println!("{:<24}{:>18}", format!("fused at level {k}"), shape.dependency_loads(Some(k)));
+        println!(
+            "{:<24}{:>18}",
+            format!("fused at level {k}"),
+            shape.dependency_loads(Some(k))
+        );
     }
     println!("\nInput loads for a 3-reduction cascade over 2 input vectors:");
     println!("  unfused: {}", shape.input_loads(3, 2, false));

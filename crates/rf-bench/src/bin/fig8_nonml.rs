@@ -6,14 +6,25 @@ use rf_gpusim::GpuArch;
 fn main() {
     for arch in GpuArch::all() {
         let variance = print_normalized_table(
-            &format!("Figure 8: variance on {} (speedup vs PyTorch Eager)", arch.name),
+            &format!(
+                "Figure 8: variance on {} (speedup vs PyTorch Eager)",
+                arch.name
+            ),
             &eval::variance_rows(&arch),
         );
         let inertia = print_normalized_table(
-            &format!("Figure 8: moment of inertia on {} (speedup vs PyTorch Eager)", arch.name),
+            &format!(
+                "Figure 8: moment of inertia on {} (speedup vs PyTorch Eager)",
+                arch.name
+            ),
             &eval::inertia_rows(&arch),
         );
-        let pick = |geo: &[(String, f64)]| geo.iter().find(|(n, _)| n == "RedFuser").map(|(_, v)| *v).unwrap_or(f64::NAN);
+        let pick = |geo: &[(String, f64)]| {
+            geo.iter()
+                .find(|(n, _)| n == "RedFuser")
+                .map(|(_, v)| *v)
+                .unwrap_or(f64::NAN)
+        };
         println!(
             "summary on {}: RedFuser vs Eager — variance {:.1}x (paper: 2.9-4.8x), inertia {:.1}x (paper: 5.5-11.6x)",
             arch.name,

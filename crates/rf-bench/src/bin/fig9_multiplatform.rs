@@ -7,7 +7,10 @@ fn main() {
     for name in ["a100", "h800", "mi308x"] {
         let arch = GpuArch::by_name(name).expect("known architecture");
         print_normalized_table(
-            &format!("Figure 9: MoE routing on {} (speedup vs PyTorch Eager)", arch.name),
+            &format!(
+                "Figure 9: MoE routing on {} (speedup vs PyTorch Eager)",
+                arch.name
+            ),
             &eval::moe_rows(&arch),
         );
         print_normalized_table(

@@ -2,16 +2,26 @@
 //! `⊗`, with the distributivity of every pair verified numerically.
 fn main() {
     println!("Table 1: common reduction operations and their binary operators\n");
-    println!("{:<40}{:>8}{:>8}{:>16}", "Reduction operation R_i", "⊕_i", "⊗_i", "distributive?");
+    println!(
+        "{:<40}{:>8}{:>8}{:>16}",
+        "Reduction operation R_i", "⊕_i", "⊗_i", "distributive?"
+    );
     for row in rf_algebra::table1::table1() {
         let ok = rf_algebra::table1::verify_distributivity(row.plus, row.times);
-        println!("{:<40}{:>8}{:>8}{:>16}", row.family, row.plus.to_string(), row.times.to_string(), ok);
+        println!(
+            "{:<40}{:>8}{:>8}{:>16}",
+            row.family,
+            row.plus.to_string(),
+            row.times.to_string(),
+            ok
+        );
     }
     println!("\nFixed-point decomposition of the paper's patterns (ACRF, Algorithm 1):\n");
     for spec in rf_fusion::patterns::all_fusable() {
         let plan = rf_fusion::analyze_cascade(&spec).expect("pattern is fusable");
         println!("{}", plan.report());
     }
-    let err = rf_fusion::analyze_cascade(&rf_fusion::patterns::non_decomposable_variance()).unwrap_err();
+    let err =
+        rf_fusion::analyze_cascade(&rf_fusion::patterns::non_decomposable_variance()).unwrap_err();
     println!("two_pass_variance: {err}");
 }

@@ -6,15 +6,20 @@
 //! Eager exactly as the paper's figures do.
 
 use rf_baselines::{
-    flash_attention2_profile, flash_mla_profile, inertia_op_list, mha_op_list, mla_op_list, moe_op_list,
-    quant_op_list, variance_op_list, CompilerBaseline, OpSpec,
+    flash_attention2_profile, flash_mla_profile, inertia_op_list, mha_op_list, mla_op_list,
+    moe_op_list, quant_op_list, variance_op_list, CompilerBaseline, OpSpec,
 };
 use rf_codegen::{compile_workload, Workload};
 use rf_gpusim::{estimate_latency, sequence_latency, GpuArch, KernelProfile};
 
 use crate::NormalizedRow;
 
-fn baseline_speedups(arch: &GpuArch, ops: &[OpSpec], extra: &[(&str, f64)], redfuser_us: f64) -> Vec<(String, f64)> {
+fn baseline_speedups(
+    arch: &GpuArch,
+    ops: &[OpSpec],
+    extra: &[(&str, f64)],
+    redfuser_us: f64,
+) -> Vec<(String, f64)> {
     let eager = sequence_latency(arch, &CompilerBaseline::PyTorchEager.kernels(ops));
     let mut speedups = vec![("PyTorch Eager".to_string(), 1.0)];
     for baseline in [CompilerBaseline::Dynamo, CompilerBaseline::Tvm] {
@@ -42,7 +47,12 @@ pub fn mha_rows(arch: &GpuArch) -> Vec<NormalizedRow> {
             let fused = compile_workload(&Workload::Mha(config.clone()), arch);
             NormalizedRow {
                 config: config.name.to_string(),
-                speedups: baseline_speedups(arch, &ops, &[("FlashAttention2", fa2)], fused.latency_us),
+                speedups: baseline_speedups(
+                    arch,
+                    &ops,
+                    &[("FlashAttention2", fa2)],
+                    fused.latency_us,
+                ),
             }
         })
         .collect()
@@ -132,7 +142,12 @@ mod tests {
     fn redfuser_beats_compilers_on_every_fig5_workload() {
         let a10 = GpuArch::a10();
         let h800 = GpuArch::h800();
-        for rows in [mha_rows(&a10), mla_rows(&h800), moe_rows(&a10), quant_rows(&h800)] {
+        for rows in [
+            mha_rows(&a10),
+            mla_rows(&h800),
+            moe_rows(&a10),
+            quant_rows(&h800),
+        ] {
             for row in &rows {
                 let by_name = |name: &str| {
                     row.speedups
@@ -142,7 +157,11 @@ mod tests {
                         .unwrap()
                 };
                 let redfuser = by_name("RedFuser");
-                assert!(redfuser > by_name("PyTorch Dynamo"), "{}: vs Dynamo", row.config);
+                assert!(
+                    redfuser > by_name("PyTorch Dynamo"),
+                    "{}: vs Dynamo",
+                    row.config
+                );
                 assert!(redfuser > by_name("TVM"), "{}: vs TVM", row.config);
                 assert!(redfuser >= 1.0, "{}: vs Eager", row.config);
             }
@@ -153,10 +172,24 @@ mod tests {
     fn redfuser_is_competitive_with_hand_optimized_kernels() {
         let a10 = GpuArch::a10();
         for row in mha_rows(&a10) {
-            let fa2 = row.speedups.iter().find(|(n, _)| n == "FlashAttention2").unwrap().1;
-            let rf = row.speedups.iter().find(|(n, _)| n == "RedFuser").unwrap().1;
+            let fa2 = row
+                .speedups
+                .iter()
+                .find(|(n, _)| n == "FlashAttention2")
+                .unwrap()
+                .1;
+            let rf = row
+                .speedups
+                .iter()
+                .find(|(n, _)| n == "RedFuser")
+                .unwrap()
+                .1;
             let ratio = rf / fa2;
-            assert!((0.8..=1.5).contains(&ratio), "{}: RedFuser/FA2 = {ratio}", row.config);
+            assert!(
+                (0.8..=1.5).contains(&ratio),
+                "{}: RedFuser/FA2 = {ratio}",
+                row.config
+            );
         }
     }
 

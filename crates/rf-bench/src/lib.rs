@@ -80,8 +80,14 @@ mod tests {
     #[test]
     fn geomean_of_identical_rows_is_the_value() {
         let rows = vec![
-            NormalizedRow { config: "A".into(), speedups: vec![("base".into(), 1.0), ("x".into(), 4.0)] },
-            NormalizedRow { config: "B".into(), speedups: vec![("base".into(), 1.0), ("x".into(), 1.0)] },
+            NormalizedRow {
+                config: "A".into(),
+                speedups: vec![("base".into(), 1.0), ("x".into(), 4.0)],
+            },
+            NormalizedRow {
+                config: "B".into(),
+                speedups: vec![("base".into(), 1.0), ("x".into(), 1.0)],
+            },
         ];
         let geo = print_normalized_table("test", &rows);
         assert_eq!(geo[0].1, 1.0);

@@ -2,7 +2,9 @@
 
 use rf_gpusim::{estimate_latency, GpuArch, KernelProfile};
 use rf_tile::{TensorizeConfig, TileProgram};
-use rf_workloads::{InertiaConfig, MhaConfig, MlaConfig, MoeConfig, Precision, QuantGemmConfig, VarianceConfig};
+use rf_workloads::{
+    InertiaConfig, MhaConfig, MlaConfig, MoeConfig, Precision, QuantGemmConfig, VarianceConfig,
+};
 
 use crate::lower::{attention_program, cascade_program, AttentionShape, AttentionTiling};
 use crate::strategy::{Mode, Strategy};
@@ -67,7 +69,9 @@ fn tuned_attention(shape: AttentionShape, arch: &GpuArch, name: &str) -> Compile
     let tuner = AutoTuner::new(arch.clone());
     let choice = tuner.tune(|p: &TuningPoint| {
         let strategy = if p.segments > 1 {
-            Strategy::MultiSegment { segments: p.segments }
+            Strategy::MultiSegment {
+                segments: p.segments,
+            }
         } else {
             Strategy::SingleSegment
         };
@@ -86,7 +90,9 @@ fn tuned_attention(shape: AttentionShape, arch: &GpuArch, name: &str) -> Compile
     });
     // Rebuild the winning program so callers can inspect / dump it.
     let strategy = if choice.point.segments > 1 {
-        Strategy::MultiSegment { segments: choice.point.segments }
+        Strategy::MultiSegment {
+            segments: choice.point.segments,
+        }
     } else {
         Strategy::SingleSegment
     };
@@ -116,7 +122,9 @@ fn tuned_cascade(
     let tuner = AutoTuner::new(arch.clone());
     let choice = tuner.tune(|p: &TuningPoint| {
         let strategy = if p.segments > 1 {
-            Strategy::MultiSegment { segments: p.segments }
+            Strategy::MultiSegment {
+                segments: p.segments,
+            }
         } else {
             Strategy::SingleSegment
         };
@@ -128,7 +136,15 @@ fn tuned_cascade(
             element_bytes: 2,
             incremental: true,
         };
-        let program = cascade_program(name, num_reductions, rows, axis_len, Mode::Incremental, strategy, &cfg);
+        let program = cascade_program(
+            name,
+            num_reductions,
+            rows,
+            axis_len,
+            Mode::Incremental,
+            strategy,
+            &cfg,
+        );
         KernelProfile::from_tile_program(&program)
     });
     let cfg = TensorizeConfig {
@@ -140,11 +156,21 @@ fn tuned_cascade(
         incremental: true,
     };
     let strategy = if choice.point.segments > 1 {
-        Strategy::MultiSegment { segments: choice.point.segments }
+        Strategy::MultiSegment {
+            segments: choice.point.segments,
+        }
     } else {
         Strategy::SingleSegment
     };
-    let program = cascade_program(name, num_reductions, rows, axis_len, Mode::Incremental, strategy, &cfg);
+    let program = cascade_program(
+        name,
+        num_reductions,
+        rows,
+        axis_len,
+        Mode::Incremental,
+        strategy,
+        &cfg,
+    );
     CompiledKernel {
         name: name.to_string(),
         program: Some(program),
@@ -179,12 +205,24 @@ fn fused_profile_from_accounting(
     };
     let latency_us = estimate_latency(arch, &profile).total_us;
     let tuning = TuningChoice {
-        point: TuningPoint { block_rows: 128, block_axis: 128, threads: 256, pipeline_depth: 2, segments: 1 },
+        point: TuningPoint {
+            block_rows: 128,
+            block_axis: 128,
+            threads: 256,
+            pipeline_depth: 2,
+            segments: 1,
+        },
         profile: profile.clone(),
         latency_us,
         evaluated: 1,
     };
-    CompiledKernel { name: name.to_string(), program: None, profile, latency_us, tuning }
+    CompiledKernel {
+        name: name.to_string(),
+        program: None,
+        profile,
+        latency_us,
+        tuning,
+    }
 }
 
 /// Compiles a workload with RedFuser for one architecture: lowering, strategy
@@ -248,9 +286,19 @@ mod tests {
         let arch = GpuArch::a10();
         for config in mha_configs().iter().take(3) {
             let fused = compile_workload(&Workload::Mha(config.clone()), &arch);
-            let eager = sequence_latency(&arch, &CompilerBaseline::PyTorchEager.kernels(&mha_op_list(config)));
-            let dynamo = sequence_latency(&arch, &CompilerBaseline::Dynamo.kernels(&mha_op_list(config)));
-            assert!(fused.latency_us < dynamo.min(eager), "{}: fused must win", config.name);
+            let eager = sequence_latency(
+                &arch,
+                &CompilerBaseline::PyTorchEager.kernels(&mha_op_list(config)),
+            );
+            let dynamo = sequence_latency(
+                &arch,
+                &CompilerBaseline::Dynamo.kernels(&mha_op_list(config)),
+            );
+            assert!(
+                fused.latency_us < dynamo.min(eager),
+                "{}: fused must win",
+                config.name
+            );
         }
     }
 
@@ -272,9 +320,22 @@ mod tests {
         use crate::lower::{attention_program, AttentionShape, AttentionTiling};
         use crate::strategy::Strategy;
         let arch = GpuArch::h800();
-        let shape = AttentionShape { heads: 16, q_len: 1, kv_len: 8192, head_dim: 512, qk_dim: 576 };
-        let tiling = AttentionTiling { block_kv: 64, ..AttentionTiling::default() };
-        let single = KernelProfile::from_tile_program(&attention_program(&shape, &tiling, Strategy::SingleSegment));
+        let shape = AttentionShape {
+            heads: 16,
+            q_len: 1,
+            kv_len: 8192,
+            head_dim: 512,
+            qk_dim: 576,
+        };
+        let tiling = AttentionTiling {
+            block_kv: 64,
+            ..AttentionTiling::default()
+        };
+        let single = KernelProfile::from_tile_program(&attention_program(
+            &shape,
+            &tiling,
+            Strategy::SingleSegment,
+        ));
         let multi = KernelProfile::from_tile_program(&attention_program(
             &shape,
             &tiling,
@@ -306,6 +367,8 @@ mod tests {
     #[test]
     fn workload_names_are_descriptive() {
         assert_eq!(Workload::Softmax { rows: 4, len: 8 }.name(), "softmax_4x8");
-        assert!(Workload::Mha(mha_configs()[0].clone()).name().contains("H1"));
+        assert!(Workload::Mha(mha_configs()[0].clone())
+            .name()
+            .contains("H1"));
     }
 }

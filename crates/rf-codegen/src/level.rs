@@ -23,7 +23,12 @@ pub struct FusionLevelReport {
 
 /// Models the §5.3 experiment: batched safe softmax over `rows` rows of
 /// `input_len` elements, fused at `level`, on `arch`.
-pub fn fusion_level_latency(arch: &GpuArch, rows: usize, input_len: usize, level: FusionLevel) -> FusionLevelReport {
+pub fn fusion_level_latency(
+    arch: &GpuArch,
+    rows: usize,
+    input_len: usize,
+    level: FusionLevel,
+) -> FusionLevelReport {
     let threads = 256usize;
     let blocks = rows;
     let bytes = (rows * input_len * 2) as u64;
@@ -56,7 +61,11 @@ pub fn fusion_level_latency(arch: &GpuArch, rows: usize, input_len: usize, level
         threads_per_block: threads as u32,
         shared_mem_per_block: 16 * 1024,
         overlap: level.overlap(),
-        launches: if level == FusionLevel::InterBlock { 2 } else { 1 },
+        launches: if level == FusionLevel::InterBlock {
+            2
+        } else {
+            1
+        },
         ..Default::default()
     };
     let fused_us = estimate_latency(arch, &fused_kernel).total_us;
@@ -99,7 +108,8 @@ pub fn incremental_sweep(
             let kv_per_cta = kv_per_cta.clamp(1, kv_len);
             let ctas_per_row = kv_len.div_ceil(kv_per_cta);
             let blocks = (rows * ctas_per_row) as u64;
-            let bytes = (rows * kv_len * head_dim * 2 * 2) as u64 / ctas_per_row.max(1) as u64 * ctas_per_row as u64;
+            let bytes = (rows * kv_len * head_dim * 2 * 2) as u64 / ctas_per_row.max(1) as u64
+                * ctas_per_row as u64;
             let flops = (rows * kv_len * head_dim * 4) as u64;
             // Non-incremental mode must stage the whole per-CTA segment
             // (scores + value rows) in shared memory.
@@ -151,7 +161,12 @@ mod tests {
         for level in FusionLevel::ALL {
             for len in [1024, 8192] {
                 let report = fusion_level_latency(&arch, 4096, len, level);
-                assert!(report.normalized > 1.0, "{} at {len}: {}", level.name(), report.normalized);
+                assert!(
+                    report.normalized > 1.0,
+                    "{} at {len}: {}",
+                    level.name(),
+                    report.normalized
+                );
             }
         }
     }

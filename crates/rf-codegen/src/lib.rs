@@ -42,7 +42,10 @@ mod tests {
     #[test]
     fn compile_produces_finite_latency() {
         let arch = GpuArch::a10();
-        let workload = Workload::Softmax { rows: 1024, len: 4096 };
+        let workload = Workload::Softmax {
+            rows: 1024,
+            len: 4096,
+        };
         let compiled = compile_workload(&workload, &arch);
         assert!(compiled.latency_us.is_finite());
         assert!(compiled.latency_us > 0.0);

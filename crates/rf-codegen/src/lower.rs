@@ -8,7 +8,9 @@
 //! routing, Quant+GEMM rows, variance, inertia) through the tensorization pass
 //! of `rf-tile`.
 
-use rf_tile::{tensorize_cascade, MemoryScope, StageLoop, TensorizeConfig, TileBuffer, TileOp, TileProgram};
+use rf_tile::{
+    tensorize_cascade, MemoryScope, StageLoop, TensorizeConfig, TileBuffer, TileOp, TileProgram,
+};
 
 use crate::strategy::{Mode, Strategy};
 
@@ -72,7 +74,12 @@ pub struct AttentionTiling {
 
 impl Default for AttentionTiling {
     fn default() -> Self {
-        AttentionTiling { block_q: 128, block_kv: 128, threads: 256, pipeline_depth: 2 }
+        AttentionTiling {
+            block_q: 128,
+            block_kv: 128,
+            threads: 256,
+            pipeline_depth: 2,
+        }
     }
 }
 
@@ -81,7 +88,11 @@ impl Default for AttentionTiling {
 /// Single-Segment (`Strategy::SingleSegment`) yields the Figure 12b kernel;
 /// Multi-Segment splits the KV axis across `segments` blocks per (head,
 /// q-block) pair and appends the Figure 13b combine kernel.
-pub fn attention_program(shape: &AttentionShape, tiling: &AttentionTiling, strategy: Strategy) -> TileProgram {
+pub fn attention_program(
+    shape: &AttentionShape,
+    tiling: &AttentionTiling,
+    strategy: Strategy,
+) -> TileProgram {
     let block_q = tiling.block_q.min(shape.q_len).max(1);
     let block_kv = tiling.block_kv.min(shape.kv_len).max(1);
     let q_blocks = shape.q_len.div_ceil(block_q);
@@ -100,29 +111,85 @@ pub fn attention_program(shape: &AttentionShape, tiling: &AttentionTiling, strat
     );
     program.pipeline_depth = tiling.pipeline_depth;
     program.buffers = vec![
-        TileBuffer::new("Q", vec![shape.heads * shape.q_len, shape.qk_dim], MemoryScope::Global, 2),
-        TileBuffer::new("K", vec![shape.heads * shape.kv_len, shape.qk_dim], MemoryScope::Global, 2),
-        TileBuffer::new("V", vec![shape.heads * shape.kv_len, shape.head_dim], MemoryScope::Global, 2),
-        TileBuffer::new("o", vec![shape.heads * shape.q_len, shape.head_dim], MemoryScope::Global, 2),
-        TileBuffer::new("Q_shared", vec![block_q, shape.qk_dim], MemoryScope::Shared, 2),
-        TileBuffer::new("K_shared", vec![block_kv, shape.qk_dim], MemoryScope::Shared, 2),
-        TileBuffer::new("V_shared", vec![block_kv, shape.head_dim], MemoryScope::Shared, 2),
+        TileBuffer::new(
+            "Q",
+            vec![shape.heads * shape.q_len, shape.qk_dim],
+            MemoryScope::Global,
+            2,
+        ),
+        TileBuffer::new(
+            "K",
+            vec![shape.heads * shape.kv_len, shape.qk_dim],
+            MemoryScope::Global,
+            2,
+        ),
+        TileBuffer::new(
+            "V",
+            vec![shape.heads * shape.kv_len, shape.head_dim],
+            MemoryScope::Global,
+            2,
+        ),
+        TileBuffer::new(
+            "o",
+            vec![shape.heads * shape.q_len, shape.head_dim],
+            MemoryScope::Global,
+            2,
+        ),
+        TileBuffer::new(
+            "Q_shared",
+            vec![block_q, shape.qk_dim],
+            MemoryScope::Shared,
+            2,
+        ),
+        TileBuffer::new(
+            "K_shared",
+            vec![block_kv, shape.qk_dim],
+            MemoryScope::Shared,
+            2,
+        ),
+        TileBuffer::new(
+            "V_shared",
+            vec![block_kv, shape.head_dim],
+            MemoryScope::Shared,
+            2,
+        ),
         TileBuffer::new("P_frag", vec![block_q, block_kv], MemoryScope::Fragment, 4),
-        TileBuffer::new("o_frag", vec![block_q, shape.head_dim], MemoryScope::Fragment, 4),
+        TileBuffer::new(
+            "o_frag",
+            vec![block_q, shape.head_dim],
+            MemoryScope::Fragment,
+            4,
+        ),
         TileBuffer::new("pmax", vec![block_q], MemoryScope::Fragment, 4),
         TileBuffer::new("pmax_prev", vec![block_q], MemoryScope::Fragment, 4),
         TileBuffer::new("psum", vec![block_q], MemoryScope::Fragment, 4),
         TileBuffer::new("psum_prev", vec![block_q], MemoryScope::Fragment, 4),
     ];
     program.prologue = vec![
-        TileOp::Fill { tile: "o_frag".into(), value: 0.0, elements: (block_q * shape.head_dim) as u64 },
-        TileOp::Copy { src: "Q".into(), dst: "Q_shared".into(), elements: (block_q * shape.qk_dim) as u64 },
+        TileOp::Fill {
+            tile: "o_frag".into(),
+            value: 0.0,
+            elements: (block_q * shape.head_dim) as u64,
+        },
+        TileOp::Copy {
+            src: "Q".into(),
+            dst: "Q_shared".into(),
+            elements: (block_q * shape.qk_dim) as u64,
+        },
     ];
     program.main_loop = StageLoop {
         iterations,
         ops: vec![
-            TileOp::Copy { src: "K".into(), dst: "K_shared".into(), elements: (block_kv * shape.qk_dim) as u64 },
-            TileOp::Copy { src: "V".into(), dst: "V_shared".into(), elements: (block_kv * shape.head_dim) as u64 },
+            TileOp::Copy {
+                src: "K".into(),
+                dst: "K_shared".into(),
+                elements: (block_kv * shape.qk_dim) as u64,
+            },
+            TileOp::Copy {
+                src: "V".into(),
+                dst: "V_shared".into(),
+                elements: (block_kv * shape.head_dim) as u64,
+            },
             // reduction 1: gemm(Q, K)
             TileOp::Gemm {
                 a: "Q_shared".into(),
@@ -133,7 +200,11 @@ pub fn attention_program(shape: &AttentionShape, tiling: &AttentionTiling, strat
                 k: shape.qk_dim as u64,
             },
             // reduction 2: max(P) — step 1 store previous, step 3 reduce.
-            TileOp::Copy { src: "pmax".into(), dst: "pmax_prev".into(), elements: block_q as u64 },
+            TileOp::Copy {
+                src: "pmax".into(),
+                dst: "pmax_prev".into(),
+                elements: block_q as u64,
+            },
             TileOp::Reduce {
                 src: "P_frag".into(),
                 dst: "pmax".into(),
@@ -142,7 +213,11 @@ pub fn attention_program(shape: &AttentionShape, tiling: &AttentionTiling, strat
                 op: rf_algebra::BinaryOp::Max,
             },
             // reduction 3: sum(exp(P - pmax)) — steps 1, 2, 3.
-            TileOp::Copy { src: "psum".into(), dst: "psum_prev".into(), elements: block_q as u64 },
+            TileOp::Copy {
+                src: "psum".into(),
+                dst: "psum_prev".into(),
+                elements: block_q as u64,
+            },
             TileOp::Parallel {
                 expr: "psum[i] *= exp(pmax_prev[i] - pmax[i])".into(),
                 elements: block_q as u64,
@@ -162,7 +237,8 @@ pub fn attention_program(shape: &AttentionShape, tiling: &AttentionTiling, strat
             },
             // reduction 4: gemm(exp(P - pmax) / psum, V) — steps 2 and 3.
             TileOp::Parallel {
-                expr: "o_frag[i, j] *= exp(pmax_prev[i] - pmax[i]) * (psum_prev[i] / psum[i])".into(),
+                expr: "o_frag[i, j] *= exp(pmax_prev[i] - pmax[i]) * (psum_prev[i] / psum[i])"
+                    .into(),
                 elements: (block_q * shape.head_dim) as u64,
                 flops_per_element: 4,
             },
@@ -184,22 +260,64 @@ pub fn attention_program(shape: &AttentionShape, tiling: &AttentionTiling, strat
 
     if strategy.needs_combine_kernel() {
         program.epilogue = vec![
-            TileOp::Copy { src: "pmax".into(), dst: "pmax_part".into(), elements: block_q as u64 },
-            TileOp::Copy { src: "psum".into(), dst: "psum_part".into(), elements: block_q as u64 },
+            TileOp::Copy {
+                src: "pmax".into(),
+                dst: "pmax_part".into(),
+                elements: block_q as u64,
+            },
+            TileOp::Copy {
+                src: "psum".into(),
+                dst: "psum_part".into(),
+                elements: block_q as u64,
+            },
             TileOp::Copy {
                 src: "o_frag".into(),
                 dst: "o_part".into(),
                 elements: (block_q * shape.head_dim) as u64,
             },
         ];
-        let mut combine = TileProgram::new("flash_decoding_combine", (shape.heads * q_blocks) as u64, tiling.threads);
+        let mut combine = TileProgram::new(
+            "flash_decoding_combine",
+            (shape.heads * q_blocks) as u64,
+            tiling.threads,
+        );
         combine.buffers = vec![
-            TileBuffer::new("pmax_part", vec![shape.heads * shape.q_len, segments], MemoryScope::Global, 4),
-            TileBuffer::new("psum_part", vec![shape.heads * shape.q_len, segments], MemoryScope::Global, 4),
-            TileBuffer::new("o_part", vec![shape.heads * shape.q_len, shape.head_dim * segments], MemoryScope::Global, 4),
-            TileBuffer::new("o", vec![shape.heads * shape.q_len, shape.head_dim], MemoryScope::Global, 2),
-            TileBuffer::new("part_frag", vec![block_q, shape.head_dim * segments], MemoryScope::Fragment, 4),
-            TileBuffer::new("o_final", vec![block_q, shape.head_dim], MemoryScope::Fragment, 4),
+            TileBuffer::new(
+                "pmax_part",
+                vec![shape.heads * shape.q_len, segments],
+                MemoryScope::Global,
+                4,
+            ),
+            TileBuffer::new(
+                "psum_part",
+                vec![shape.heads * shape.q_len, segments],
+                MemoryScope::Global,
+                4,
+            ),
+            TileBuffer::new(
+                "o_part",
+                vec![shape.heads * shape.q_len, shape.head_dim * segments],
+                MemoryScope::Global,
+                4,
+            ),
+            TileBuffer::new(
+                "o",
+                vec![shape.heads * shape.q_len, shape.head_dim],
+                MemoryScope::Global,
+                2,
+            ),
+            TileBuffer::new(
+                "part_frag",
+                vec![block_q, shape.head_dim * segments],
+                MemoryScope::Fragment,
+                4,
+            ),
+            TileBuffer::new(
+                "o_final",
+                vec![block_q, shape.head_dim],
+                MemoryScope::Fragment,
+                4,
+            ),
         ];
         combine.main_loop = StageLoop {
             iterations: 1,
@@ -270,13 +388,33 @@ pub fn cascade_program(
         incremental: mode == Mode::Incremental,
         ..*cfg
     };
-    let mut program = tensorize_cascade(name, num_reductions, axis_per_segment, effective_rows, &tensorize_cfg);
+    let mut program = tensorize_cascade(
+        name,
+        num_reductions,
+        axis_per_segment,
+        effective_rows,
+        &tensorize_cfg,
+    );
     if strategy.needs_combine_kernel() {
-        let mut combine = TileProgram::new(format!("{name}_combine"), rows.div_ceil(cfg.block_rows).max(1) as u64, cfg.threads_per_block);
+        let mut combine = TileProgram::new(
+            format!("{name}_combine"),
+            rows.div_ceil(cfg.block_rows).max(1) as u64,
+            cfg.threads_per_block,
+        );
         combine.buffers = vec![
-            TileBuffer::new("partials", vec![rows, segments * num_reductions], MemoryScope::Global, 4),
+            TileBuffer::new(
+                "partials",
+                vec![rows, segments * num_reductions],
+                MemoryScope::Global,
+                4,
+            ),
             TileBuffer::new("out", vec![rows, num_reductions], MemoryScope::Global, 4),
-            TileBuffer::new("partial_frag", vec![cfg.block_rows, segments * num_reductions], MemoryScope::Fragment, 4),
+            TileBuffer::new(
+                "partial_frag",
+                vec![cfg.block_rows, segments * num_reductions],
+                MemoryScope::Fragment,
+                4,
+            ),
         ];
         combine.main_loop = StageLoop {
             iterations: 1,
@@ -313,7 +451,8 @@ mod tests {
     #[test]
     fn single_segment_attention_is_one_kernel() {
         let shape = AttentionShape::from_mha(&mha_configs()[1]);
-        let program = attention_program(&shape, &AttentionTiling::default(), Strategy::SingleSegment);
+        let program =
+            attention_program(&shape, &AttentionTiling::default(), Strategy::SingleSegment);
         let cost = program.cost();
         assert_eq!(cost.kernel_launches, 1);
         assert!(cost.flops > 0 && cost.global_bytes > 0);
@@ -325,33 +464,69 @@ mod tests {
     #[test]
     fn multi_segment_attention_adds_a_combine_kernel() {
         let shape = AttentionShape::from_mla(&mla_configs()[0]);
-        let single = attention_program(&shape, &AttentionTiling::default(), Strategy::SingleSegment);
-        let multi = attention_program(&shape, &AttentionTiling::default(), Strategy::MultiSegment { segments: 4 });
+        let single =
+            attention_program(&shape, &AttentionTiling::default(), Strategy::SingleSegment);
+        let multi = attention_program(
+            &shape,
+            &AttentionTiling::default(),
+            Strategy::MultiSegment { segments: 4 },
+        );
         assert_eq!(multi.cost().kernel_launches, 2);
-        assert!(multi.grid_blocks > single.grid_blocks, "splitting increases parallelism");
+        assert!(
+            multi.grid_blocks > single.grid_blocks,
+            "splitting increases parallelism"
+        );
     }
 
     #[test]
     fn fused_attention_avoids_score_matrix_traffic() {
         let config = &mha_configs()[1];
         let shape = AttentionShape::from_mha(config);
-        let program = attention_program(&shape, &AttentionTiling::default(), Strategy::SingleSegment);
+        let program =
+            attention_program(&shape, &AttentionTiling::default(), Strategy::SingleSegment);
         let score_bytes = config.score_bytes(rf_workloads::Precision::Fp16);
         // Unfused execution spills the score matrix several times; the fused
         // kernel's total global traffic is below even one score-matrix pass
         // plus the unavoidable Q/K/V/O traffic.
-        assert!(program.cost().global_bytes < config.min_bytes(rf_workloads::Precision::Fp16) * 6 + score_bytes);
+        assert!(
+            program.cost().global_bytes
+                < config.min_bytes(rf_workloads::Precision::Fp16) * 6 + score_bytes
+        );
     }
 
     #[test]
     fn cascade_program_modes_and_strategies() {
         let cfg = rf_tile::TensorizeConfig::default();
-        let single = cascade_program("softmax", 2, 2048, 8192, Mode::Incremental, Strategy::SingleSegment, &cfg);
+        let single = cascade_program(
+            "softmax",
+            2,
+            2048,
+            8192,
+            Mode::Incremental,
+            Strategy::SingleSegment,
+            &cfg,
+        );
         assert_eq!(single.cost().kernel_launches, 1);
-        let multi = cascade_program("softmax", 2, 2048, 8192, Mode::Incremental, Strategy::MultiSegment { segments: 4 }, &cfg);
+        let multi = cascade_program(
+            "softmax",
+            2,
+            2048,
+            8192,
+            Mode::Incremental,
+            Strategy::MultiSegment { segments: 4 },
+            &cfg,
+        );
         assert_eq!(multi.cost().kernel_launches, 2);
         assert!(multi.grid_blocks > single.grid_blocks);
-        let non_inc = cascade_program("softmax", 2, 2048, 8192, Mode::NonIncremental, Strategy::SingleSegment, &cfg);
+        let non_inc = cascade_program(
+            "softmax",
+            2,
+            2048,
+            8192,
+            Mode::NonIncremental,
+            Strategy::SingleSegment,
+            &cfg,
+        );
         assert!(non_inc.cost().shared_mem_per_block > single.cost().shared_mem_per_block);
     }
 }

@@ -51,7 +51,13 @@ impl Mode {
     /// Incremental mode always fits (its state is constant-sized); the
     /// non-incremental mode needs the whole segment resident, which is the
     /// constraint observed in §5.4 (feasible only for short sequences).
-    pub fn fits(self, arch: &GpuArch, segment_len: usize, bytes_per_element: usize, state_bytes: usize) -> bool {
+    pub fn fits(
+        self,
+        arch: &GpuArch,
+        segment_len: usize,
+        bytes_per_element: usize,
+        state_bytes: usize,
+    ) -> bool {
         match self {
             Mode::Incremental => true,
             Mode::NonIncremental => {

@@ -58,7 +58,13 @@ impl TuningSpace {
                 for &threads in &self.threads {
                     for &pipeline_depth in &self.pipeline_depths {
                         for &segments in &self.segments {
-                            out.push(TuningPoint { block_rows, block_axis, threads, pipeline_depth, segments });
+                            out.push(TuningPoint {
+                                block_rows,
+                                block_axis,
+                                threads,
+                                pipeline_depth,
+                                segments,
+                            });
                         }
                     }
                 }
@@ -91,7 +97,10 @@ pub struct AutoTuner {
 impl AutoTuner {
     /// Creates a tuner for one architecture with the default search space.
     pub fn new(arch: GpuArch) -> Self {
-        AutoTuner { arch, space: TuningSpace::default() }
+        AutoTuner {
+            arch,
+            space: TuningSpace::default(),
+        }
     }
 
     /// Replaces the search space.
@@ -123,8 +132,17 @@ impl AutoTuner {
         for point in points {
             let profile = build(&point);
             let latency = estimate_latency(&self.arch, &profile).total_us;
-            if best.as_ref().map(|b| latency < b.latency_us).unwrap_or(true) {
-                best = Some(TuningChoice { point, profile, latency_us: latency, evaluated });
+            if best
+                .as_ref()
+                .map(|b| latency < b.latency_us)
+                .unwrap_or(true)
+            {
+                best = Some(TuningChoice {
+                    point,
+                    profile,
+                    latency_us: latency,
+                    evaluated,
+                });
             }
         }
         let choice = best.expect("at least one tuning point evaluated");
@@ -172,7 +190,11 @@ mod tests {
             hbm_bytes: 1 << 24,
             blocks: 2048,
             // Pipeline depth 3 demands more shared memory than the SM has.
-            shared_mem_per_block: if p.pipeline_depth == 3 { arch.shared_mem_per_sm * 2 } else { 32 * 1024 },
+            shared_mem_per_block: if p.pipeline_depth == 3 {
+                arch.shared_mem_per_sm * 2
+            } else {
+                32 * 1024
+            },
             ..Default::default()
         });
         assert_ne!(choice.point.pipeline_depth, 3);

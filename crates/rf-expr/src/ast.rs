@@ -213,7 +213,10 @@ impl Expr {
                     self.clone()
                 }
             }
-            ExprKind::Unary(f, a) => Expr(Rc::new(ExprKind::Unary(*f, a.substitute(name, replacement)))),
+            ExprKind::Unary(f, a) => Expr(Rc::new(ExprKind::Unary(
+                *f,
+                a.substitute(name, replacement),
+            ))),
             ExprKind::Binary(op, a, b) => Expr(Rc::new(ExprKind::Binary(
                 *op,
                 a.substitute(name, replacement),

@@ -95,7 +95,12 @@ mod tests {
         let x = Expr::var("x");
         let e1 = (x.clone() + Expr::one()) * (x.clone() + Expr::one());
         let e2 = x.clone() * x.clone() + Expr::constant(2.0) * x.clone() + Expr::one();
-        assert!(semantically_equal(&e1, &e2, &["x"], &EquivConfig::default()));
+        assert!(semantically_equal(
+            &e1,
+            &e2,
+            &["x"],
+            &EquivConfig::default()
+        ));
     }
 
     #[test]
@@ -103,7 +108,12 @@ mod tests {
         let x = Expr::var("x");
         let e1 = x.clone() * x.clone();
         let e2 = x.clone() * Expr::constant(2.0);
-        assert!(!semantically_equal(&e1, &e2, &["x"], &EquivConfig::default()));
+        assert!(!semantically_equal(
+            &e1,
+            &e2,
+            &["x"],
+            &EquivConfig::default()
+        ));
     }
 
     #[test]
@@ -112,14 +122,24 @@ mod tests {
         let b = Expr::var("b");
         let lhs = (a.clone() + b.clone()).exp();
         let rhs = a.exp() * b.exp();
-        assert!(semantically_equal(&lhs, &rhs, &["a", "b"], &EquivConfig::default()));
+        assert!(semantically_equal(
+            &lhs,
+            &rhs,
+            &["a", "b"],
+            &EquivConfig::default()
+        ));
     }
 
     #[test]
     fn unbound_variable_reports_not_equal() {
         let lhs = Expr::var("x");
         let rhs = Expr::var("y");
-        assert!(!semantically_equal(&lhs, &rhs, &["x"], &EquivConfig::default()));
+        assert!(!semantically_equal(
+            &lhs,
+            &rhs,
+            &["x"],
+            &EquivConfig::default()
+        ));
     }
 
     #[test]
@@ -127,7 +147,12 @@ mod tests {
         let x = Expr::var("x");
         let lhs = x.clone().ln().exp();
         let rhs = x.clone();
-        assert!(semantically_equal(&lhs, &rhs, &["x"], &EquivConfig::positive()));
+        assert!(semantically_equal(
+            &lhs,
+            &rhs,
+            &["x"],
+            &EquivConfig::positive()
+        ));
     }
 
     #[test]
@@ -135,7 +160,12 @@ mod tests {
         // ln of a negative constant is NaN for every sample.
         let lhs = Expr::constant(-1.0).ln();
         let rhs = Expr::constant(-1.0).ln();
-        assert!(!semantically_equal(&lhs, &rhs, &[], &EquivConfig::default()));
+        assert!(!semantically_equal(
+            &lhs,
+            &rhs,
+            &[],
+            &EquivConfig::default()
+        ));
     }
 
     #[test]

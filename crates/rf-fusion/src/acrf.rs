@@ -51,13 +51,22 @@ impl fmt::Display for AcrfError {
         match self {
             AcrfError::Cascade(e) => write!(f, "invalid cascade: {e}"),
             AcrfError::LawViolation { reduction } => {
-                write!(f, "reduction `{reduction}`: operator pair violates fusion feasibility laws")
+                write!(
+                    f,
+                    "reduction `{reduction}`: operator pair violates fusion feasibility laws"
+                )
             }
             AcrfError::NoValidFixedPoint { reduction } => {
-                write!(f, "reduction `{reduction}`: no fixed point with invertible F(x0, d0) found")
+                write!(
+                    f,
+                    "reduction `{reduction}`: no fixed point with invertible F(x0, d0) found"
+                )
             }
             AcrfError::NotDecomposable { reduction } => {
-                write!(f, "reduction `{reduction}`: map function is not decomposable as G(x) ⊗ H(d)")
+                write!(
+                    f,
+                    "reduction `{reduction}`: map function is not decomposable as G(x) ⊗ H(d)"
+                )
             }
         }
     }
@@ -156,7 +165,12 @@ pub fn analyze_reduction(spec: &CascadeSpec, index: usize) -> Result<FusedReduct
 
             // Validate F == G ⊗ H before accepting the fixed point.
             let recomposed = Expr::binary(combine, g.clone(), h.clone());
-            if !semantically_equal(&reduction.map, &recomposed, &all_vars, &EquivConfig::default()) {
+            if !semantically_equal(
+                &reduction.map,
+                &recomposed,
+                &all_vars,
+                &EquivConfig::default(),
+            ) {
                 continue;
             }
 
@@ -203,7 +217,8 @@ pub fn analyze_cascade(spec: &CascadeSpec) -> Result<FusionPlan, AcrfError> {
 
 fn substitute_group(expr: &Expr, vars: &[String], value: f64) -> Expr {
     let constant = Expr::constant(value);
-    vars.iter().fold(expr.clone(), |acc, v| acc.substitute(v, &constant))
+    vars.iter()
+        .fold(expr.clone(), |acc, v| acc.substitute(v, &constant))
 }
 
 fn eval_at(expr: &Expr, input_vars: &[String], x0: f64, deps: &[String], d0: f64) -> Option<f64> {
@@ -278,7 +293,10 @@ mod tests {
     fn attention_row_is_fully_fusable() {
         let plan = analyze_cascade(&patterns::attention_row()).unwrap();
         assert_eq!(plan.len(), 3);
-        assert_eq!(plan.reductions[2].deps, vec!["m".to_string(), "t".to_string()]);
+        assert_eq!(
+            plan.reductions[2].deps,
+            vec!["m".to_string(), "t".to_string()]
+        );
     }
 
     #[test]
@@ -301,7 +319,10 @@ mod tests {
             inputs: vec![],
             reductions: vec![ReductionSpec::new("a", ReduceOp::Sum, Expr::var("x"))],
         };
-        assert!(matches!(analyze_cascade(&bad).unwrap_err(), AcrfError::Cascade(_)));
+        assert!(matches!(
+            analyze_cascade(&bad).unwrap_err(),
+            AcrfError::Cascade(_)
+        ));
     }
 
     #[test]
@@ -327,9 +348,13 @@ mod tests {
 
     #[test]
     fn error_display_variants() {
-        let e = AcrfError::NoValidFixedPoint { reduction: "r".into() };
+        let e = AcrfError::NoValidFixedPoint {
+            reduction: "r".into(),
+        };
         assert!(e.to_string().contains("fixed point"));
-        let e = AcrfError::LawViolation { reduction: "r".into() };
+        let e = AcrfError::LawViolation {
+            reduction: "r".into(),
+        };
         assert!(e.to_string().contains("laws"));
     }
 }

@@ -206,13 +206,19 @@ impl CascadeInput {
             names.push(name.into());
             cols.push(col);
         }
-        assert!(!cols.is_empty(), "cascade input must have at least one column");
+        assert!(
+            !cols.is_empty(),
+            "cascade input must have at least one column"
+        );
         let len = cols[0].len();
         assert!(
             cols.iter().all(|c| c.len() == len),
             "all cascade input columns must have the same length"
         );
-        CascadeInput { columns: cols, names }
+        CascadeInput {
+            columns: cols,
+            names,
+        }
     }
 
     /// Convenience constructor for a single-input cascade.
@@ -298,9 +304,7 @@ mod tests {
         let err = CascadeSpec::new(
             "bad",
             vec!["x".to_string()],
-            vec![
-                ReductionSpec::new("x", ReduceOp::Sum, Expr::var("x")),
-            ],
+            vec![ReductionSpec::new("x", ReduceOp::Sum, Expr::var("x"))],
         )
         .unwrap_err();
         assert_eq!(err, CascadeError::DuplicateName("x".to_string()));

@@ -98,7 +98,10 @@ impl IncrementalEvaluator {
         start: usize,
         end: usize,
     ) -> Vec<f64> {
-        assert!(start < end && end <= input.len(), "invalid segment range [{start}, {end})");
+        assert!(
+            start < end && end <= input.len(),
+            "invalid segment range [{start}, {end})"
+        );
         assert_prod_free(plan);
         let n = plan.reductions.len();
         let mut states: Vec<f64> = plan.reductions.iter().map(|r| r.plus.identity()).collect();
@@ -115,9 +118,11 @@ impl IncrementalEvaluator {
                 }
                 let h_prev = eval_h(r, plan, &prev_states);
                 let h_cur = eval_h(r, plan, &states);
-                let corrected = r
-                    .combine
-                    .apply(r.combine.apply(states[i], r.combine.inverse_or_repair(h_prev)), h_cur);
+                let corrected = r.combine.apply(
+                    r.combine
+                        .apply(states[i], r.combine.inverse_or_repair(h_prev)),
+                    h_cur,
+                );
                 let incoming = r.combine.apply(g_val, h_cur);
                 states[i] = r.plus.apply(corrected, incoming);
             }
@@ -152,7 +157,8 @@ impl IncrementalEvaluator {
                     let h_seg = eval_h(r, plan, segment);
                     let h_merged = eval_h(r, plan, &merged);
                     r.combine.apply(
-                        r.combine.apply(segment[i], r.combine.inverse_or_repair(h_seg)),
+                        r.combine
+                            .apply(segment[i], r.combine.inverse_or_repair(h_seg)),
                         h_merged,
                     )
                 };
@@ -202,7 +208,11 @@ impl FusedTreeEvaluator {
                 .map(|chunk| incremental.merge_partials(plan, chunk))
                 .collect();
         }
-        assert_eq!(current.len(), 1, "the final level must produce a single segment");
+        assert_eq!(
+            current.len(),
+            1,
+            "the final level must produce a single segment"
+        );
         current.pop().unwrap()
     }
 }
@@ -261,7 +271,12 @@ mod tests {
         CascadeInput::new(
             names
                 .iter()
-                .map(|n| (n.to_string(), (0..len).map(|_| rng.gen_range(-2.0..2.0)).collect()))
+                .map(|n| {
+                    (
+                        n.to_string(),
+                        (0..len).map(|_| rng.gen_range(-2.0..2.0)).collect(),
+                    )
+                })
                 .collect::<Vec<_>>(),
         )
     }

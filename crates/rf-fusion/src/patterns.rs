@@ -76,11 +76,7 @@ pub fn fp8_quant_gemm() -> CascadeSpec {
         vec!["a".to_string(), "w".to_string()],
         vec![
             ReductionSpec::new("m", ReduceOp::Max, a.clone().abs()),
-            ReductionSpec::new(
-                "c",
-                ReduceOp::Sum,
-                Expr::constant(FP8_E4M3_MAX) * a / m * w,
-            ),
+            ReductionSpec::new("c", ReduceOp::Sum, Expr::constant(FP8_E4M3_MAX) * a / m * w),
         ],
     )
     .expect("fp8 quant + gemm is a valid cascade")
@@ -189,7 +185,10 @@ mod tests {
     fn dependency_chains_are_as_documented() {
         let attn = attention_row();
         assert_eq!(attn.dependencies_of(1), vec!["m".to_string()]);
-        assert_eq!(attn.dependencies_of(2), vec!["m".to_string(), "t".to_string()]);
+        assert_eq!(
+            attn.dependencies_of(2),
+            vec!["m".to_string(), "t".to_string()]
+        );
         let quant = fp8_quant_gemm();
         assert_eq!(quant.dependencies_of(1), vec!["m".to_string()]);
     }

@@ -139,7 +139,10 @@ impl FusionPlan {
     /// incremental mode (one per dependent reduction). This drives the
     /// correction-overhead terms of the performance model (§5.3).
     pub fn corrections_per_element(&self) -> usize {
-        self.reductions.iter().filter(|r| !r.is_independent()).count()
+        self.reductions
+            .iter()
+            .filter(|r| !r.is_independent())
+            .count()
     }
 
     /// An upper bound on the scalar operations evaluated per element in the
@@ -148,7 +151,14 @@ impl FusionPlan {
     pub fn flops_per_element(&self) -> usize {
         self.reductions
             .iter()
-            .map(|r| r.g.node_count() + if r.is_independent() { 1 } else { 2 * r.h.node_count() + 3 })
+            .map(|r| {
+                r.g.node_count()
+                    + if r.is_independent() {
+                        1
+                    } else {
+                        2 * r.h.node_count() + 3
+                    }
+            })
             .sum()
     }
 
@@ -172,9 +182,22 @@ impl FusionPlan {
 
 impl fmt::Display for FusionPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "FusionPlan for `{}` (inputs: {})", self.cascade_name, self.inputs.join(", "))?;
+        writeln!(
+            f,
+            "FusionPlan for `{}` (inputs: {})",
+            self.cascade_name,
+            self.inputs.join(", ")
+        )?;
         for r in &self.reductions {
-            writeln!(f, "reduction {} `{}` (R = {}, ⊕ = {}, ⊗ = {}):", r.index + 1, r.name, r.reduce, r.plus, r.combine)?;
+            writeln!(
+                f,
+                "reduction {} `{}` (R = {}, ⊕ = {}, ⊗ = {}):",
+                r.index + 1,
+                r.name,
+                r.reduce,
+                r.plus,
+                r.combine
+            )?;
             writeln!(f, "  F = {}", r.map)?;
             writeln!(f, "  G = {}", r.g)?;
             writeln!(f, "  H = {}", r.h)?;

@@ -40,9 +40,14 @@ impl fmt::Display for TreeShapeError {
         match self {
             TreeShapeError::TooFewLevels => write!(f, "a tree shape needs at least L0 and LK = 1"),
             TreeShapeError::LastLevelNotOne => write!(f, "the last level length must be 1"),
-            TreeShapeError::NotStrictlyDecreasing => write!(f, "level lengths must strictly decrease"),
+            TreeShapeError::NotStrictlyDecreasing => {
+                write!(f, "level lengths must strictly decrease")
+            }
             TreeShapeError::NotDivisible { level } => {
-                write!(f, "level {level} length must divide the previous level length")
+                write!(
+                    f,
+                    "level {level} length must divide the previous level length"
+                )
             }
         }
     }
@@ -69,7 +74,7 @@ impl TreeShape {
             if levels[k] >= levels[k - 1] {
                 return Err(TreeShapeError::NotStrictlyDecreasing);
             }
-            if levels[k - 1] % levels[k] != 0 {
+            if !levels[k - 1].is_multiple_of(levels[k]) {
                 return Err(TreeShapeError::NotDivisible { level: k });
             }
         }
@@ -196,8 +201,14 @@ mod tests {
 
     #[test]
     fn invalid_shapes_are_rejected() {
-        assert_eq!(TreeShape::new(vec![8]).unwrap_err(), TreeShapeError::TooFewLevels);
-        assert_eq!(TreeShape::new(vec![8, 2]).unwrap_err(), TreeShapeError::LastLevelNotOne);
+        assert_eq!(
+            TreeShape::new(vec![8]).unwrap_err(),
+            TreeShapeError::TooFewLevels
+        );
+        assert_eq!(
+            TreeShape::new(vec![8, 2]).unwrap_err(),
+            TreeShapeError::LastLevelNotOne
+        );
         assert_eq!(
             TreeShape::new(vec![8, 8, 1]).unwrap_err(),
             TreeShapeError::NotStrictlyDecreasing
@@ -206,7 +217,10 @@ mod tests {
             TreeShape::new(vec![8, 3, 1]).unwrap_err(),
             TreeShapeError::NotDivisible { level: 1 }
         );
-        assert!(TreeShape::new(vec![8, 3, 1]).unwrap_err().to_string().contains("divide"));
+        assert!(TreeShape::new(vec![8, 3, 1])
+            .unwrap_err()
+            .to_string()
+            .contains("divide"));
     }
 
     #[test]

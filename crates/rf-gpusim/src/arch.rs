@@ -97,7 +97,12 @@ impl GpuArch {
 
     /// The four evaluation platforms of the paper, in the order they appear.
     pub fn all() -> Vec<GpuArch> {
-        vec![GpuArch::a10(), GpuArch::a100(), GpuArch::h800(), GpuArch::mi308x()]
+        vec![
+            GpuArch::a10(),
+            GpuArch::a100(),
+            GpuArch::h800(),
+            GpuArch::mi308x(),
+        ]
     }
 
     /// Looks an architecture up by (case-insensitive) short name:

@@ -29,8 +29,20 @@ mod tests {
     #[test]
     fn more_traffic_is_never_faster() {
         let arch = GpuArch::a10();
-        let small = KernelProfile { hbm_bytes: 1 << 20, flops: 1 << 20, blocks: 128, ..Default::default() };
-        let large = KernelProfile { hbm_bytes: 1 << 24, flops: 1 << 20, blocks: 128, ..Default::default() };
-        assert!(estimate_latency(&arch, &small).total_us <= estimate_latency(&arch, &large).total_us);
+        let small = KernelProfile {
+            hbm_bytes: 1 << 20,
+            flops: 1 << 20,
+            blocks: 128,
+            ..Default::default()
+        };
+        let large = KernelProfile {
+            hbm_bytes: 1 << 24,
+            flops: 1 << 20,
+            blocks: 128,
+            ..Default::default()
+        };
+        assert!(
+            estimate_latency(&arch, &small).total_us <= estimate_latency(&arch, &large).total_us
+        );
     }
 }

@@ -118,13 +118,15 @@ pub fn estimate_latency(arch: &GpuArch, profile: &KernelProfile) -> LatencyBreak
 
     // Resident blocks per SM, limited by shared memory, the block cap and the
     // thread cap.
-    let by_shared = if profile.shared_mem_per_block == 0 {
-        arch.max_blocks_per_sm as u64
-    } else {
-        (arch.shared_mem_per_sm / profile.shared_mem_per_block).max(1)
-    };
+    let by_shared = arch
+        .shared_mem_per_sm
+        .checked_div(profile.shared_mem_per_block)
+        .map_or(arch.max_blocks_per_sm as u64, |blocks| blocks.max(1));
     let by_threads = (arch.max_threads_per_sm / profile.threads_per_block.max(1)).max(1) as u64;
-    let blocks_per_sm = by_shared.min(by_threads).min(arch.max_blocks_per_sm as u64).max(1);
+    let blocks_per_sm = by_shared
+        .min(by_threads)
+        .min(arch.max_blocks_per_sm as u64)
+        .max(1);
     let concurrent = blocks_per_sm * arch.sms as u64;
 
     let blocks = profile.blocks.max(1);
@@ -158,7 +160,10 @@ pub fn estimate_latency(arch: &GpuArch, profile: &KernelProfile) -> LatencyBreak
 /// Total latency of a sequence of dependent kernels (they cannot overlap, so
 /// latencies add — the execution model of an eager framework).
 pub fn sequence_latency(arch: &GpuArch, kernels: &[KernelProfile]) -> f64 {
-    kernels.iter().map(|k| estimate_latency(arch, k).total_us).sum()
+    kernels
+        .iter()
+        .map(|k| estimate_latency(arch, k).total_us)
+        .sum()
 }
 
 #[cfg(test)]
@@ -179,13 +184,24 @@ mod tests {
     fn launch_overhead_is_included() {
         let arch = GpuArch::a10();
         let one = estimate_latency(&arch, &base_profile());
-        let two = estimate_latency(&arch, &KernelProfile { launches: 2, ..base_profile() });
+        let two = estimate_latency(
+            &arch,
+            &KernelProfile {
+                launches: 2,
+                ..base_profile()
+            },
+        );
         assert!((two.total_us - one.total_us - arch.launch_overhead_us).abs() < 1e-9);
     }
 
     #[test]
     fn memory_bound_kernels_scale_with_bandwidth() {
-        let profile = KernelProfile { flops: 1 << 20, hbm_bytes: 1 << 30, blocks: 4096, ..Default::default() };
+        let profile = KernelProfile {
+            flops: 1 << 20,
+            hbm_bytes: 1 << 30,
+            blocks: 4096,
+            ..Default::default()
+        };
         let slow = estimate_latency(&GpuArch::a10(), &profile);
         let fast = estimate_latency(&GpuArch::h800(), &profile);
         assert!(fast.total_us < slow.total_us);
@@ -195,7 +211,10 @@ mod tests {
     #[test]
     fn oversized_shared_memory_is_infeasible() {
         let arch = GpuArch::a10();
-        let profile = KernelProfile { shared_mem_per_block: arch.shared_mem_per_sm + 1, ..base_profile() };
+        let profile = KernelProfile {
+            shared_mem_per_block: arch.shared_mem_per_sm + 1,
+            ..base_profile()
+        };
         assert!(!profile.fits(&arch));
         assert!(estimate_latency(&arch, &profile).total_us.is_infinite());
     }
@@ -204,8 +223,14 @@ mod tests {
     fn low_parallelism_hurts_and_integer_waves_are_local_optima() {
         let arch = GpuArch::a10();
         // One block cannot saturate the device.
-        let narrow = KernelProfile { blocks: 1, ..base_profile() };
-        let wide = KernelProfile { blocks: 8192, ..base_profile() };
+        let narrow = KernelProfile {
+            blocks: 1,
+            ..base_profile()
+        };
+        let wide = KernelProfile {
+            blocks: 8192,
+            ..base_profile()
+        };
         let n = estimate_latency(&arch, &narrow);
         let w = estimate_latency(&arch, &wide);
         assert!(n.total_us > w.total_us);
@@ -229,9 +254,26 @@ mod tests {
     #[test]
     fn overlap_reduces_latency() {
         let arch = GpuArch::a10();
-        let balanced = KernelProfile { flops: 1 << 30, hbm_bytes: 1 << 26, blocks: 4096, ..Default::default() };
-        let serial = estimate_latency(&arch, &KernelProfile { overlap: 0.0, ..balanced.clone() });
-        let overlapped = estimate_latency(&arch, &KernelProfile { overlap: 1.0, ..balanced });
+        let balanced = KernelProfile {
+            flops: 1 << 30,
+            hbm_bytes: 1 << 26,
+            blocks: 4096,
+            ..Default::default()
+        };
+        let serial = estimate_latency(
+            &arch,
+            &KernelProfile {
+                overlap: 0.0,
+                ..balanced.clone()
+            },
+        );
+        let overlapped = estimate_latency(
+            &arch,
+            &KernelProfile {
+                overlap: 1.0,
+                ..balanced
+            },
+        );
         assert!(overlapped.total_us < serial.total_us);
     }
 

@@ -24,7 +24,11 @@ use crate::softmax::softmax_rows;
 
 /// Computes the scaled score matrix `Q K^T * scale`.
 pub fn attention_scores(q: &Matrix, k: &Matrix, scale: f64) -> Matrix {
-    assert_eq!(q.cols(), k.cols(), "query and key head dimensions must agree");
+    assert_eq!(
+        q.cols(),
+        k.cols(),
+        "query and key head dimensions must agree"
+    );
     let mut scores = Matrix::zeros(q.rows(), k.rows());
     for i in 0..q.rows() {
         for j in 0..k.rows() {
@@ -41,7 +45,11 @@ pub fn attention_scores(q: &Matrix, k: &Matrix, scale: f64) -> Matrix {
 /// Unfused attention: `softmax(Q K^T * scale) V` with all intermediates
 /// materialised. Serves as the correctness oracle for the fused kernels.
 pub fn attention_naive(q: &Matrix, k: &Matrix, v: &Matrix, scale: f64) -> Matrix {
-    assert_eq!(k.rows(), v.rows(), "key and value sequence lengths must agree");
+    assert_eq!(
+        k.rows(),
+        v.rows(),
+        "key and value sequence lengths must agree"
+    );
     let scores = attention_scores(q, k, scale);
     let probs = softmax_rows(&scores);
     probs.matmul(v)
@@ -54,8 +62,16 @@ pub fn attention_naive(q: &Matrix, k: &Matrix, v: &Matrix, scale: f64) -> Matrix
 /// Panics if `block_kv` is zero or the K/V shapes disagree.
 pub fn flash_attention(q: &Matrix, k: &Matrix, v: &Matrix, scale: f64, block_kv: usize) -> Matrix {
     assert!(block_kv > 0, "block_kv must be positive");
-    assert_eq!(k.rows(), v.rows(), "key and value sequence lengths must agree");
-    assert_eq!(q.cols(), k.cols(), "query and key head dimensions must agree");
+    assert_eq!(
+        k.rows(),
+        v.rows(),
+        "key and value sequence lengths must agree"
+    );
+    assert_eq!(
+        q.cols(),
+        k.cols(),
+        "query and key head dimensions must agree"
+    );
     let (q_len, d) = (q.rows(), q.cols());
     let kv_len = k.rows();
     let head_dim = v.cols();
@@ -104,10 +120,10 @@ pub fn flash_attention(q: &Matrix, k: &Matrix, v: &Matrix, scale: f64, block_kv:
         start = end;
     }
 
-    for i in 0..q_len {
+    for (i, &denom) in row_sum.iter().enumerate() {
         for t in 0..head_dim {
             let cur = out.get(i, t);
-            out.set(i, t, cur / row_sum[i]);
+            out.set(i, t, cur / denom);
         }
     }
     out
@@ -134,7 +150,10 @@ pub fn flash_attention_partial(
     end: usize,
     block_kv: usize,
 ) -> SplitPartial {
-    assert!(start < end && end <= k.rows(), "invalid split range [{start}, {end})");
+    assert!(
+        start < end && end <= k.rows(),
+        "invalid split range [{start}, {end})"
+    );
     let (q_len, d) = (q.rows(), q.cols());
     let head_dim = v.cols();
     let mut out = Matrix::zeros(q_len, head_dim);
@@ -176,7 +195,11 @@ pub fn flash_attention_partial(
         }
         block_start = block_end;
     }
-    SplitPartial { out, row_max, row_sum }
+    SplitPartial {
+        out,
+        row_max,
+        row_sum,
+    }
 }
 
 /// Merges split partials into the final attention output (the combine kernel
@@ -222,7 +245,10 @@ pub fn flash_decoding(
 ) -> Matrix {
     assert!(num_splits > 0, "num_splits must be positive");
     let kv_len = k.rows();
-    assert!(num_splits <= kv_len, "num_splits must not exceed the KV length");
+    assert!(
+        num_splits <= kv_len,
+        "num_splits must not exceed the KV length"
+    );
     let chunk = kv_len.div_ceil(num_splits);
     let partials: Vec<SplitPartial> = (0..num_splits)
         .filter_map(|s| {

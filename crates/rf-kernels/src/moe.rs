@@ -48,10 +48,17 @@ pub fn route_naive(x: &Matrix, w: &Matrix, topk: usize) -> Vec<RoutingDecision> 
 /// computes the softmax statistics and the top-k set together; only the
 /// selected entries are normalised at the end.
 pub fn route_fused(x: &Matrix, w: &Matrix, topk: usize) -> Vec<RoutingDecision> {
-    assert_eq!(x.cols(), w.rows(), "activation and routing weight shapes must agree");
+    assert_eq!(
+        x.cols(),
+        w.rows(),
+        "activation and routing weight shapes must agree"
+    );
     let tokens = x.rows();
     let experts = w.cols();
-    assert!(topk <= experts, "topk must not exceed the number of experts");
+    assert!(
+        topk <= experts,
+        "topk must not exceed the number of experts"
+    );
     let mut decisions = Vec::with_capacity(tokens);
     for t in 0..tokens {
         let mut running_max = f64::NEG_INFINITY;
@@ -74,7 +81,13 @@ pub fn route_fused(x: &Matrix, w: &Matrix, topk: usize) -> Vec<RoutingDecision> 
                 .iter()
                 .position(|b| score > b.value || (score == b.value && e < b.index))
                 .unwrap_or(best.len());
-            best.insert(pos, TopKEntry { index: e, value: score });
+            best.insert(
+                pos,
+                TopKEntry {
+                    index: e,
+                    value: score,
+                },
+            );
             if best.len() > topk {
                 best.pop();
             }

@@ -37,9 +37,7 @@ pub fn variance_naive(x: &[f64]) -> f64 {
 pub fn variance_fused(x: &[f64]) -> f64 {
     assert!(!x.is_empty(), "variance input must not be empty");
     let n = x.len() as f64;
-    let (sum, sum_sq) = x
-        .iter()
-        .fold((0.0, 0.0), |(s, ss), &v| (s + v, ss + v * v));
+    let (sum, sum_sq) = x.iter().fold((0.0, 0.0), |(s, ss), &v| (s + v, ss + v * v));
     let mean = sum / n;
     (sum_sq / n - mean * mean).max(0.0)
 }
@@ -73,15 +71,19 @@ pub fn variance_rows<F: Fn(&[f64]) -> f64>(batch: &Matrix, kernel: F) -> Vec<f64
 ///
 /// Panics if the lengths disagree or the system is empty or massless.
 pub fn inertia_naive(masses: &[f64], positions: &Matrix) -> f64 {
-    assert_eq!(masses.len(), positions.rows(), "one mass per particle is required");
+    assert_eq!(
+        masses.len(),
+        positions.rows(),
+        "one mass per particle is required"
+    );
     assert!(!masses.is_empty(), "inertia input must not be empty");
     let dim = positions.cols();
     let total_mass: f64 = masses.iter().sum();
     assert!(total_mass > 0.0, "total mass must be positive");
     let mut center = vec![0.0; dim];
     for (i, &m) in masses.iter().enumerate() {
-        for d in 0..dim {
-            center[d] += m * positions.get(i, d);
+        for (d, c) in center.iter_mut().enumerate() {
+            *c += m * positions.get(i, d);
         }
     }
     for c in center.iter_mut() {
@@ -90,8 +92,8 @@ pub fn inertia_naive(masses: &[f64], positions: &Matrix) -> f64 {
     let mut inertia = 0.0;
     for (i, &m) in masses.iter().enumerate() {
         let mut dist_sq = 0.0;
-        for d in 0..dim {
-            let delta = positions.get(i, d) - center[d];
+        for (d, &c) in center.iter().enumerate() {
+            let delta = positions.get(i, d) - c;
             dist_sq += delta * delta;
         }
         inertia += m * dist_sq;
@@ -106,7 +108,11 @@ pub fn inertia_naive(masses: &[f64], positions: &Matrix) -> f64 {
 ///
 /// Panics under the same conditions as [`inertia_naive`].
 pub fn inertia_fused(masses: &[f64], positions: &Matrix) -> f64 {
-    assert_eq!(masses.len(), positions.rows(), "one mass per particle is required");
+    assert_eq!(
+        masses.len(),
+        positions.rows(),
+        "one mass per particle is required"
+    );
     assert!(!masses.is_empty(), "inertia input must not be empty");
     let dim = positions.cols();
     let mut total_mass = 0.0;
@@ -115,9 +121,9 @@ pub fn inertia_fused(masses: &[f64], positions: &Matrix) -> f64 {
     for (i, &m) in masses.iter().enumerate() {
         total_mass += m;
         let mut norm_sq = 0.0;
-        for d in 0..dim {
+        for (d, w) in weighted.iter_mut().enumerate() {
             let x = positions.get(i, d);
-            weighted[d] += m * x;
+            *w += m * x;
             norm_sq += x * x;
         }
         weighted_sq += m * norm_sq;
@@ -129,7 +135,12 @@ pub fn inertia_fused(masses: &[f64], positions: &Matrix) -> f64 {
 
 /// Generates deterministic inputs for a variance configuration and runs a
 /// kernel per batch row, shrinking the problem by `scale` for quick runs.
-pub fn run_variance_config<F>(config: &VarianceConfig, scale: usize, seed: u64, kernel: F) -> Vec<f64>
+pub fn run_variance_config<F>(
+    config: &VarianceConfig,
+    scale: usize,
+    seed: u64,
+    kernel: F,
+) -> Vec<f64>
 where
     F: Fn(&[f64]) -> f64,
 {

@@ -65,9 +65,9 @@ pub fn row_scales(a: &Matrix) -> Vec<f64> {
 pub fn quantize(a: &Matrix, scales: &[f64]) -> Matrix {
     assert_eq!(scales.len(), a.rows(), "one scale per row is required");
     let mut q = Matrix::zeros(a.rows(), a.cols());
-    for i in 0..a.rows() {
+    for (i, &scale) in scales.iter().enumerate() {
         for k in 0..a.cols() {
-            q.set(i, k, fp8_round(a.get(i, k) / scales[i]));
+            q.set(i, k, fp8_round(a.get(i, k) / scale));
         }
     }
     q
@@ -80,9 +80,9 @@ pub fn quant_gemm_naive(a: &Matrix, w: &Matrix) -> Matrix {
     let scales = row_scales(a);
     let q = quantize(a, &scales);
     let mut c = q.matmul(w);
-    for i in 0..c.rows() {
+    for (i, &scale) in scales.iter().enumerate() {
         for j in 0..c.cols() {
-            let v = c.get(i, j) * scales[i];
+            let v = c.get(i, j) * scale;
             c.set(i, j, v);
         }
     }
@@ -136,16 +136,20 @@ pub fn quant_gemm_fused(a: &Matrix, w: &Matrix, block_k: usize) -> Matrix {
                 if qv == 0.0 {
                     continue;
                 }
-                for j in 0..n {
-                    acc[j] += qv * w.get(k, j);
+                for (j, slot) in acc.iter_mut().enumerate() {
+                    *slot += qv * w.get(k, j);
                 }
             }
             running_amax = new_amax;
             start = end;
         }
-        let scale = if running_amax == 0.0 { 1.0 / FP8_MAX } else { running_amax / FP8_MAX };
-        for j in 0..n {
-            c.set(i, j, acc[j] * scale);
+        let scale = if running_amax == 0.0 {
+            1.0 / FP8_MAX
+        } else {
+            running_amax / FP8_MAX
+        };
+        for (j, &sum) in acc.iter().enumerate() {
+            c.set(i, j, sum * scale);
         }
     }
     c
@@ -190,11 +194,11 @@ mod tests {
         let a = Matrix::random(8, 64, 5, -3.0, 3.0);
         let scales = row_scales(&a);
         let q = quantize(&a, &scales);
-        for i in 0..a.rows() {
+        for (i, &scale) in scales.iter().enumerate() {
             for k in 0..a.cols() {
-                let reconstructed = q.get(i, k) * scales[i];
+                let reconstructed = q.get(i, k) * scale;
                 // E4M3 relative error is at most 2^-4 of the row maximum scale.
-                assert!((reconstructed - a.get(i, k)).abs() <= scales[i] * FP8_MAX / 16.0 + 1e-12);
+                assert!((reconstructed - a.get(i, k)).abs() <= scale * FP8_MAX / 16.0 + 1e-12);
             }
         }
     }

@@ -58,7 +58,9 @@ pub fn softmax_stats_online(x: &[f64]) -> SoftmaxStats {
 /// Full unfused safe softmax: three passes over the input.
 pub fn softmax_naive(x: &[f64]) -> Vec<f64> {
     let stats = softmax_stats_naive(x);
-    x.iter().map(|&v| (v - stats.max).exp() / stats.sum).collect()
+    x.iter()
+        .map(|&v| (v - stats.max).exp() / stats.sum)
+        .collect()
 }
 
 /// Safe softmax using the fused statistics pass followed by the normalisation
@@ -66,7 +68,9 @@ pub fn softmax_naive(x: &[f64]) -> Vec<f64> {
 /// before the statistics are known).
 pub fn softmax_online(x: &[f64]) -> Vec<f64> {
     let stats = softmax_stats_online(x);
-    x.iter().map(|&v| (v - stats.max).exp() / stats.sum).collect()
+    x.iter()
+        .map(|&v| (v - stats.max).exp() / stats.sum)
+        .collect()
 }
 
 /// Applies [`softmax_naive`] to every row of a matrix.
@@ -131,7 +135,10 @@ mod tests {
     fn merge_matches_whole_input() {
         let x = random_vec(96, 7, -2.0, 2.0);
         let whole = softmax_stats_naive(&x);
-        let merged = merge_stats(softmax_stats_online(&x[..40]), softmax_stats_online(&x[40..]));
+        let merged = merge_stats(
+            softmax_stats_online(&x[..40]),
+            softmax_stats_online(&x[40..]),
+        );
         assert!((whole.max - merged.max).abs() < 1e-12);
         assert!((whole.sum - merged.sum).abs() < 1e-9 * whole.sum);
     }

@@ -70,8 +70,22 @@ mod tests {
 
     #[test]
     fn combine_adds_traffic_and_takes_peak_shared() {
-        let a = CostSummary { global_bytes: 100, shared_bytes: 10, flops: 1000, kernel_launches: 1, shared_mem_per_block: 32, registers_per_thread: 16 };
-        let b = CostSummary { global_bytes: 50, shared_bytes: 20, flops: 500, kernel_launches: 2, shared_mem_per_block: 64, registers_per_thread: 8 };
+        let a = CostSummary {
+            global_bytes: 100,
+            shared_bytes: 10,
+            flops: 1000,
+            kernel_launches: 1,
+            shared_mem_per_block: 32,
+            registers_per_thread: 16,
+        };
+        let b = CostSummary {
+            global_bytes: 50,
+            shared_bytes: 20,
+            flops: 500,
+            kernel_launches: 2,
+            shared_mem_per_block: 64,
+            registers_per_thread: 8,
+        };
         let c = a.combine(&b);
         assert_eq!(c.global_bytes, 150);
         assert_eq!(c.flops, 1500);
@@ -82,7 +96,11 @@ mod tests {
 
     #[test]
     fn arithmetic_intensity() {
-        let a = CostSummary { global_bytes: 100, flops: 400, ..Default::default() };
+        let a = CostSummary {
+            global_bytes: 100,
+            flops: 400,
+            ..Default::default()
+        };
         assert_eq!(a.arithmetic_intensity(), 4.0);
         assert_eq!(CostSummary::default().arithmetic_intensity(), 0.0);
     }

@@ -22,8 +22,18 @@ pub struct TileBuffer {
 
 impl TileBuffer {
     /// Creates a buffer.
-    pub fn new(name: impl Into<String>, shape: Vec<usize>, scope: MemoryScope, element_bytes: u32) -> Self {
-        TileBuffer { name: name.into(), shape, scope, element_bytes }
+    pub fn new(
+        name: impl Into<String>,
+        shape: Vec<usize>,
+        scope: MemoryScope,
+        element_bytes: u32,
+    ) -> Self {
+        TileBuffer {
+            name: name.into(),
+            shape,
+            scope,
+            element_bytes,
+        }
     }
 
     /// Total elements.
@@ -104,7 +114,9 @@ impl fmt::Display for TileOp {
         match self {
             TileOp::Copy { src, dst, .. } => write!(f, "copy({src}, {dst})"),
             TileOp::Gemm { a, b, c, .. } => write!(f, "gemm({a}, {b}, {c})"),
-            TileOp::Reduce { src, dst, op, .. } => write!(f, "reduce({src}, {dst}, axis=1, op={op})"),
+            TileOp::Reduce { src, dst, op, .. } => {
+                write!(f, "reduce({src}, {dst}, axis=1, op={op})")
+            }
             TileOp::Parallel { expr, .. } => write!(f, "parallel({expr})"),
             TileOp::Fill { tile, value, .. } => write!(f, "fill({tile}, {value})"),
         }
@@ -180,8 +192,14 @@ impl TileProgram {
         let mut cost = CostSummary::default();
         match op {
             TileOp::Copy { src, dst, elements } => {
-                let src_scope = self.buffer(src).map(|b| b.scope).unwrap_or(MemoryScope::Global);
-                let dst_scope = self.buffer(dst).map(|b| b.scope).unwrap_or(MemoryScope::Shared);
+                let src_scope = self
+                    .buffer(src)
+                    .map(|b| b.scope)
+                    .unwrap_or(MemoryScope::Global);
+                let dst_scope = self
+                    .buffer(dst)
+                    .map(|b| b.scope)
+                    .unwrap_or(MemoryScope::Shared);
                 let width = self
                     .buffer(dst)
                     .or_else(|| self.buffer(src))
@@ -200,7 +218,11 @@ impl TileProgram {
             TileOp::Reduce { axis_len, rows, .. } => {
                 cost.flops += axis_len * rows;
             }
-            TileOp::Parallel { elements, flops_per_element, .. } => {
+            TileOp::Parallel {
+                elements,
+                flops_per_element,
+                ..
+            } => {
                 cost.flops += elements * flops_per_element;
             }
             TileOp::Fill { .. } => {}
@@ -245,7 +267,8 @@ impl TileProgram {
             flops: per_block.flops * self.grid_blocks,
             kernel_launches: 1,
             shared_mem_per_block,
-            registers_per_thread: (fragment_bytes / 4).div_ceil(self.threads_per_block.max(1) as u64),
+            registers_per_thread: (fragment_bytes / 4)
+                .div_ceil(self.threads_per_block.max(1) as u64),
         };
         if let Some(combine) = &self.combine_kernel {
             total = total.combine(&combine.cost());
@@ -261,10 +284,20 @@ impl fmt::Display for TileProgram {
             "// {} — grid = {}, threads = {}, pipeline depth = {}",
             self.name, self.grid_blocks, self.threads_per_block, self.pipeline_depth
         )?;
-        writeln!(f, "bx = launch_thread(\"blockIdx.x\", {})", self.grid_blocks)?;
+        writeln!(
+            f,
+            "bx = launch_thread(\"blockIdx.x\", {})",
+            self.grid_blocks
+        )?;
         for b in &self.buffers {
             let dims: Vec<String> = b.shape.iter().map(|d| d.to_string()).collect();
-            writeln!(f, "alloc_{}({}, [{}])", b.scope.name(), b.name, dims.join(", "))?;
+            writeln!(
+                f,
+                "alloc_{}({}, [{}])",
+                b.scope.name(),
+                b.name,
+                dims.join(", ")
+            )?;
         }
         for op in &self.prologue {
             writeln!(f, "{op}")?;
@@ -295,16 +328,41 @@ mod tests {
             TileBuffer::new("Q_shared", vec![128, 64], MemoryScope::Shared, 2),
             TileBuffer::new("P_frag", vec![128, 128], MemoryScope::Fragment, 4),
         ];
-        p.prologue = vec![TileOp::Copy { src: "Q".into(), dst: "Q_shared".into(), elements: 128 * 64 }];
+        p.prologue = vec![TileOp::Copy {
+            src: "Q".into(),
+            dst: "Q_shared".into(),
+            elements: 128 * 64,
+        }];
         p.main_loop = StageLoop {
             iterations: 4,
             ops: vec![
-                TileOp::Gemm { a: "Q_shared".into(), b: "K_shared".into(), c: "P_frag".into(), m: 128, n: 128, k: 64 },
-                TileOp::Reduce { src: "P_frag".into(), dst: "pmax".into(), axis_len: 128, rows: 128, op: BinaryOp::Max },
-                TileOp::Parallel { expr: "pexp[i,j] = exp(P[i,j] - pmax[i])".into(), elements: 128 * 128, flops_per_element: 2 },
+                TileOp::Gemm {
+                    a: "Q_shared".into(),
+                    b: "K_shared".into(),
+                    c: "P_frag".into(),
+                    m: 128,
+                    n: 128,
+                    k: 64,
+                },
+                TileOp::Reduce {
+                    src: "P_frag".into(),
+                    dst: "pmax".into(),
+                    axis_len: 128,
+                    rows: 128,
+                    op: BinaryOp::Max,
+                },
+                TileOp::Parallel {
+                    expr: "pexp[i,j] = exp(P[i,j] - pmax[i])".into(),
+                    elements: 128 * 128,
+                    flops_per_element: 2,
+                },
             ],
         };
-        p.epilogue = vec![TileOp::Copy { src: "o_frag".into(), dst: "o".into(), elements: 128 * 64 }];
+        p.epilogue = vec![TileOp::Copy {
+            src: "o_frag".into(),
+            dst: "o".into(),
+            elements: 128 * 64,
+        }];
         p
     }
 

@@ -66,7 +66,10 @@ pub fn tensorize_cascade(
     cfg: &TensorizeConfig,
 ) -> TileProgram {
     assert!(num_reductions > 0, "a cascade has at least one reduction");
-    assert!(axis_len > 0 && rows > 0, "axis length and rows must be positive");
+    assert!(
+        axis_len > 0 && rows > 0,
+        "axis length and rows must be positive"
+    );
     let block_rows = cfg.block_rows.min(rows).max(1);
     let block_axis = cfg.block_axis.min(axis_len).max(1);
     let grid_blocks = rows.div_ceil(block_rows) as u64;
@@ -77,7 +80,11 @@ pub fn tensorize_cascade(
 
     // Input tile staged per iteration; in non-incremental mode the whole axis
     // must be resident before the reductions can run.
-    let staged_axis = if cfg.incremental { block_axis } else { axis_len };
+    let staged_axis = if cfg.incremental {
+        block_axis
+    } else {
+        axis_len
+    };
     program.buffers.push(TileBuffer::new(
         "x",
         vec![rows, axis_len],
@@ -130,7 +137,11 @@ pub fn tensorize_cascade(
                     elements: block_rows as u64,
                 });
                 ops.push(TileOp::Parallel {
-                    expr: format!("state{i}[r] *= correction(state{}_prev[r], state{}[r])", i - 1, i - 1),
+                    expr: format!(
+                        "state{i}[r] *= correction(state{}_prev[r], state{}[r])",
+                        i - 1,
+                        i - 1
+                    ),
                     elements: block_rows as u64,
                     flops_per_element: 3,
                 });
@@ -203,12 +214,19 @@ mod tests {
 
     #[test]
     fn non_incremental_shared_memory_grows_with_axis_length() {
-        let cfg = TensorizeConfig { incremental: false, ..TensorizeConfig::default() };
+        let cfg = TensorizeConfig {
+            incremental: false,
+            ..TensorizeConfig::default()
+        };
         let small = tensorize_cascade("softmax", 2, 1024, 512, &cfg);
         let large = tensorize_cascade("softmax", 2, 8192, 512, &cfg);
         assert!(large.cost().shared_mem_per_block > small.cost().shared_mem_per_block);
-        let ratio = large.cost().shared_mem_per_block as f64 / small.cost().shared_mem_per_block as f64;
-        assert!((ratio - 8.0).abs() < 0.5, "shared memory should scale with the staged axis");
+        let ratio =
+            large.cost().shared_mem_per_block as f64 / small.cost().shared_mem_per_block as f64;
+        assert!(
+            (ratio - 8.0).abs() < 0.5,
+            "shared memory should scale with the staged axis"
+        );
     }
 
     #[test]
@@ -220,7 +238,10 @@ mod tests {
             2,
             4096,
             128,
-            &TensorizeConfig { incremental: false, ..base },
+            &TensorizeConfig {
+                incremental: false,
+                ..base
+            },
         );
         // Same memory traffic (input loaded once either way), fewer flops for
         // the non-incremental variant (no per-iteration correction), which is
@@ -231,7 +252,10 @@ mod tests {
 
     #[test]
     fn grid_covers_all_rows() {
-        let cfg = TensorizeConfig { block_rows: 100, ..TensorizeConfig::default() };
+        let cfg = TensorizeConfig {
+            block_rows: 100,
+            ..TensorizeConfig::default()
+        };
         let p = tensorize_cascade("quant", 2, 2048, 250, &cfg);
         assert_eq!(p.grid_blocks, 3);
         let p = parallelize(p, 8);

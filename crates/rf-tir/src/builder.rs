@@ -45,7 +45,10 @@ pub fn unfused_softmax(len: usize) -> TirFunction {
                 len,
                 "t",
                 BinaryOp::Add,
-                TirExpr::Unary(UnaryFn::Exp, Box::new(TirExpr::Sub(Box::new(x()), Box::new(m())))),
+                TirExpr::Unary(
+                    UnaryFn::Exp,
+                    Box::new(TirExpr::Sub(Box::new(x()), Box::new(m()))),
+                ),
             ),
         ],
     }
@@ -59,8 +62,12 @@ pub fn unfused_attention_row(kv: usize) -> TirFunction {
     let v = || TirExpr::load1("v", "l");
     let m = || TirExpr::load0("m");
     let t = || TirExpr::load0("t");
-    let shifted_exp =
-        || TirExpr::Unary(UnaryFn::Exp, Box::new(TirExpr::Sub(Box::new(p()), Box::new(m()))));
+    let shifted_exp = || {
+        TirExpr::Unary(
+            UnaryFn::Exp,
+            Box::new(TirExpr::Sub(Box::new(p()), Box::new(m()))),
+        )
+    };
     TirFunction {
         name: "unfused_attention_row".into(),
         buffers: vec![
@@ -104,7 +111,13 @@ pub fn unfused_quant_gemm_row(k: usize) -> TirFunction {
             BufferDecl::output("c", vec![], 0.0),
         ],
         body: vec![
-            reduction_loop("l", k, "m", BinaryOp::Max, TirExpr::Unary(UnaryFn::Abs, Box::new(a()))),
+            reduction_loop(
+                "l",
+                k,
+                "m",
+                BinaryOp::Max,
+                TirExpr::Unary(UnaryFn::Abs, Box::new(a())),
+            ),
             reduction_loop(
                 "l",
                 k,
@@ -162,7 +175,11 @@ pub fn unfused_sum_sum(len: usize) -> TirFunction {
                 "s",
                 BinaryOp::Add,
                 TirExpr::Div(
-                    Box::new(TirExpr::Binary(BinaryOp::Mul, Box::new(x1()), Box::new(x2()))),
+                    Box::new(TirExpr::Binary(
+                        BinaryOp::Mul,
+                        Box::new(x1()),
+                        Box::new(x2()),
+                    )),
                     Box::new(denom),
                 ),
             ),
@@ -178,7 +195,10 @@ pub fn figure11_attention(q: usize, kv: usize, d: usize) -> TirFunction {
         buffer: buf.into(),
         indices: vec![i.into(), j.into()],
     };
-    let load1 = |buf: &str, i: &str| TirExpr::Load { buffer: buf.into(), indices: vec![i.into()] };
+    let load1 = |buf: &str, i: &str| TirExpr::Load {
+        buffer: buf.into(),
+        indices: vec![i.into()],
+    };
     let shifted_exp = TirExpr::Unary(
         UnaryFn::Exp,
         Box::new(TirExpr::Sub(

@@ -60,14 +60,19 @@ pub enum DetectError {
 impl fmt::Display for DetectError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DetectError::NoReductions => write!(f, "no reduction loops of the supported shape found"),
+            DetectError::NoReductions => {
+                write!(f, "no reduction loops of the supported shape found")
+            }
             DetectError::MismatchedAxes { expected, found } => write!(
                 f,
                 "reduction loops disagree on the shared axis: expected {}[{}], found {}[{}]",
                 expected.0, expected.1, found.0, found.1
             ),
             DetectError::UnsupportedLoad { buffer } => {
-                write!(f, "cannot lift load of buffer `{buffer}` into the cascade model")
+                write!(
+                    f,
+                    "cannot lift load of buffer `{buffer}` into the cascade model"
+                )
             }
             DetectError::UnsupportedVariable(v) => {
                 write!(f, "loop variable `{v}` used as a value is not supported")
@@ -101,8 +106,20 @@ pub fn detect_cascade(function: &TirFunction) -> Result<DetectedCascade, DetectE
     // from every top-level loop whose body is a single scalar reduction update.
     let mut reductions: Vec<(String, usize, String, BinaryOp, TirExpr)> = Vec::new();
     for stmt in &function.body {
-        if let Stmt::For { var, start: 0, extent, body } = stmt {
-            if let [Stmt::Update { buffer, indices, op, value }] = body.as_slice() {
+        if let Stmt::For {
+            var,
+            start: 0,
+            extent,
+            body,
+        } = stmt
+        {
+            if let [Stmt::Update {
+                buffer,
+                indices,
+                op,
+                value,
+            }] = body.as_slice()
+            {
                 if indices.is_empty() {
                     reductions.push((var.clone(), *extent, buffer.clone(), *op, value.clone()));
                 }
@@ -134,7 +151,13 @@ pub fn detect_cascade(function: &TirFunction) -> Result<DetectedCascade, DetectE
     let mut used_inputs: Vec<String> = Vec::new();
     let mut specs: Vec<ReductionSpec> = Vec::new();
     for (_, _, dest, op, value) in &reductions {
-        let map = lift_expr(value, &axis, &input_names, &result_buffers, &mut used_inputs)?;
+        let map = lift_expr(
+            value,
+            &axis,
+            &input_names,
+            &result_buffers,
+            &mut used_inputs,
+        )?;
         specs.push(ReductionSpec::new(dest.clone(), reduce_op_of(*op), map));
         result_buffers.push(dest.clone());
     }
@@ -171,7 +194,9 @@ fn lift_expr(
             } else if is_scalar && earlier_results.contains(buffer) {
                 Expr::var(buffer.clone())
             } else {
-                return Err(DetectError::UnsupportedLoad { buffer: buffer.clone() });
+                return Err(DetectError::UnsupportedLoad {
+                    buffer: buffer.clone(),
+                });
             }
         }
         TirExpr::Unary(f, a) => {
@@ -221,7 +246,10 @@ mod tests {
 
     #[test]
     fn detects_attention_row_and_quant() {
-        for f in [builder::unfused_attention_row(16), builder::unfused_quant_gemm_row(16)] {
+        for f in [
+            builder::unfused_attention_row(16),
+            builder::unfused_quant_gemm_row(16),
+        ] {
             let detected = detect_cascade(&f).unwrap();
             assert!(analyze_cascade(&detected.cascade).is_ok(), "{}", f.name);
         }
@@ -264,12 +292,21 @@ mod tests {
             }
         }
         let err = detect_cascade(&f).unwrap_err();
-        assert_eq!(err, DetectError::UnsupportedLoad { buffer: "mystery".into() });
+        assert_eq!(
+            err,
+            DetectError::UnsupportedLoad {
+                buffer: "mystery".into()
+            }
+        );
     }
 
     #[test]
     fn empty_function_has_no_reductions() {
-        let f = TirFunction { name: "empty".into(), buffers: vec![], body: vec![] };
+        let f = TirFunction {
+            name: "empty".into(),
+            buffers: vec![],
+            body: vec![],
+        };
         assert_eq!(detect_cascade(&f).unwrap_err(), DetectError::NoReductions);
     }
 }

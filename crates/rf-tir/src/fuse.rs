@@ -46,13 +46,25 @@ pub fn generate_fused(plan: &FusionPlan, detected: &DetectedCascade) -> TirFunct
     let needs_prev: Vec<bool> = plan
         .reductions
         .iter()
-        .map(|r| plan.reductions.iter().any(|later| later.index > r.index && later.deps.contains(&r.name)))
+        .map(|r| {
+            plan.reductions
+                .iter()
+                .any(|later| later.index > r.index && later.deps.contains(&r.name))
+        })
         .collect();
 
     for (r, &prev) in plan.reductions.iter().zip(&needs_prev) {
-        buffers.push(BufferDecl::output(r.name.clone(), vec![], r.plus.identity()));
+        buffers.push(BufferDecl::output(
+            r.name.clone(),
+            vec![],
+            r.plus.identity(),
+        ));
         if prev {
-            buffers.push(BufferDecl::temp(format!("{}_prev", r.name), vec![], r.plus.identity()));
+            buffers.push(BufferDecl::temp(
+                format!("{}_prev", r.name),
+                vec![],
+                r.plus.identity(),
+            ));
         }
     }
 
@@ -112,8 +124,18 @@ pub fn generate_fused(plan: &FusionPlan, detected: &DetectedCascade) -> TirFunct
         name: format!("fused_{}", detected.cascade.name),
         buffers,
         body: vec![
-            Stmt::For { var: axis.clone(), start: 0, extent: 1.min(extent), body: peel_body },
-            Stmt::For { var: axis, start: 1, extent, body: main_body },
+            Stmt::For {
+                var: axis.clone(),
+                start: 0,
+                extent: 1.min(extent),
+                body: peel_body,
+            },
+            Stmt::For {
+                var: axis,
+                start: 1,
+                extent,
+                body: main_body,
+            },
         ],
     }
 }
@@ -135,7 +157,12 @@ fn incoming_value(reduction: &FusedReduction, axis: &str, reduction_names: &[Str
 /// reduction results become scalar loads — of the `*_prev` buffer when listed
 /// in `prev_deps` — while all other variables are cascade inputs streamed
 /// along the axis and become 1-D loads.
-fn lower_expr(expr: &Expr, axis: &str, reduction_names: &[String], prev_deps: &[String]) -> TirExpr {
+fn lower_expr(
+    expr: &Expr,
+    axis: &str,
+    reduction_names: &[String],
+    prev_deps: &[String],
+) -> TirExpr {
     match expr.kind() {
         ExprKind::Const(c) => TirExpr::Const(*c),
         ExprKind::Var(name) => {
@@ -147,9 +174,10 @@ fn lower_expr(expr: &Expr, axis: &str, reduction_names: &[String], prev_deps: &[
                 TirExpr::load1(name.clone(), axis)
             }
         }
-        ExprKind::Unary(f, a) => {
-            TirExpr::Unary(*f, Box::new(lower_expr(a, axis, reduction_names, prev_deps)))
-        }
+        ExprKind::Unary(f, a) => TirExpr::Unary(
+            *f,
+            Box::new(lower_expr(a, axis, reduction_names, prev_deps)),
+        ),
         ExprKind::Binary(op, a, b) => TirExpr::Binary(
             *op,
             Box::new(lower_expr(a, axis, reduction_names, prev_deps)),
@@ -175,7 +203,9 @@ mod tests {
     use rf_fusion::analyze_cascade;
     use std::collections::HashMap;
 
-    fn run_both(unfused: &TirFunction, inputs: &HashMap<String, Vec<f64>>) -> (HashMap<String, Vec<f64>>, HashMap<String, Vec<f64>>, TirFunction) {
+    type Outputs = HashMap<String, Vec<f64>>;
+
+    fn run_both(unfused: &TirFunction, inputs: &Outputs) -> (Outputs, Outputs, TirFunction) {
         let detected = detect_cascade(unfused).unwrap();
         let plan = analyze_cascade(&detected.cascade).unwrap();
         let fused = generate_fused(&plan, &detected);
@@ -189,7 +219,10 @@ mod tests {
         for (name, expected) in a {
             let actual = &b[name];
             for (x, y) in expected.iter().zip(actual) {
-                assert!((x - y).abs() <= 1e-8 * (1.0 + x.abs()), "{name}: {x} vs {y}");
+                assert!(
+                    (x - y).abs() <= 1e-8 * (1.0 + x.abs()),
+                    "{name}: {x} vs {y}"
+                );
             }
         }
     }
@@ -236,7 +269,10 @@ mod tests {
         let unfused = builder::unfused_sum_sum(32);
         let inputs = HashMap::from([
             ("x1".to_string(), rf_workloads::random_vec(32, 21, 0.5, 2.0)),
-            ("x2".to_string(), rf_workloads::random_vec(32, 22, -1.0, 1.0)),
+            (
+                "x2".to_string(),
+                rf_workloads::random_vec(32, 22, -1.0, 1.0),
+            ),
         ]);
         let (a, b, _) = run_both(&unfused, &inputs);
         assert_outputs_match(&a, &b);

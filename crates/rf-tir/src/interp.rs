@@ -38,11 +38,20 @@ pub enum RunError {
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::BadInput { buffer, expected, provided } => {
-                write!(f, "input `{buffer}` has {provided} elements, expected {expected}")
+            RunError::BadInput {
+                buffer,
+                expected,
+                provided,
+            } => {
+                write!(
+                    f,
+                    "input `{buffer}` has {provided} elements, expected {expected}"
+                )
             }
             RunError::UnknownBuffer(name) => write!(f, "unknown buffer `{name}`"),
-            RunError::BadIndex { buffer, message } => write!(f, "bad index into `{buffer}`: {message}"),
+            RunError::BadIndex { buffer, message } => {
+                write!(f, "bad index into `{buffer}`: {message}")
+            }
         }
     }
 }
@@ -113,14 +122,23 @@ fn exec_block(
 ) -> Result<(), RunError> {
     for stmt in stmts {
         match stmt {
-            Stmt::For { var, start, extent, body } => {
+            Stmt::For {
+                var,
+                start,
+                extent,
+                body,
+            } => {
                 for i in *start..*extent {
                     loop_vars.insert(var.clone(), i);
                     exec_block(body, storage, shapes, loop_vars)?;
                 }
                 loop_vars.remove(var);
             }
-            Stmt::Store { buffer, indices, value } => {
+            Stmt::Store {
+                buffer,
+                indices,
+                value,
+            } => {
                 let v = eval_expr(value, storage, shapes, loop_vars)?;
                 let offset = flat_index(buffer, indices, shapes, loop_vars)?;
                 let data = storage
@@ -128,7 +146,12 @@ fn exec_block(
                     .ok_or_else(|| RunError::UnknownBuffer(buffer.clone()))?;
                 data[offset] = v;
             }
-            Stmt::Update { buffer, indices, op, value } => {
+            Stmt::Update {
+                buffer,
+                indices,
+                op,
+                value,
+            } => {
                 let v = eval_expr(value, storage, shapes, loop_vars)?;
                 let offset = flat_index(buffer, indices, shapes, loop_vars)?;
                 let data = storage
@@ -153,7 +176,11 @@ fn flat_index(
     if shape.len() != indices.len() {
         return Err(RunError::BadIndex {
             buffer: buffer.to_string(),
-            message: format!("{} indices for {}-dimensional buffer", indices.len(), shape.len()),
+            message: format!(
+                "{} indices for {}-dimensional buffer",
+                indices.len(),
+                shape.len()
+            ),
         });
     }
     let mut offset = 0usize;
@@ -293,15 +320,15 @@ mod tests {
                         buffer: "s".into(),
                         indices: vec!["r".into()],
                         op: BinaryOp::Add,
-                        value: TirExpr::Load { buffer: "x".into(), indices: vec!["r".into(), "c".into()] },
+                        value: TirExpr::Load {
+                            buffer: "x".into(),
+                            indices: vec!["r".into(), "c".into()],
+                        },
                     }],
                 }],
             }],
         };
-        let inputs = HashMap::from([(
-            "x".to_string(),
-            vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0],
-        )]);
+        let inputs = HashMap::from([("x".to_string(), vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0])]);
         let out = Interpreter::new().run(&f, &inputs).unwrap();
         assert_eq!(out["s"], vec![6.0, 60.0]);
     }

@@ -39,12 +39,18 @@ pub enum TirExpr {
 impl TirExpr {
     /// A load of a scalar (0-dimensional) buffer.
     pub fn load0(buffer: impl Into<String>) -> TirExpr {
-        TirExpr::Load { buffer: buffer.into(), indices: vec![] }
+        TirExpr::Load {
+            buffer: buffer.into(),
+            indices: vec![],
+        }
     }
 
     /// A load of a 1-dimensional buffer at index `var`.
     pub fn load1(buffer: impl Into<String>, var: impl Into<String>) -> TirExpr {
-        TirExpr::Load { buffer: buffer.into(), indices: vec![var.into()] }
+        TirExpr::Load {
+            buffer: buffer.into(),
+            indices: vec![var.into()],
+        }
     }
 
     /// All buffer names loaded by this expression.
@@ -73,7 +79,9 @@ impl TirExpr {
     pub fn load_uses_axis(&self, buffer: &str, axis: &str) -> bool {
         match self {
             TirExpr::Const(_) | TirExpr::Var(_) => false,
-            TirExpr::Load { buffer: b, indices } => b == buffer && indices.iter().any(|i| i == axis),
+            TirExpr::Load { buffer: b, indices } => {
+                b == buffer && indices.iter().any(|i| i == axis)
+            }
             TirExpr::Unary(_, a) => a.load_uses_axis(buffer, axis),
             TirExpr::Binary(_, a, b) | TirExpr::Sub(a, b) | TirExpr::Div(a, b) => {
                 a.load_uses_axis(buffer, axis) || b.load_uses_axis(buffer, axis)
@@ -147,7 +155,12 @@ impl Stmt {
     fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
         let pad = "    ".repeat(indent);
         match self {
-            Stmt::For { var, start, extent, body } => {
+            Stmt::For {
+                var,
+                start,
+                extent,
+                body,
+            } => {
                 if *start == 0 {
                     writeln!(f, "{pad}for {var} in range({extent}):")?;
                 } else {
@@ -158,12 +171,25 @@ impl Stmt {
                 }
                 Ok(())
             }
-            Stmt::Store { buffer, indices, value } => {
+            Stmt::Store {
+                buffer,
+                indices,
+                value,
+            } => {
                 writeln!(f, "{pad}{buffer}[{}] = {value}", format_indices(indices))
             }
-            Stmt::Update { buffer, indices, op, value } => match op {
-                BinaryOp::Add => writeln!(f, "{pad}{buffer}[{}] += {value}", format_indices(indices)),
-                BinaryOp::Mul => writeln!(f, "{pad}{buffer}[{}] *= {value}", format_indices(indices)),
+            Stmt::Update {
+                buffer,
+                indices,
+                op,
+                value,
+            } => match op {
+                BinaryOp::Add => {
+                    writeln!(f, "{pad}{buffer}[{}] += {value}", format_indices(indices))
+                }
+                BinaryOp::Mul => {
+                    writeln!(f, "{pad}{buffer}[{}] *= {value}", format_indices(indices))
+                }
                 _ => writeln!(
                     f,
                     "{pad}{buffer}[{idx}] = {op}({buffer}[{idx}], {value})",
@@ -210,20 +236,39 @@ pub struct BufferDecl {
 impl BufferDecl {
     /// An input buffer.
     pub fn input(name: impl Into<String>, shape: Vec<usize>) -> Self {
-        BufferDecl { name: name.into(), shape, kind: BufferKind::Input, init: 0.0 }
+        BufferDecl {
+            name: name.into(),
+            shape,
+            kind: BufferKind::Input,
+            init: 0.0,
+        }
     }
 
     /// An output buffer initialised to `init`.
     pub fn output(name: impl Into<String>, shape: Vec<usize>, init: f64) -> Self {
-        BufferDecl { name: name.into(), shape, kind: BufferKind::Output, init }
+        BufferDecl {
+            name: name.into(),
+            shape,
+            kind: BufferKind::Output,
+            init,
+        }
     }
 
     /// A temporary buffer initialised to `init`.
     pub fn temp(name: impl Into<String>, shape: Vec<usize>, init: f64) -> Self {
-        BufferDecl { name: name.into(), shape, kind: BufferKind::Temp, init }
+        BufferDecl {
+            name: name.into(),
+            shape,
+            kind: BufferKind::Temp,
+            init,
+        }
     }
 
     /// Total number of elements (1 for scalars).
+    ///
+    /// Always at least 1 — scalars occupy one slot — so an `is_empty`
+    /// counterpart would be vacuously false.
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         self.shape.iter().product::<usize>().max(1)
     }
@@ -351,7 +396,11 @@ mod tests {
             op: BinaryOp::Add,
             value: TirExpr::Const(1.0),
         };
-        let f = TirFunction { name: "t".into(), buffers: vec![], body: vec![add] };
+        let f = TirFunction {
+            name: "t".into(),
+            buffers: vec![],
+            body: vec![add],
+        };
         assert!(f.to_string().contains("s[0] += 1"));
     }
 }

@@ -26,7 +26,7 @@ pub mod fuse;
 pub mod interp;
 pub mod ir;
 
-pub use detect::{detect_cascade, DetectedCascade, DetectError};
+pub use detect::{detect_cascade, DetectError, DetectedCascade};
 pub use fuse::generate_fused;
 pub use interp::{Interpreter, RunError};
 pub use ir::{BufferDecl, BufferKind, Stmt, TirExpr, TirFunction};

@@ -119,42 +119,192 @@ impl MlaConfig {
 /// Table 2a: the nine MHA configurations.
 pub fn mha_configs() -> Vec<MhaConfig> {
     vec![
-        MhaConfig { name: "H1", bs: 32, hn: 8, q: 512, kv: 512, hd: 64, model: "BERT-Small" },
-        MhaConfig { name: "H2", bs: 32, hn: 12, q: 512, kv: 512, hd: 64, model: "BERT-Base" },
-        MhaConfig { name: "H3", bs: 32, hn: 16, q: 512, kv: 512, hd: 64, model: "BERT-Large" },
-        MhaConfig { name: "H4", bs: 32, hn: 12, q: 256, kv: 256, hd: 64, model: "ViT-Base" },
-        MhaConfig { name: "H5", bs: 32, hn: 16, q: 256, kv: 256, hd: 64, model: "ViT-Large" },
-        MhaConfig { name: "H6", bs: 32, hn: 16, q: 256, kv: 256, hd: 80, model: "ViT-Huge" },
-        MhaConfig { name: "H7", bs: 32, hn: 64, q: 1, kv: 1024, hd: 128, model: "LLaMA-65B" },
-        MhaConfig { name: "H8", bs: 32, hn: 64, q: 1, kv: 2048, hd: 128, model: "LLaMA-65B" },
-        MhaConfig { name: "H9", bs: 32, hn: 64, q: 1, kv: 4096, hd: 128, model: "LLaMA-65B" },
+        MhaConfig {
+            name: "H1",
+            bs: 32,
+            hn: 8,
+            q: 512,
+            kv: 512,
+            hd: 64,
+            model: "BERT-Small",
+        },
+        MhaConfig {
+            name: "H2",
+            bs: 32,
+            hn: 12,
+            q: 512,
+            kv: 512,
+            hd: 64,
+            model: "BERT-Base",
+        },
+        MhaConfig {
+            name: "H3",
+            bs: 32,
+            hn: 16,
+            q: 512,
+            kv: 512,
+            hd: 64,
+            model: "BERT-Large",
+        },
+        MhaConfig {
+            name: "H4",
+            bs: 32,
+            hn: 12,
+            q: 256,
+            kv: 256,
+            hd: 64,
+            model: "ViT-Base",
+        },
+        MhaConfig {
+            name: "H5",
+            bs: 32,
+            hn: 16,
+            q: 256,
+            kv: 256,
+            hd: 64,
+            model: "ViT-Large",
+        },
+        MhaConfig {
+            name: "H6",
+            bs: 32,
+            hn: 16,
+            q: 256,
+            kv: 256,
+            hd: 80,
+            model: "ViT-Huge",
+        },
+        MhaConfig {
+            name: "H7",
+            bs: 32,
+            hn: 64,
+            q: 1,
+            kv: 1024,
+            hd: 128,
+            model: "LLaMA-65B",
+        },
+        MhaConfig {
+            name: "H8",
+            bs: 32,
+            hn: 64,
+            q: 1,
+            kv: 2048,
+            hd: 128,
+            model: "LLaMA-65B",
+        },
+        MhaConfig {
+            name: "H9",
+            bs: 32,
+            hn: 64,
+            q: 1,
+            kv: 4096,
+            hd: 128,
+            model: "LLaMA-65B",
+        },
     ]
 }
 
 /// Table 2b: the nine MLA decode configurations.
 pub fn mla_configs() -> Vec<MlaConfig> {
     vec![
-        MlaConfig { name: "L1", bs: 32, hn: 128, kv: 1024, hd: 512, ped: 64 },
-        MlaConfig { name: "L2", bs: 32, hn: 128, kv: 2048, hd: 512, ped: 64 },
-        MlaConfig { name: "L3", bs: 32, hn: 128, kv: 4096, hd: 512, ped: 64 },
-        MlaConfig { name: "L4", bs: 16, hn: 128, kv: 1024, hd: 512, ped: 64 },
-        MlaConfig { name: "L5", bs: 16, hn: 128, kv: 2048, hd: 512, ped: 64 },
-        MlaConfig { name: "L6", bs: 16, hn: 128, kv: 4096, hd: 512, ped: 64 },
-        MlaConfig { name: "L7", bs: 1, hn: 128, kv: 1024, hd: 512, ped: 64 },
-        MlaConfig { name: "L8", bs: 1, hn: 128, kv: 2048, hd: 512, ped: 64 },
-        MlaConfig { name: "L9", bs: 1, hn: 128, kv: 4096, hd: 512, ped: 64 },
+        MlaConfig {
+            name: "L1",
+            bs: 32,
+            hn: 128,
+            kv: 1024,
+            hd: 512,
+            ped: 64,
+        },
+        MlaConfig {
+            name: "L2",
+            bs: 32,
+            hn: 128,
+            kv: 2048,
+            hd: 512,
+            ped: 64,
+        },
+        MlaConfig {
+            name: "L3",
+            bs: 32,
+            hn: 128,
+            kv: 4096,
+            hd: 512,
+            ped: 64,
+        },
+        MlaConfig {
+            name: "L4",
+            bs: 16,
+            hn: 128,
+            kv: 1024,
+            hd: 512,
+            ped: 64,
+        },
+        MlaConfig {
+            name: "L5",
+            bs: 16,
+            hn: 128,
+            kv: 2048,
+            hd: 512,
+            ped: 64,
+        },
+        MlaConfig {
+            name: "L6",
+            bs: 16,
+            hn: 128,
+            kv: 4096,
+            hd: 512,
+            ped: 64,
+        },
+        MlaConfig {
+            name: "L7",
+            bs: 1,
+            hn: 128,
+            kv: 1024,
+            hd: 512,
+            ped: 64,
+        },
+        MlaConfig {
+            name: "L8",
+            bs: 1,
+            hn: 128,
+            kv: 2048,
+            hd: 512,
+            ped: 64,
+        },
+        MlaConfig {
+            name: "L9",
+            bs: 1,
+            hn: 128,
+            kv: 4096,
+            hd: 512,
+            ped: 64,
+        },
     ]
 }
 
 /// A scaled-down MHA configuration for fast tests and examples: the same shape
 /// family as `H2` (BERT-Base) but with a small batch and sequence length.
 pub fn mha_tiny() -> MhaConfig {
-    MhaConfig { name: "tiny", bs: 2, hn: 2, q: 16, kv: 32, hd: 8, model: "unit-test" }
+    MhaConfig {
+        name: "tiny",
+        bs: 2,
+        hn: 2,
+        q: 16,
+        kv: 32,
+        hd: 8,
+        model: "unit-test",
+    }
 }
 
 /// A scaled-down MLA configuration for fast tests and examples.
 pub fn mla_tiny() -> MlaConfig {
-    MlaConfig { name: "tiny", bs: 2, hn: 4, kv: 64, hd: 16, ped: 8 }
+    MlaConfig {
+        name: "tiny",
+        bs: 2,
+        hn: 4,
+        kv: 64,
+        hd: 16,
+        ped: 8,
+    }
 }
 
 #[cfg(test)]
@@ -176,7 +326,9 @@ mod tests {
     fn table2b_matches_paper() {
         let configs = mla_configs();
         assert_eq!(configs.len(), 9);
-        assert!(configs.iter().all(|c| c.hn == 128 && c.hd == 512 && c.ped == 64));
+        assert!(configs
+            .iter()
+            .all(|c| c.hn == 128 && c.hd == 512 && c.ped == 64));
         assert_eq!(configs[6].bs, 1);
         assert_eq!(configs[2].kv, 4096);
     }

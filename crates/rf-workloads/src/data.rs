@@ -63,14 +63,20 @@ impl Matrix {
     /// Panics if the indices are out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
     /// Mutable element accessor.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, value: f64) {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         self.data[r * self.cols + c] = value;
     }
 

@@ -53,20 +53,83 @@ impl MoeConfig {
 /// Table 2c: the eight MoE routing configurations.
 pub fn moe_configs() -> Vec<MoeConfig> {
     vec![
-        MoeConfig { name: "R1", s: 2048, hd: 768, en: 128, topk: 1, model: "switch-base-128" },
-        MoeConfig { name: "R2", s: 2048, hd: 1024, en: 128, topk: 1, model: "switch-large-128" },
-        MoeConfig { name: "R3", s: 2048, hd: 4096, en: 128, topk: 1, model: "switch-xxl-128" },
-        MoeConfig { name: "R4", s: 2048, hd: 2560, en: 64, topk: 6, model: "ERNIE-21B-A3B" },
-        MoeConfig { name: "R5", s: 2048, hd: 8192, en: 64, topk: 8, model: "ERNIE-300B-A47B" },
-        MoeConfig { name: "R6", s: 2048, hd: 2048, en: 64, topk: 6, model: "DeepSeek-V2-Lite" },
-        MoeConfig { name: "R7", s: 2048, hd: 2048, en: 128, topk: 8, model: "Qwen3-30B-A3B" },
-        MoeConfig { name: "R8", s: 2048, hd: 4096, en: 128, topk: 8, model: "Qwen3-235B-A30B" },
+        MoeConfig {
+            name: "R1",
+            s: 2048,
+            hd: 768,
+            en: 128,
+            topk: 1,
+            model: "switch-base-128",
+        },
+        MoeConfig {
+            name: "R2",
+            s: 2048,
+            hd: 1024,
+            en: 128,
+            topk: 1,
+            model: "switch-large-128",
+        },
+        MoeConfig {
+            name: "R3",
+            s: 2048,
+            hd: 4096,
+            en: 128,
+            topk: 1,
+            model: "switch-xxl-128",
+        },
+        MoeConfig {
+            name: "R4",
+            s: 2048,
+            hd: 2560,
+            en: 64,
+            topk: 6,
+            model: "ERNIE-21B-A3B",
+        },
+        MoeConfig {
+            name: "R5",
+            s: 2048,
+            hd: 8192,
+            en: 64,
+            topk: 8,
+            model: "ERNIE-300B-A47B",
+        },
+        MoeConfig {
+            name: "R6",
+            s: 2048,
+            hd: 2048,
+            en: 64,
+            topk: 6,
+            model: "DeepSeek-V2-Lite",
+        },
+        MoeConfig {
+            name: "R7",
+            s: 2048,
+            hd: 2048,
+            en: 128,
+            topk: 8,
+            model: "Qwen3-30B-A3B",
+        },
+        MoeConfig {
+            name: "R8",
+            s: 2048,
+            hd: 4096,
+            en: 128,
+            topk: 8,
+            model: "Qwen3-235B-A30B",
+        },
     ]
 }
 
 /// A scaled-down configuration for fast tests and examples.
 pub fn moe_tiny() -> MoeConfig {
-    MoeConfig { name: "tiny", s: 16, hd: 32, en: 16, topk: 4, model: "unit-test" }
+    MoeConfig {
+        name: "tiny",
+        s: 16,
+        hd: 32,
+        en: 16,
+        topk: 4,
+        model: "unit-test",
+    }
 }
 
 #[cfg(test)]

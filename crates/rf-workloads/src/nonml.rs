@@ -70,39 +70,120 @@ impl InertiaConfig {
 /// Table 3a: the eight variance configurations.
 pub fn variance_configs() -> Vec<VarianceConfig> {
     vec![
-        VarianceConfig { name: "V1", bs: 1, l: 8192 },
-        VarianceConfig { name: "V2", bs: 1, l: 32768 },
-        VarianceConfig { name: "V3", bs: 128, l: 8192 },
-        VarianceConfig { name: "V4", bs: 128, l: 32768 },
-        VarianceConfig { name: "V5", bs: 512, l: 8192 },
-        VarianceConfig { name: "V6", bs: 512, l: 32768 },
-        VarianceConfig { name: "V7", bs: 1024, l: 8192 },
-        VarianceConfig { name: "V8", bs: 1024, l: 32768 },
+        VarianceConfig {
+            name: "V1",
+            bs: 1,
+            l: 8192,
+        },
+        VarianceConfig {
+            name: "V2",
+            bs: 1,
+            l: 32768,
+        },
+        VarianceConfig {
+            name: "V3",
+            bs: 128,
+            l: 8192,
+        },
+        VarianceConfig {
+            name: "V4",
+            bs: 128,
+            l: 32768,
+        },
+        VarianceConfig {
+            name: "V5",
+            bs: 512,
+            l: 8192,
+        },
+        VarianceConfig {
+            name: "V6",
+            bs: 512,
+            l: 32768,
+        },
+        VarianceConfig {
+            name: "V7",
+            bs: 1024,
+            l: 8192,
+        },
+        VarianceConfig {
+            name: "V8",
+            bs: 1024,
+            l: 32768,
+        },
     ]
 }
 
 /// Table 3b: the eight moment-of-inertia configurations.
 pub fn inertia_configs() -> Vec<InertiaConfig> {
     vec![
-        InertiaConfig { name: "I1", bs: 1, n: 8192, dim: 3 },
-        InertiaConfig { name: "I2", bs: 1, n: 32768, dim: 3 },
-        InertiaConfig { name: "I3", bs: 128, n: 8192, dim: 3 },
-        InertiaConfig { name: "I4", bs: 128, n: 32768, dim: 3 },
-        InertiaConfig { name: "I5", bs: 512, n: 8192, dim: 3 },
-        InertiaConfig { name: "I6", bs: 512, n: 32768, dim: 3 },
-        InertiaConfig { name: "I7", bs: 1024, n: 8192, dim: 3 },
-        InertiaConfig { name: "I8", bs: 1024, n: 32768, dim: 3 },
+        InertiaConfig {
+            name: "I1",
+            bs: 1,
+            n: 8192,
+            dim: 3,
+        },
+        InertiaConfig {
+            name: "I2",
+            bs: 1,
+            n: 32768,
+            dim: 3,
+        },
+        InertiaConfig {
+            name: "I3",
+            bs: 128,
+            n: 8192,
+            dim: 3,
+        },
+        InertiaConfig {
+            name: "I4",
+            bs: 128,
+            n: 32768,
+            dim: 3,
+        },
+        InertiaConfig {
+            name: "I5",
+            bs: 512,
+            n: 8192,
+            dim: 3,
+        },
+        InertiaConfig {
+            name: "I6",
+            bs: 512,
+            n: 32768,
+            dim: 3,
+        },
+        InertiaConfig {
+            name: "I7",
+            bs: 1024,
+            n: 8192,
+            dim: 3,
+        },
+        InertiaConfig {
+            name: "I8",
+            bs: 1024,
+            n: 32768,
+            dim: 3,
+        },
     ]
 }
 
 /// A scaled-down variance configuration for fast tests and examples.
 pub fn variance_tiny() -> VarianceConfig {
-    VarianceConfig { name: "tiny", bs: 4, l: 256 }
+    VarianceConfig {
+        name: "tiny",
+        bs: 4,
+        l: 256,
+    }
 }
 
 /// A scaled-down moment-of-inertia configuration for fast tests and examples.
 pub fn inertia_tiny() -> InertiaConfig {
-    InertiaConfig { name: "tiny", bs: 4, n: 128, dim: 3 }
+    InertiaConfig {
+        name: "tiny",
+        bs: 4,
+        n: 128,
+        dim: 3,
+    }
 }
 
 #[cfg(test)]

@@ -49,22 +49,88 @@ impl QuantGemmConfig {
 /// Table 2d: the ten Quant + GEMM configurations.
 pub fn quant_configs() -> Vec<QuantGemmConfig> {
     vec![
-        QuantGemmConfig { name: "Q1", m: 4096, n: 1536, k: 2560, model: "ERNIE-21B-A3B" },
-        QuantGemmConfig { name: "Q2", m: 4096, n: 2560, k: 1536, model: "ERNIE-21B-A3B" },
-        QuantGemmConfig { name: "Q3", m: 4096, n: 3584, k: 8192, model: "ERNIE-300B-A47B" },
-        QuantGemmConfig { name: "Q4", m: 4096, n: 8192, k: 3584, model: "ERNIE-300B-A47B" },
-        QuantGemmConfig { name: "Q5", m: 4096, n: 7168, k: 2048, model: "DeepSeek-R1" },
-        QuantGemmConfig { name: "Q6", m: 4096, n: 2048, k: 7168, model: "DeepSeek-R1" },
-        QuantGemmConfig { name: "Q7", m: 4096, n: 2048, k: 768, model: "Qwen3-30B-A3B" },
-        QuantGemmConfig { name: "Q8", m: 4096, n: 768, k: 2048, model: "Qwen3-30B-A3B" },
-        QuantGemmConfig { name: "Q9", m: 4096, n: 4096, k: 1536, model: "Qwen3-235B-A30B" },
-        QuantGemmConfig { name: "Q10", m: 4096, n: 1536, k: 4096, model: "Qwen3-235B-A30B" },
+        QuantGemmConfig {
+            name: "Q1",
+            m: 4096,
+            n: 1536,
+            k: 2560,
+            model: "ERNIE-21B-A3B",
+        },
+        QuantGemmConfig {
+            name: "Q2",
+            m: 4096,
+            n: 2560,
+            k: 1536,
+            model: "ERNIE-21B-A3B",
+        },
+        QuantGemmConfig {
+            name: "Q3",
+            m: 4096,
+            n: 3584,
+            k: 8192,
+            model: "ERNIE-300B-A47B",
+        },
+        QuantGemmConfig {
+            name: "Q4",
+            m: 4096,
+            n: 8192,
+            k: 3584,
+            model: "ERNIE-300B-A47B",
+        },
+        QuantGemmConfig {
+            name: "Q5",
+            m: 4096,
+            n: 7168,
+            k: 2048,
+            model: "DeepSeek-R1",
+        },
+        QuantGemmConfig {
+            name: "Q6",
+            m: 4096,
+            n: 2048,
+            k: 7168,
+            model: "DeepSeek-R1",
+        },
+        QuantGemmConfig {
+            name: "Q7",
+            m: 4096,
+            n: 2048,
+            k: 768,
+            model: "Qwen3-30B-A3B",
+        },
+        QuantGemmConfig {
+            name: "Q8",
+            m: 4096,
+            n: 768,
+            k: 2048,
+            model: "Qwen3-30B-A3B",
+        },
+        QuantGemmConfig {
+            name: "Q9",
+            m: 4096,
+            n: 4096,
+            k: 1536,
+            model: "Qwen3-235B-A30B",
+        },
+        QuantGemmConfig {
+            name: "Q10",
+            m: 4096,
+            n: 1536,
+            k: 4096,
+            model: "Qwen3-235B-A30B",
+        },
     ]
 }
 
 /// A scaled-down configuration for fast tests and examples.
 pub fn quant_tiny() -> QuantGemmConfig {
-    QuantGemmConfig { name: "tiny", m: 8, n: 12, k: 16, model: "unit-test" }
+    QuantGemmConfig {
+        name: "tiny",
+        m: 8,
+        n: 12,
+        k: 16,
+        model: "unit-test",
+    }
 }
 
 #[cfg(test)]

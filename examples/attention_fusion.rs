@@ -13,19 +13,29 @@ use redfuser::kernels::attention::{attention_naive, flash_attention};
 use redfuser::tir::{builder, detect_cascade, generate_fused, Interpreter};
 use redfuser::workloads::{mha_configs, Matrix};
 
-fn main() {
+pub fn main() {
     // --- Front end: scalar loop nest -> cascade -> fused scalar kernel. ---
     let unfused = builder::unfused_attention_row(256);
     let detected = detect_cascade(&unfused).expect("attention row is a cascaded reduction");
-    let plan = redfuser::fusion::analyze_cascade(&detected.cascade).expect("attention row is fusable");
+    let plan =
+        redfuser::fusion::analyze_cascade(&detected.cascade).expect("attention row is fusable");
     let fused = generate_fused(&plan, &detected);
-    println!("detected cascade over axis `{}` with reductions {:?}", detected.axis, detected.reduction_buffers);
+    println!(
+        "detected cascade over axis `{}` with reductions {:?}",
+        detected.axis, detected.reduction_buffers
+    );
     println!("\nfused scalar kernel:\n{fused}");
 
     // The fused kernel computes the same result as the unfused loop nest.
     let inputs = HashMap::from([
-        ("p".to_string(), redfuser::workloads::random_vec(256, 3, -2.0, 2.0)),
-        ("v".to_string(), redfuser::workloads::random_vec(256, 4, -2.0, 2.0)),
+        (
+            "p".to_string(),
+            redfuser::workloads::random_vec(256, 3, -2.0, 2.0),
+        ),
+        (
+            "v".to_string(),
+            redfuser::workloads::random_vec(256, 4, -2.0, 2.0),
+        ),
     ]);
     let interp = Interpreter::new();
     let a = interp.run(&unfused, &inputs).unwrap();
@@ -37,19 +47,32 @@ fn main() {
     let k = Matrix::random(128, 64, 2, -1.0, 1.0);
     let v = Matrix::random(128, 64, 3, -1.0, 1.0);
     let scale = 1.0 / 8.0;
-    let diff = attention_naive(&q, &k, &v, scale).max_abs_diff(&flash_attention(&q, &k, &v, scale, 64));
+    let diff =
+        attention_naive(&q, &k, &v, scale).max_abs_diff(&flash_attention(&q, &k, &v, scale, 64));
     println!("max |naive - flash| = {diff:.3e}");
 
     // --- Back end: compile BERT-base MHA for an A10 and compare latencies. ---
     let arch = GpuArch::a10();
-    let config = mha_configs().into_iter().find(|c| c.model == "BERT-Base").unwrap();
+    let config = mha_configs()
+        .into_iter()
+        .find(|c| c.model == "BERT-Base")
+        .unwrap();
     let compiled = compile_workload(&Workload::Mha(config.clone()), &arch);
-    println!("\nRedFuser-compiled kernel (tuned {:?}):", compiled.tuning.point);
+    println!(
+        "\nRedFuser-compiled kernel (tuned {:?}):",
+        compiled.tuning.point
+    );
     if let Some(program) = &compiled.program {
         println!("{program}");
     }
-    let eager = sequence_latency(&arch, &CompilerBaseline::PyTorchEager.kernels(&mha_op_list(&config)));
-    let dynamo = sequence_latency(&arch, &CompilerBaseline::Dynamo.kernels(&mha_op_list(&config)));
+    let eager = sequence_latency(
+        &arch,
+        &CompilerBaseline::PyTorchEager.kernels(&mha_op_list(&config)),
+    );
+    let dynamo = sequence_latency(
+        &arch,
+        &CompilerBaseline::Dynamo.kernels(&mha_op_list(&config)),
+    );
     let fa2 = estimate_latency(&arch, &flash_attention2_profile(&config)).total_us;
     println!("estimated latency on {} ({}):", arch.name, config.name);
     println!("  PyTorch Eager    {eager:10.1} us");

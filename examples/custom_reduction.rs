@@ -6,11 +6,14 @@
 
 use redfuser::algebra::ReduceOp;
 use redfuser::expr::Expr;
-use redfuser::fusion::{acrf::analyze_cascade, CascadeInput, CascadeSpec, IncrementalEvaluator, NaiveCascadeEvaluator, ReductionSpec};
+use redfuser::fusion::{
+    acrf::analyze_cascade, CascadeInput, CascadeSpec, IncrementalEvaluator, NaiveCascadeEvaluator,
+    ReductionSpec,
+};
 use redfuser::kernels::nonml::{inertia_fused, inertia_naive, variance_fused, variance_naive};
 use redfuser::workloads::{random_vec, Matrix};
 
-fn main() {
+pub fn main() {
     // A custom cascade built from scratch: a scaled-normalisation pattern
     // s = sum x, q = sum x / s (every later term normalised by the total).
     let x = Expr::var("x");
@@ -34,8 +37,16 @@ fn main() {
 
     // The paper's non-ML workloads, evaluated with the dedicated kernels.
     let data = random_vec(32768, 13, -3.0, 3.0);
-    println!("\nvariance:   two-pass {:.6} vs fused single-pass {:.6}", variance_naive(&data), variance_fused(&data));
+    println!(
+        "\nvariance:   two-pass {:.6} vs fused single-pass {:.6}",
+        variance_naive(&data),
+        variance_fused(&data)
+    );
     let masses = random_vec(8192, 17, 0.1, 2.0);
     let positions = Matrix::random(8192, 3, 18, -5.0, 5.0);
-    println!("inertia:    three-pass {:.3} vs fused single-pass {:.3}", inertia_naive(&masses, &positions), inertia_fused(&masses, &positions));
+    println!(
+        "inertia:    three-pass {:.3} vs fused single-pass {:.3}",
+        inertia_naive(&masses, &positions),
+        inertia_fused(&masses, &positions)
+    );
 }

@@ -10,9 +10,10 @@ use redfuser::gpusim::{sequence_latency, GpuArch};
 use redfuser::kernels::moe::{decisions_equal, route_fused, route_naive};
 use redfuser::workloads::{moe_configs, Matrix};
 
-fn main() {
+pub fn main() {
     // The symbolic side: the routing softmax is a fusable cascade.
-    let plan = redfuser::fusion::analyze_cascade(&redfuser::fusion::patterns::moe_routing_scores()).unwrap();
+    let plan = redfuser::fusion::analyze_cascade(&redfuser::fusion::patterns::moe_routing_scores())
+        .unwrap();
     println!("{}", plan.report());
 
     // The numeric side: fused streaming routing matches the unfused pipeline.
@@ -20,8 +21,19 @@ fn main() {
     let w = Matrix::random(128, 64, 6, -1.0, 1.0);
     let naive = route_naive(&x, &w, 6);
     let fused = route_fused(&x, &w, 6);
-    println!("fused routing matches unfused: {}", decisions_equal(&naive, &fused, 1e-9));
-    println!("token 0 experts: {:?} probs: {:?}", fused[0].experts, fused[0].probs.iter().map(|p| format!("{p:.4}")).collect::<Vec<_>>());
+    println!(
+        "fused routing matches unfused: {}",
+        decisions_equal(&naive, &fused, 1e-9)
+    );
+    println!(
+        "token 0 experts: {:?} probs: {:?}",
+        fused[0].experts,
+        fused[0]
+            .probs
+            .iter()
+            .map(|p| format!("{p:.4}"))
+            .collect::<Vec<_>>()
+    );
 
     // The performance side: DeepSeek-V2-Lite routing (R6) on an A10.
     let arch = GpuArch::a10();
@@ -30,7 +42,11 @@ fn main() {
     let ops = moe_op_list(&config);
     println!("\nestimated latency on {} ({}):", arch.name, config.name);
     for baseline in CompilerBaseline::ALL {
-        println!("  {:<16}{:10.1} us", baseline.name(), sequence_latency(&arch, &baseline.kernels(&ops)));
+        println!(
+            "  {:<16}{:10.1} us",
+            baseline.name(),
+            sequence_latency(&arch, &baseline.kernels(&ops))
+        );
     }
     println!("  {:<16}{:10.1} us", "RedFuser", compiled.latency_us);
 }

@@ -10,26 +10,39 @@ use redfuser::gpusim::{sequence_latency, GpuArch};
 use redfuser::kernels::quant::{quant_gemm_fused, quant_gemm_naive};
 use redfuser::workloads::{quant_configs, Matrix};
 
-fn main() {
+pub fn main() {
     // Symbolic derivation (Eq. 17-22 of the paper).
-    let plan = redfuser::fusion::analyze_cascade(&redfuser::fusion::patterns::fp8_quant_gemm()).unwrap();
+    let plan =
+        redfuser::fusion::analyze_cascade(&redfuser::fusion::patterns::fp8_quant_gemm()).unwrap();
     println!("{}", plan.report());
 
     // Numeric check: the fused streaming kernel matches the three-pass one.
     let a = Matrix::random(16, 64, 9, -2.0, 2.0);
     let w = Matrix::random(64, 24, 10, -1.0, 1.0);
     let diff = quant_gemm_naive(&a, &w).max_abs_diff(&quant_gemm_fused(&a, &w, 64));
-    println!("max |unfused - fused| = {diff:.3e} (single-block fusion performs identical roundings)");
+    println!(
+        "max |unfused - fused| = {diff:.3e} (single-block fusion performs identical roundings)"
+    );
 
     // Performance: DeepSeek-R1 projection shapes (Q5/Q6) on an H800.
     let arch = GpuArch::h800();
     for name in ["Q5", "Q6"] {
-        let config = quant_configs().into_iter().find(|c| c.name == name).unwrap();
+        let config = quant_configs()
+            .into_iter()
+            .find(|c| c.name == name)
+            .unwrap();
         let compiled = compile_workload(&Workload::Quant(config.clone()), &arch);
         let ops = quant_op_list(&config);
-        println!("\nestimated latency on {} ({} = [{} x {}] * [{} x {}]):", arch.name, name, config.m, config.k, config.k, config.n);
+        println!(
+            "\nestimated latency on {} ({} = [{} x {}] * [{} x {}]):",
+            arch.name, name, config.m, config.k, config.k, config.n
+        );
         for baseline in CompilerBaseline::ALL {
-            println!("  {:<16}{:10.1} us", baseline.name(), sequence_latency(&arch, &baseline.kernels(&ops)));
+            println!(
+                "  {:<16}{:10.1} us",
+                baseline.name(),
+                sequence_latency(&arch, &baseline.kernels(&ops))
+            );
         }
         println!("  {:<16}{:10.1} us", "RedFuser", compiled.latency_us);
     }

@@ -3,10 +3,13 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
-use redfuser::fusion::{acrf::analyze_cascade, patterns, CascadeInput, FusedTreeEvaluator, IncrementalEvaluator, NaiveCascadeEvaluator, TreeShape};
+use redfuser::fusion::{
+    acrf::analyze_cascade, patterns, CascadeInput, FusedTreeEvaluator, IncrementalEvaluator,
+    NaiveCascadeEvaluator, TreeShape,
+};
 use redfuser::workloads::random_vec;
 
-fn main() {
+pub fn main() {
     // 1. A cascaded reduction: safe softmax (max reduction, then sum of
     //    shifted exponentials that depends on the max).
     let cascade = patterns::safe_softmax();
@@ -26,9 +29,15 @@ fn main() {
     let tree = FusedTreeEvaluator::new().evaluate(&plan, &input, &shape);
 
     println!("reduction tree shape: {shape}");
-    println!("{:<12}{:>20}{:>20}{:>20}", "result", "unfused", "fused streaming", "fused tree");
+    println!(
+        "{:<12}{:>20}{:>20}{:>20}",
+        "result", "unfused", "fused streaming", "fused tree"
+    );
     for (i, name) in cascade.result_names().iter().enumerate() {
-        println!("{:<12}{:>20.12}{:>20.12}{:>20.12}", name, naive[i], streaming[i], tree[i]);
+        println!(
+            "{:<12}{:>20.12}{:>20.12}{:>20.12}",
+            name, naive[i], streaming[i], tree[i]
+        );
     }
 
     // 4. A non-fusable cascade is rejected with a precise reason.

@@ -61,7 +61,11 @@ fn figure6b_incremental_mode_unlocks_configurations_non_incremental_cannot_reach
     // which is the §5.4 trade-off.
     for p in &sweep {
         if let Some(non_inc) = p.non_incremental_us {
-            assert!(non_inc <= p.incremental_us * 1.001, "kv_per_cta = {}", p.kv_per_cta);
+            assert!(
+                non_inc <= p.incremental_us * 1.001,
+                "kv_per_cta = {}",
+                p.kv_per_cta
+            );
         }
     }
     // The whole sweep is reachable incrementally.
@@ -75,10 +79,16 @@ fn figure7_fusion_reduces_dependency_and_input_traffic() {
     let mut previous = unfused;
     for k in 1..=shape.depth() {
         let fused = shape.dependency_loads(Some(k));
-        assert!(fused < previous, "level {k} must reduce dependency loads further");
+        assert!(
+            fused < previous,
+            "level {k} must reduce dependency loads further"
+        );
         previous = fused;
     }
-    assert_eq!(shape.input_loads(3, 1, true) * 3, shape.input_loads(3, 1, false));
+    assert_eq!(
+        shape.input_loads(3, 1, true) * 3,
+        shape.input_loads(3, 1, false)
+    );
 }
 
 #[test]

@@ -23,21 +23,37 @@ fn close(a: f64, b: f64) -> bool {
 fn tir_to_fused_kernel_matches_reference_for_every_builder() {
     // Front end end-to-end: builder loop nest -> detection -> ACRF -> fused
     // scalar kernel -> interpreter, compared against the unfused loop nest.
-    let cases: Vec<(redfuser::tir::TirFunction, Vec<(&str, (f64, f64))>)> = vec![
+    type Case = (redfuser::tir::TirFunction, Vec<(&'static str, (f64, f64))>);
+    let cases: Vec<Case> = vec![
         (builder::unfused_softmax(96), vec![("x", (-3.0, 3.0))]),
-        (builder::unfused_attention_row(128), vec![("p", (-2.0, 2.0)), ("v", (-2.0, 2.0))]),
-        (builder::unfused_quant_gemm_row(80), vec![("a", (-2.0, 2.0)), ("w", (-1.0, 1.0))]),
-        (builder::unfused_sum_sum(64), vec![("x1", (0.5, 2.0)), ("x2", (-1.0, 1.0))]),
+        (
+            builder::unfused_attention_row(128),
+            vec![("p", (-2.0, 2.0)), ("v", (-2.0, 2.0))],
+        ),
+        (
+            builder::unfused_quant_gemm_row(80),
+            vec![("a", (-2.0, 2.0)), ("w", (-1.0, 1.0))],
+        ),
+        (
+            builder::unfused_sum_sum(64),
+            vec![("x1", (0.5, 2.0)), ("x2", (-1.0, 1.0))],
+        ),
     ];
     let interp = Interpreter::new();
     for (unfused, ranges) in cases {
         let detected = detect_cascade(&unfused).unwrap_or_else(|e| panic!("{}: {e}", unfused.name));
-        let plan = analyze_cascade(&detected.cascade).unwrap_or_else(|e| panic!("{}: {e}", unfused.name));
+        let plan =
+            analyze_cascade(&detected.cascade).unwrap_or_else(|e| panic!("{}: {e}", unfused.name));
         let fused = generate_fused(&plan, &detected);
         let inputs: HashMap<String, Vec<f64>> = ranges
             .iter()
             .enumerate()
-            .map(|(i, (name, (lo, hi)))| (name.to_string(), random_vec(detected.extent, 100 + i as u64, *lo, *hi)))
+            .map(|(i, (name, (lo, hi)))| {
+                (
+                    name.to_string(),
+                    random_vec(detected.extent, 100 + i as u64, *lo, *hi),
+                )
+            })
             .collect();
         let expected = interp.run(&unfused, &inputs).unwrap();
         let actual = interp.run(&fused, &inputs).unwrap();
@@ -73,7 +89,10 @@ fn generic_evaluators_agree_with_dedicated_attention_kernels() {
         let values: Vec<f64> = (0..kv).map(|j| v.get(j, component)).collect();
         let input = CascadeInput::new([("p".to_string(), scores), ("v".to_string(), values)]);
         let result = IncrementalEvaluator::new().evaluate(&plan, &input);
-        assert!(close(result[2], naive.get(0, component)), "component {component}");
+        assert!(
+            close(result[2], naive.get(0, component)),
+            "component {component}"
+        );
     }
 }
 
@@ -126,7 +145,10 @@ fn headline_speedups_have_the_papers_shape() {
     let dynamo = sequence_latency(&a10, &CompilerBaseline::Dynamo.kernels(&ops));
     let tvm = sequence_latency(&a10, &CompilerBaseline::Tvm.kernels(&ops));
     assert!(fused.latency_us < dynamo && fused.latency_us < tvm && fused.latency_us < eager);
-    assert!(eager / fused.latency_us >= 2.0, "fused attention should be at least ~2x over eager");
+    assert!(
+        eager / fused.latency_us >= 2.0,
+        "fused attention should be at least ~2x over eager"
+    );
 
     let moe = &moe_configs()[6];
     let fused = compile_workload(&Workload::Moe(moe.clone()), &a10);
@@ -136,9 +158,15 @@ fn headline_speedups_have_the_papers_shape() {
     let quant = &quant_configs()[5];
     let fused = compile_workload(&Workload::Quant(quant.clone()), &h800);
     let tvm = sequence_latency(&h800, &CompilerBaseline::Tvm.kernels(&quant_op_list(quant)));
-    let dynamo = sequence_latency(&h800, &CompilerBaseline::Dynamo.kernels(&quant_op_list(quant)));
+    let dynamo = sequence_latency(
+        &h800,
+        &CompilerBaseline::Dynamo.kernels(&quant_op_list(quant)),
+    );
     assert!(fused.latency_us < dynamo && fused.latency_us < tvm);
-    assert!(tvm / fused.latency_us > dynamo / fused.latency_us, "TVM must trail Dynamo on Quant+GEMM");
+    assert!(
+        tvm / fused.latency_us > dynamo / fused.latency_us,
+        "TVM must trail Dynamo on Quant+GEMM"
+    );
 }
 
 #[test]

@@ -1,0 +1,175 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! implements the subset of the Criterion 0.5 API the `rf-bench` benchmark
+//! suite uses: [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`] and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology (simplified vs real Criterion, same shape): a short warm-up,
+//! then timed batches that grow until the measurement window is filled, and a
+//! mean-per-iteration report on stdout. There is no statistical analysis, no
+//! HTML report and no `target/criterion` state; the goal is that `cargo bench`
+//! compiles, runs quickly and prints comparable per-benchmark timings.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box so `criterion::black_box` callers work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: `function name / parameter` (e.g. `unfused/1024`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration measured by the last `iter` call.
+    mean: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: a few iterations so lazy initialisation and cache effects
+        // do not dominate the first timed batch.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        // Timed batches: double the batch size until one batch fills the
+        // measurement window, then report mean time per iteration.
+        let window = Duration::from_millis(40);
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= window || batch >= (1 << 20) {
+                self.mean = elapsed / (batch as u32).max(1);
+                return;
+            }
+            batch *= 2;
+        }
+    }
+}
+
+/// A named collection of related benchmarks, printed under a common prefix.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            mean: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!("{}/{:<40} {:>14.3?}/iter", self.name, id, bencher.mean);
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.id.clone();
+        self.run_one(&name, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        let name = group_name.into();
+        println!("\n-- group: {name}");
+        BenchmarkGroup {
+            name,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id);
+        group.bench_function("base", f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_nonzero_mean() {
+        let mut group = Criterion::default();
+        let mut group = group.benchmark_group("shim");
+        group.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).map(black_box).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("unfused", 1024);
+        assert_eq!(id.id, "unfused/1024");
+    }
+}

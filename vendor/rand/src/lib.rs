@@ -1,0 +1,151 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored shim
+//! provides the (small) subset of the `rand 0.8` API the workspace uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic PRNG (SplitMix64 core),
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`Rng::gen_range`] over `Range<f64>` / `RangeInclusive<f64>` and the
+//!   integer ranges used by tests.
+//!
+//! Determinism matters more than statistical quality here: every consumer
+//! seeds explicitly and uses the values as reproducible test data.
+
+pub mod rngs {
+    /// Deterministic PRNG with the same role as `rand::rngs::StdRng`.
+    ///
+    /// Internally a SplitMix64 sequence: passes basic equidistribution needs
+    /// of synthetic-data generation and is trivially seedable from a `u64`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        pub(crate) fn from_u64(seed: u64) -> Self {
+            // Avoid the all-zero fixed point and decorrelate small seeds.
+            StdRng {
+                state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng::from_u64(seed)
+        }
+    }
+}
+
+/// Core random-source trait: everything derives from a stream of `u64`s.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding trait mirroring `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 high-quality bits -> uniform in [0, 1).
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + unit_f64(rng) * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for core::ops::RangeInclusive<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty range");
+        lo + unit_f64(rng) * (hi - lo)
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi - lo) as u128 + 1;
+                (lo + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(usize, u64, u32, i64, i32);
+
+/// User-facing trait mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(-2.0..2.0), b.gen_range(-2.0..2.0));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(-4.0..4.0);
+            assert!((-4.0..4.0).contains(&x));
+            let y: f64 = rng.gen_range(1.0..=2.0);
+            assert!((1.0..=2.0).contains(&y));
+            let n: usize = rng.gen_range(0..10usize);
+            assert!(n < 10);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..8).map(|_| a.gen_range(0.0..1.0)).collect();
+        let ys: Vec<f64> = (0..8).map(|_| b.gen_range(0.0..1.0)).collect();
+        assert_ne!(xs, ys);
+    }
+}
