@@ -1,0 +1,84 @@
+//! Criterion benchmark: the serving runtime's plan-cache hit path vs
+//! re-compiling per request, plus end-to-end engine throughput.
+//!
+//! Because the vendored criterion shim does not report statistics, the
+//! benchmark also measures both paths with `std::time::Instant` and asserts
+//! the ≥10× amortization claim the plan cache exists for.
+
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rf_codegen::{compile_workload, Workload};
+use rf_gpusim::GpuArch;
+use rf_runtime::{Engine, PlanCache, Request, RuntimeConfig};
+use rf_workloads::random_matrix;
+
+fn bench_runtime(c: &mut Criterion) {
+    let arch = GpuArch::a10();
+    let workload = Workload::Softmax {
+        rows: 256,
+        len: 1024,
+    };
+    let cache = PlanCache::new(arch.clone(), 8);
+    cache.get_or_compile(&workload); // warm the cache
+
+    let mut group = c.benchmark_group("runtime");
+    group.bench_function("compile_per_request", |b| {
+        b.iter(|| compile_workload(&workload, &arch))
+    });
+    group.bench_function("plan_cache_hit", |b| {
+        b.iter(|| cache.get_or_compile(&workload))
+    });
+    group.bench_function("engine_serve_32_softmax", |b| {
+        b.iter(|| {
+            let engine = Engine::with_config(
+                arch.clone(),
+                RuntimeConfig {
+                    workers: 2,
+                    max_batch: 8,
+                    cache_capacity: 8,
+                },
+            );
+            let tickets: Vec<_> = (0..32)
+                .map(|seed| {
+                    engine
+                        .submit(Request::softmax(random_matrix(2, 64, seed, -1.0, 1.0)))
+                        .unwrap()
+                })
+                .collect();
+            engine.run_until_drained();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().unwrap().simulated_us)
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+
+    // Explicit measurement of the amortization factor.
+    const COMPILES: u32 = 20;
+    const HITS: u32 = 20_000;
+    let start = Instant::now();
+    for _ in 0..COMPILES {
+        black_box(compile_workload(&workload, &arch));
+    }
+    let compile_ns = start.elapsed().as_nanos() as f64 / f64::from(COMPILES);
+    let start = Instant::now();
+    for _ in 0..HITS {
+        black_box(cache.get_or_compile(&workload));
+    }
+    let hit_ns = start.elapsed().as_nanos() as f64 / f64::from(HITS);
+    let speedup = compile_ns / hit_ns;
+    println!(
+        "plan cache: compile {:.1} us/request, warm hit {:.3} us/request, {speedup:.0}x",
+        compile_ns / 1e3,
+        hit_ns / 1e3
+    );
+    assert!(
+        speedup >= 10.0,
+        "plan-cache hit path must be >=10x faster than compiling per request, got {speedup:.1}x"
+    );
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

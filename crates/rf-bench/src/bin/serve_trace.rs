@@ -1,0 +1,178 @@
+//! Replays a synthetic request trace through the serving runtime and prints
+//! the metrics report — the serving analogue of the figure binaries.
+//!
+//! The trace mixes every workload family with a skewed shape distribution
+//! (softmax-heavy, like decode-time serving traffic), submitted from several
+//! client threads at once.
+//!
+//! ```console
+//! $ cargo run --release -p rf-bench --bin serve_trace [arch] [requests]
+//! ```
+//!
+//! `arch` is one of `a10 | a100 | h800 | mi308x` (default `h800`), `requests`
+//! the total trace length (default 256).
+
+use std::sync::Arc;
+use std::thread;
+
+use rf_codegen::Workload;
+use rf_gpusim::GpuArch;
+use rf_runtime::{Engine, Request, RequestInput, RuntimeConfig};
+use rf_workloads::{
+    inertia_tiny, mha_tiny, mla_tiny, moe_tiny, quant_tiny, random_matrix, random_vec,
+    variance_tiny,
+};
+
+/// Builds the `i`-th trace request. The pattern is 10 slots wide and skewed:
+/// four softmax of one shape, two of another, then one of each remaining
+/// family — repeated shapes are what the plan cache and batcher exploit.
+fn trace_request(i: u64) -> Request {
+    let seed = i * 31;
+    match i % 10 {
+        0..=3 => Request::softmax(random_matrix(4, 256, seed, -2.0, 2.0)),
+        4 | 5 => Request::softmax(random_matrix(2, 1024, seed, -2.0, 2.0)),
+        6 => {
+            let c = mha_tiny();
+            Request::new(
+                Workload::Mha(c.clone()),
+                RequestInput::Attention {
+                    q: random_matrix(c.q, c.hd, seed, -1.0, 1.0),
+                    k: random_matrix(c.kv, c.hd, seed + 1, -1.0, 1.0),
+                    v: random_matrix(c.kv, c.hd, seed + 2, -1.0, 1.0),
+                },
+            )
+            .expect("tiny MHA request is valid")
+        }
+        7 => {
+            let c = mla_tiny();
+            Request::new(
+                Workload::Mla(c.clone()),
+                RequestInput::Attention {
+                    q: random_matrix(1, c.qk_dim(), seed, -1.0, 1.0),
+                    k: random_matrix(c.kv, c.qk_dim(), seed + 1, -1.0, 1.0),
+                    v: random_matrix(c.kv, c.hd, seed + 2, -1.0, 1.0),
+                },
+            )
+            .expect("tiny MLA request is valid")
+        }
+        8 => {
+            let c = moe_tiny();
+            Request::new(
+                Workload::Moe(c.clone()),
+                RequestInput::Routing {
+                    x: random_matrix(16, c.hd, seed, -1.0, 1.0),
+                    w: random_matrix(c.hd, c.en, seed + 1, -1.0, 1.0),
+                },
+            )
+            .expect("tiny MoE request is valid")
+        }
+        _ => match i % 3 {
+            0 => {
+                let c = quant_tiny();
+                Request::new(
+                    Workload::Quant(c.clone()),
+                    RequestInput::QuantGemm {
+                        a: random_matrix(8, c.k, seed, -1.0, 1.0),
+                        w: random_matrix(c.k, c.n, seed + 1, -1.0, 1.0),
+                    },
+                )
+                .expect("tiny quant request is valid")
+            }
+            1 => {
+                let c = variance_tiny();
+                Request::new(
+                    Workload::Variance(c.clone()),
+                    RequestInput::Rows(random_matrix(4, c.l, seed, -2.0, 2.0)),
+                )
+                .expect("tiny variance request is valid")
+            }
+            _ => {
+                let c = inertia_tiny();
+                Request::new(
+                    Workload::Inertia(c.clone()),
+                    RequestInput::Inertia {
+                        masses: random_vec(64, seed, 0.1, 2.0),
+                        positions: random_matrix(64, c.dim, seed + 1, -1.0, 1.0),
+                    },
+                )
+                .expect("tiny inertia request is valid")
+            }
+        },
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let arch = args
+        .next()
+        .map(|name| GpuArch::by_name(&name).unwrap_or_else(|| panic!("unknown arch `{name}`")))
+        .unwrap_or_else(GpuArch::h800);
+    let requests: u64 = args
+        .next()
+        .map(|n| n.parse().expect("requests must be an integer"))
+        .unwrap_or(256);
+    const CLIENTS: u64 = 4;
+
+    println!(
+        "replaying a synthetic trace: {requests} requests, {CLIENTS} clients, arch {}",
+        arch.name
+    );
+    let engine = Arc::new(Engine::with_config(
+        arch,
+        RuntimeConfig {
+            workers: 4,
+            max_batch: 16,
+            cache_capacity: 32,
+        },
+    ));
+
+    let clients: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let engine = Arc::clone(&engine);
+            thread::spawn(move || {
+                let mut simulated_us = 0.0;
+                let mut served = 0u64;
+                // Client c replays trace slots c, c+CLIENTS, c+2*CLIENTS, …,
+                // keeping a window of requests in flight so the scheduler can
+                // actually form batches.
+                let slots: Vec<u64> = (client..requests).step_by(CLIENTS as usize).collect();
+                for window in slots.chunks(16) {
+                    let tickets: Vec<_> = window
+                        .iter()
+                        .map(|&i| {
+                            engine
+                                .submit(trace_request(i))
+                                .expect("engine accepts trace requests")
+                        })
+                        .collect();
+                    for ticket in tickets {
+                        let result = ticket.wait().expect("trace request completes");
+                        // Batch members share one launch; count each request's
+                        // amortized share so the total is the simulated GPU
+                        // time actually spent, not batch-size times it.
+                        simulated_us += result.simulated_us / result.batch_size as f64;
+                        served += 1;
+                    }
+                }
+                (served, simulated_us)
+            })
+        })
+        .collect();
+
+    let mut served = 0u64;
+    let mut simulated_us = 0.0;
+    for client in clients {
+        let (s, us) = client.join().expect("client thread succeeds");
+        served += s;
+        simulated_us += us;
+    }
+    engine.run_until_drained();
+
+    assert_eq!(served, requests);
+    println!(
+        "total simulated GPU time {:.1} us across {} compiled plans\n",
+        simulated_us,
+        engine.cache_stats().entries
+    );
+    println!("{}", engine.metrics().report());
+}

@@ -1,5 +1,7 @@
 //! Top-level compilation entry point: workload → tuned fused kernel.
 
+use std::sync::Arc;
+
 use rf_gpusim::{estimate_latency, GpuArch, KernelProfile};
 use rf_tile::{TensorizeConfig, TileProgram};
 use rf_workloads::{
@@ -11,7 +13,10 @@ use crate::strategy::{Mode, Strategy};
 use crate::tuner::{AutoTuner, TuningChoice, TuningPoint};
 
 /// A workload RedFuser can compile end-to-end.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// All variants carry integer-only shape descriptions, so `Workload` derives
+/// `Eq`/`Hash` and serves as the workload half of a [`PlanKey`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Workload {
     /// Multi-Head Attention (Table 2a).
     Mha(MhaConfig),
@@ -47,6 +52,55 @@ impl Workload {
             Workload::Softmax { rows, len } => format!("softmax_{rows}x{len}"),
         }
     }
+}
+
+/// The canonical cache key for one compilation: the workload shape plus the
+/// target architecture's name and a fingerprint of its numeric parameters.
+///
+/// [`GpuArch`] itself carries floating-point throughput numbers and therefore
+/// cannot implement `Hash`/`Eq` directly; the fingerprint folds the canonical
+/// IEEE-754 bit patterns of every field into a `u64`, so a preset whose `pub`
+/// fields were tweaked (a what-if study) keys differently from the stock
+/// preset of the same name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// The workload shape being compiled.
+    pub workload: Workload,
+    /// The target architecture's name (e.g. `"NVIDIA A10"`), kept for display.
+    pub arch: &'static str,
+    /// Hash of the architecture's full parameter set (bit-exact).
+    pub arch_fingerprint: u64,
+}
+
+impl PlanKey {
+    /// Builds the cache key for compiling `workload` on `arch`.
+    pub fn new(workload: &Workload, arch: &GpuArch) -> Self {
+        PlanKey {
+            workload: workload.clone(),
+            arch: arch.name,
+            arch_fingerprint: arch_fingerprint(arch),
+        }
+    }
+}
+
+/// Folds every [`GpuArch`] field (floats via their canonical bit patterns)
+/// into a stable-within-process `u64`. Callers that build many keys for one
+/// architecture (e.g. the `rf-runtime` plan cache) can compute this once and
+/// assemble [`PlanKey`]s from its public fields.
+pub fn arch_fingerprint(arch: &GpuArch) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    arch.name.hash(&mut hasher);
+    arch.sms.hash(&mut hasher);
+    arch.shared_mem_per_sm.hash(&mut hasher);
+    arch.max_blocks_per_sm.hash(&mut hasher);
+    arch.max_threads_per_sm.hash(&mut hasher);
+    arch.mem_bandwidth_bytes_per_us.to_bits().hash(&mut hasher);
+    arch.fp16_flops_per_us.to_bits().hash(&mut hasher);
+    arch.fp32_flops_per_us.to_bits().hash(&mut hasher);
+    arch.fp8_flops_per_us.to_bits().hash(&mut hasher);
+    arch.launch_overhead_us.to_bits().hash(&mut hasher);
+    hasher.finish()
 }
 
 /// The result of compiling one workload for one architecture.
@@ -274,6 +328,13 @@ pub fn compile_workload(workload: &Workload, arch: &GpuArch) -> CompiledKernel {
     }
 }
 
+/// Compiles a workload and wraps the result in an [`Arc`] so it can be shared
+/// across threads (the `rf-runtime` plan cache stores these; executing a
+/// cached kernel never clones the tile program).
+pub fn compile_workload_arc(workload: &Workload, arch: &GpuArch) -> Arc<CompiledKernel> {
+    Arc::new(compile_workload(workload, arch))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -370,5 +431,40 @@ mod tests {
         assert!(Workload::Mha(mha_configs()[0].clone())
             .name()
             .contains("H1"));
+    }
+
+    #[test]
+    fn plan_keys_distinguish_workload_and_arch() {
+        use std::collections::HashSet;
+        let softmax = Workload::Softmax { rows: 8, len: 16 };
+        let moe = Workload::Moe(moe_configs()[0].clone());
+        let mut keys = HashSet::new();
+        for arch in GpuArch::all() {
+            keys.insert(PlanKey::new(&softmax, &arch));
+            keys.insert(PlanKey::new(&moe, &arch));
+        }
+        assert_eq!(keys.len(), 8);
+        // Same workload + same arch collapses to the same key.
+        assert_eq!(
+            PlanKey::new(&softmax, &GpuArch::a10()),
+            PlanKey::new(&softmax.clone(), &GpuArch::a10())
+        );
+        // Tweaking any numeric parameter of a preset changes the key even
+        // though the name is unchanged.
+        let mut tweaked = GpuArch::a10();
+        tweaked.mem_bandwidth_bytes_per_us *= 2.0;
+        assert_ne!(
+            PlanKey::new(&softmax, &tweaked),
+            PlanKey::new(&softmax, &GpuArch::a10())
+        );
+    }
+
+    #[test]
+    fn arc_compile_matches_direct_compile() {
+        let arch = GpuArch::a10();
+        let workload = Workload::Softmax { rows: 64, len: 256 };
+        let shared = compile_workload_arc(&workload, &arch);
+        let direct = compile_workload(&workload, &arch);
+        assert_eq!(*shared, direct);
     }
 }

@@ -28,7 +28,9 @@ pub mod lower;
 pub mod strategy;
 pub mod tuner;
 
-pub use compile::{compile_workload, CompiledKernel, Workload};
+pub use compile::{
+    arch_fingerprint, compile_workload, compile_workload_arc, CompiledKernel, PlanKey, Workload,
+};
 pub use level::{fusion_level_latency, incremental_sweep, FusionLevelReport, IncrementalPoint};
 pub use lower::{attention_program, cascade_program, AttentionShape};
 pub use strategy::{FusionLevel, Mode, Strategy};

@@ -1,0 +1,426 @@
+//! The batch scheduler: a blocking request queue that hands worker threads
+//! batches of **shape-compatible** requests (identical `(workload, arch)`
+//! cache key, hence the same compiled plan), plus the completion tickets the
+//! submitter waits on.
+//!
+//! The scheduler owns only queue state — never a compiled kernel and never a
+//! lock across kernel execution. Workers pull a batch (briefly holding the
+//! queue mutex), release the lock, then compile/execute/cost entirely outside
+//! it.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use rf_gpusim::{estimate_latency, GpuArch, KernelProfile};
+
+use crate::request::{Request, RequestId, RequestOutput, RuntimeError};
+
+/// The outcome of one served request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestResult {
+    /// The id assigned at submission.
+    pub id: RequestId,
+    /// Display name of the workload.
+    pub workload: String,
+    /// The numeric output.
+    pub output: RequestOutput,
+    /// Simulated latency of the batch this request rode in, in microseconds.
+    pub simulated_us: f64,
+    /// Number of requests in that batch.
+    pub batch_size: usize,
+    /// Whether the compiled plan came from the cache (`true`) or was compiled
+    /// for this batch.
+    pub cache_hit: bool,
+}
+
+#[derive(Debug)]
+struct TicketState {
+    slot: Mutex<Option<Result<RequestResult, RuntimeError>>>,
+    ready: Condvar,
+    /// Set once a result (or error) has been written into `slot`. Lets the
+    /// `QueuedRequest` drop guard distinguish "never delivered" (worker
+    /// panicked, request dropped) from "delivered and already taken".
+    delivered: AtomicBool,
+}
+
+/// A handle to one in-flight request; `wait` blocks until a worker fulfils it.
+#[derive(Debug)]
+pub struct Ticket {
+    id: RequestId,
+    state: Arc<TicketState>,
+}
+
+impl Ticket {
+    /// The request id this ticket tracks.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Returns the result if the request has already completed. Taking the
+    /// result consumes it: a later [`Ticket::wait`] on the same ticket panics
+    /// instead of blocking forever.
+    pub fn try_take(&self) -> Option<Result<RequestResult, RuntimeError>> {
+        self.state.slot.lock().expect("ticket lock poisoned").take()
+    }
+
+    /// Blocks until the request completes and returns its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RuntimeError`] the worker recorded (e.g.
+    /// [`RuntimeError::ShuttingDown`] when the engine was dropped before the
+    /// request ran).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was already consumed by [`Ticket::try_take`] —
+    /// the delivery is one-shot, so waiting again can never succeed.
+    pub fn wait(self) -> Result<RequestResult, RuntimeError> {
+        let mut slot = self.state.slot.lock().expect("ticket lock poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            assert!(
+                !self.state.delivered.load(Ordering::Acquire),
+                "ticket result was already taken via try_take"
+            );
+            slot = self.state.ready.wait(slot).expect("ticket lock poisoned");
+        }
+    }
+}
+
+/// A request queued for execution, together with its completion ticket.
+#[derive(Debug)]
+pub struct QueuedRequest {
+    /// The id assigned at submission.
+    pub id: RequestId,
+    /// The request itself.
+    pub request: Request,
+    state: Arc<TicketState>,
+}
+
+impl QueuedRequest {
+    /// Wraps a request for queueing and returns the submitter's ticket.
+    pub fn new(id: RequestId, request: Request) -> (Self, Ticket) {
+        let state = Arc::new(TicketState {
+            slot: Mutex::new(None),
+            ready: Condvar::new(),
+            delivered: AtomicBool::new(false),
+        });
+        let ticket = Ticket {
+            id,
+            state: Arc::clone(&state),
+        };
+        (QueuedRequest { id, request, state }, ticket)
+    }
+
+    /// Delivers the result to the waiting ticket.
+    pub fn fulfil(self, result: Result<RequestResult, RuntimeError>) {
+        self.deliver(result);
+    }
+
+    fn deliver(&self, result: Result<RequestResult, RuntimeError>) {
+        let mut slot = self.state.slot.lock().expect("ticket lock poisoned");
+        *slot = Some(result);
+        self.state.delivered.store(true, Ordering::Release);
+        self.state.ready.notify_all();
+    }
+}
+
+impl Drop for QueuedRequest {
+    /// Never strand a waiter: if this request is dropped without being
+    /// fulfilled — a worker panicked mid-batch, or the queue was torn down
+    /// abnormally — deliver an execution failure so `Ticket::wait` returns
+    /// instead of blocking forever.
+    fn drop(&mut self) {
+        if !self.state.delivered.load(Ordering::Acquire) {
+            self.deliver(Err(RuntimeError::ExecutionFailed {
+                workload: self.request.workload.name(),
+            }));
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct SchedulerState {
+    queue: VecDeque<QueuedRequest>,
+    /// Number of *requests* (not batches) taken by workers and not yet
+    /// finished, so `depth` reports true in-flight work.
+    in_flight: usize,
+    shutdown: bool,
+}
+
+/// The blocking batch queue shared by the engine front door and the workers.
+#[derive(Debug)]
+pub struct BatchScheduler {
+    state: Mutex<SchedulerState>,
+    work: Condvar,
+    idle: Condvar,
+    max_batch: usize,
+}
+
+impl BatchScheduler {
+    /// Creates a scheduler that groups at most `max_batch` requests per batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_batch` is zero.
+    pub fn new(max_batch: usize) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        BatchScheduler {
+            state: Mutex::new(SchedulerState::default()),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            max_batch,
+        }
+    }
+
+    /// The batch size bound.
+    pub fn max_batch(&self) -> usize {
+        self.max_batch
+    }
+
+    /// Requests waiting plus requests currently executing.
+    pub fn depth(&self) -> usize {
+        let state = self.state.lock().expect("scheduler lock poisoned");
+        state.queue.len() + state.in_flight
+    }
+
+    /// Enqueues a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ShuttingDown`] after [`BatchScheduler::shutdown`].
+    pub fn enqueue(&self, request: QueuedRequest) -> Result<(), RuntimeError> {
+        {
+            let mut state = self.state.lock().expect("scheduler lock poisoned");
+            if state.shutdown {
+                return Err(RuntimeError::ShuttingDown);
+            }
+            state.queue.push_back(request);
+        }
+        self.work.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until work is available and returns the next batch: the oldest
+    /// queued request plus up to `max_batch - 1` younger requests with the
+    /// same workload (all batch members share one compiled plan).
+    ///
+    /// Returns `None` once the scheduler is shut down and drained; the calling
+    /// worker should exit. The batch's requests are accounted as in-flight
+    /// until the worker calls [`BatchScheduler::finish_batch`] with the batch
+    /// size.
+    pub fn next_batch(&self) -> Option<Vec<QueuedRequest>> {
+        let mut state = self.state.lock().expect("scheduler lock poisoned");
+        loop {
+            if !state.queue.is_empty() {
+                break;
+            }
+            if state.shutdown {
+                return None;
+            }
+            state = self.work.wait(state).expect("scheduler lock poisoned");
+        }
+        let first = state.queue.pop_front().expect("queue checked non-empty");
+        let mut batch = Vec::with_capacity(self.max_batch);
+        let key = first.request.workload.clone();
+        batch.push(first);
+        // Single O(queue) sweep (the mutex is held here): drain matching
+        // requests into the batch, keep the rest in arrival order.
+        if !state.queue.is_empty()
+            && batch.len() < self.max_batch
+            && state.queue.iter().any(|r| r.request.workload == key)
+        {
+            let mut rest = VecDeque::with_capacity(state.queue.len());
+            for queued in state.queue.drain(..) {
+                if batch.len() < self.max_batch && queued.request.workload == key {
+                    batch.push(queued);
+                } else {
+                    rest.push_back(queued);
+                }
+            }
+            state.queue = rest;
+        }
+        state.in_flight += batch.len();
+        Some(batch)
+    }
+
+    /// Marks a batch of `size` requests taken by
+    /// [`BatchScheduler::next_batch`] as completed.
+    pub fn finish_batch(&self, size: usize) {
+        let mut state = self.state.lock().expect("scheduler lock poisoned");
+        state.in_flight = state
+            .in_flight
+            .checked_sub(size)
+            .expect("finish_batch without a matching next_batch");
+        let drained = state.queue.is_empty() && state.in_flight == 0;
+        drop(state);
+        if drained {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Blocks until the queue is empty and no batch is executing.
+    pub fn wait_drained(&self) {
+        let mut state = self.state.lock().expect("scheduler lock poisoned");
+        while !(state.queue.is_empty() && state.in_flight == 0) {
+            state = self.idle.wait(state).expect("scheduler lock poisoned");
+        }
+    }
+
+    /// Stops accepting new requests, wakes every worker, and fails all
+    /// still-queued requests with [`RuntimeError::ShuttingDown`].
+    pub fn shutdown(&self) {
+        let orphans: Vec<QueuedRequest> = {
+            let mut state = self.state.lock().expect("scheduler lock poisoned");
+            state.shutdown = true;
+            state.queue.drain(..).collect()
+        };
+        for request in orphans {
+            request.fulfil(Err(RuntimeError::ShuttingDown));
+        }
+        self.work.notify_all();
+        self.idle.notify_all();
+    }
+}
+
+/// Builds the profile of one batched launch: `batch` shape-identical requests
+/// fused into a single kernel launch, scaling work and traffic linearly while
+/// paying the launch overhead once.
+pub fn batched_profile(profile: &KernelProfile, batch: usize) -> KernelProfile {
+    let n = batch.max(1) as u64;
+    KernelProfile {
+        name: format!("{}[batch={batch}]", profile.name),
+        flops: profile.flops * n,
+        hbm_bytes: profile.hbm_bytes * n,
+        blocks: profile.blocks * n,
+        launches: profile.launches,
+        ..profile.clone()
+    }
+}
+
+/// Simulated latency of one batched launch on `arch`, in microseconds.
+pub fn batch_latency_us(arch: &GpuArch, profile: &KernelProfile, batch: usize) -> f64 {
+    estimate_latency(arch, &batched_profile(profile, batch)).total_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_codegen::Workload;
+    use rf_workloads::random_matrix;
+
+    fn softmax_request(id: RequestId, len: usize) -> (QueuedRequest, Ticket) {
+        QueuedRequest::new(id, Request::softmax(random_matrix(2, len, id, -1.0, 1.0)))
+    }
+
+    #[test]
+    fn batches_group_only_shape_compatible_requests() {
+        let sched = BatchScheduler::new(8);
+        // Interleave two shapes; batching must regroup them without reordering
+        // within a shape.
+        for (id, len) in [(0, 16), (1, 32), (2, 16), (3, 32), (4, 16)] {
+            let (req, _ticket) = softmax_request(id, len);
+            sched.enqueue(req).unwrap();
+        }
+        let first = sched.next_batch().unwrap();
+        assert_eq!(first.len(), 3);
+        assert!(first
+            .iter()
+            .all(|r| r.request.workload == Workload::Softmax { rows: 2, len: 16 }));
+        assert_eq!(first.iter().map(|r| r.id).collect::<Vec<_>>(), [0, 2, 4]);
+        // Depth counts in-flight *requests*: 3 executing + 2 still queued.
+        assert_eq!(sched.depth(), 5);
+        sched.finish_batch(first.len());
+        let second = sched.next_batch().unwrap();
+        assert_eq!(second.iter().map(|r| r.id).collect::<Vec<_>>(), [1, 3]);
+        sched.finish_batch(second.len());
+        assert_eq!(sched.depth(), 0);
+    }
+
+    #[test]
+    fn max_batch_bounds_the_group() {
+        let sched = BatchScheduler::new(2);
+        for id in 0..5 {
+            let (req, _ticket) = softmax_request(id, 16);
+            sched.enqueue(req).unwrap();
+        }
+        assert_eq!(sched.next_batch().unwrap().len(), 2);
+        assert_eq!(sched.next_batch().unwrap().len(), 2);
+        assert_eq!(sched.next_batch().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn shutdown_fails_queued_requests_and_stops_workers() {
+        let sched = BatchScheduler::new(4);
+        let (req, ticket) = softmax_request(7, 16);
+        sched.enqueue(req).unwrap();
+        sched.shutdown();
+        assert_eq!(ticket.wait().unwrap_err(), RuntimeError::ShuttingDown);
+        assert!(sched.next_batch().is_none());
+        let (req, _ticket) = softmax_request(8, 16);
+        assert_eq!(sched.enqueue(req).unwrap_err(), RuntimeError::ShuttingDown);
+    }
+
+    #[test]
+    fn batched_profile_amortises_the_launch() {
+        let arch = GpuArch::a10();
+        let profile = KernelProfile {
+            flops: 1_000_000,
+            hbm_bytes: 1_000_000,
+            blocks: 64,
+            ..KernelProfile::default()
+        };
+        let single = batch_latency_us(&arch, &profile, 1);
+        let batched = batch_latency_us(&arch, &profile, 8);
+        let serial = 8.0 * single;
+        assert!(
+            batched < serial,
+            "one batched launch ({batched} us) must beat eight serial launches ({serial} us)"
+        );
+        let p = batched_profile(&profile, 8);
+        assert_eq!(p.flops, 8_000_000);
+        assert_eq!(p.launches, profile.launches);
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken via try_take")]
+    fn waiting_after_try_take_panics_instead_of_hanging() {
+        let (req, ticket) = softmax_request(11, 16);
+        req.fulfil(Err(RuntimeError::ShuttingDown));
+        assert!(ticket.try_take().is_some());
+        let _ = ticket.wait();
+    }
+
+    #[test]
+    fn dropping_an_unfulfilled_request_fails_its_ticket() {
+        // A worker panic unwinds through the batch Vec, dropping its
+        // QueuedRequests; waiters must observe an error, not block forever.
+        let (req, ticket) = softmax_request(9, 16);
+        drop(req);
+        assert!(matches!(
+            ticket.wait(),
+            Err(RuntimeError::ExecutionFailed { workload }) if workload == "softmax_2x16"
+        ));
+    }
+
+    #[test]
+    fn tickets_deliver_results_once() {
+        let (req, ticket) = softmax_request(3, 8);
+        assert!(ticket.try_take().is_none());
+        let output = crate::request::execute_fused(&req.request.workload, &req.request.input);
+        let result = RequestResult {
+            id: 3,
+            workload: req.request.workload.name(),
+            output,
+            simulated_us: 1.0,
+            batch_size: 1,
+            cache_hit: false,
+        };
+        req.fulfil(Ok(result.clone()));
+        assert_eq!(ticket.wait().unwrap(), result);
+    }
+}

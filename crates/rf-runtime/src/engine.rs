@@ -1,0 +1,315 @@
+//! The serving engine: front door, worker pool and lifecycle.
+//!
+//! ```
+//! use rf_gpusim::GpuArch;
+//! use rf_runtime::{Engine, Request};
+//! use rf_workloads::random_matrix;
+//!
+//! let engine = Engine::new(GpuArch::a10());
+//! let ticket = engine
+//!     .submit(Request::softmax(random_matrix(4, 64, 1, -2.0, 2.0)))
+//!     .unwrap();
+//! engine.run_until_drained();
+//! let result = ticket.wait().unwrap();
+//! assert_eq!(result.workload, "softmax_4x64");
+//! ```
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use rf_gpusim::GpuArch;
+
+use crate::batch::{batch_latency_us, BatchScheduler, QueuedRequest, RequestResult, Ticket};
+use crate::cache::{CacheStats, PlanCache};
+use crate::metrics::{MetricsSnapshot, RuntimeMetrics};
+use crate::request::{execute_fused, Request, RuntimeError};
+
+/// Tunables of one [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Maximum requests grouped into one batch.
+    pub max_batch: usize,
+    /// Maximum resident compiled plans.
+    pub cache_capacity: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8);
+        RuntimeConfig {
+            workers,
+            max_batch: 16,
+            cache_capacity: 64,
+        }
+    }
+}
+
+struct EngineShared {
+    arch: GpuArch,
+    cache: PlanCache,
+    metrics: RuntimeMetrics,
+    scheduler: BatchScheduler,
+}
+
+/// A concurrent serving engine for one GPU architecture.
+///
+/// `submit` validates and enqueues a request and returns a [`Ticket`]; a pool
+/// of worker threads groups shape-compatible requests into batches, compiles
+/// (or re-uses) the fused plan via the [`PlanCache`], executes the batch with
+/// the fused CPU kernels and costs it on the analytical GPU model. Dropping
+/// the engine shuts the pool down; still-queued requests fail with
+/// [`RuntimeError::ShuttingDown`].
+pub struct Engine {
+    shared: Arc<EngineShared>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Engine {
+    /// Creates an engine for `arch` with the default [`RuntimeConfig`].
+    pub fn new(arch: GpuArch) -> Self {
+        Engine::with_config(arch, RuntimeConfig::default())
+    }
+
+    /// Creates an engine with explicit tunables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` is zero (the pool could never serve), or if
+    /// `max_batch` / `cache_capacity` are zero.
+    pub fn with_config(arch: GpuArch, config: RuntimeConfig) -> Self {
+        assert!(config.workers > 0, "engine needs at least one worker");
+        let shared = Arc::new(EngineShared {
+            cache: PlanCache::new(arch.clone(), config.cache_capacity),
+            metrics: RuntimeMetrics::new(),
+            scheduler: BatchScheduler::new(config.max_batch),
+            arch,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rf-runtime-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a runtime worker failed")
+            })
+            .collect();
+        Engine {
+            shared,
+            workers,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// The architecture this engine compiles and costs for.
+    pub fn arch(&self) -> &GpuArch {
+        &self.shared.arch
+    }
+
+    /// Validates and enqueues a request, returning the completion ticket.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InputMismatch`] / [`RuntimeError::ShapeMismatch`]
+    /// for invalid requests and [`RuntimeError::ShuttingDown`] once the engine
+    /// is being dropped.
+    pub fn submit(&self, request: Request) -> Result<Ticket, RuntimeError> {
+        crate::request::validate(&request.workload, &request.input)?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (queued, ticket) = QueuedRequest::new(id, request);
+        // Count before enqueueing so a snapshot can never observe a completed
+        // request that was not yet counted as submitted; roll back if the
+        // scheduler rejects the request (shutdown), so rejected requests never
+        // inflate the counter.
+        self.shared.metrics.record_submit();
+        if let Err(err) = self.shared.scheduler.enqueue(queued) {
+            self.shared.metrics.cancel_submit();
+            return Err(err);
+        }
+        Ok(ticket)
+    }
+
+    /// Blocks until every submitted request has been executed.
+    pub fn run_until_drained(&self) {
+        self.shared.scheduler.wait_drained();
+    }
+
+    /// Requests currently queued or executing.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.scheduler.depth()
+    }
+
+    /// Plan-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// A point-in-time metrics snapshot (latency percentiles, batch sizes,
+    /// queue depth, cache effectiveness).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared
+            .metrics
+            .snapshot(self.queue_depth(), self.shared.cache.stats())
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shared.scheduler.shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("arch", &self.shared.arch.name)
+            .field("workers", &self.workers.len())
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &EngineShared) {
+    while let Some(batch) = shared.scheduler.next_batch() {
+        // A panicking kernel must not wedge the engine: the unwind guard keeps
+        // the in-flight accounting balanced (so `run_until_drained` returns)
+        // and dropping the unfulfilled `QueuedRequest`s delivers
+        // `ExecutionFailed` to their tickets (so `Ticket::wait` returns).
+        let size = batch.len();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_batch(shared, batch)));
+        shared.scheduler.finish_batch(size);
+    }
+}
+
+/// Executes one shape-compatible batch. No scheduler or cache lock is held
+/// here: the plan is an `Arc` snapshot and the kernels run on local tensors.
+fn run_batch(shared: &EngineShared, batch: Vec<QueuedRequest>) {
+    let workload = batch[0].request.workload.clone();
+    let (plan, cache_hit) = shared.cache.get_or_compile_traced(&workload);
+    let batch_size = batch.len();
+    let simulated_us = batch_latency_us(&shared.arch, &plan.profile, batch_size);
+    for queued in batch {
+        let output = execute_fused(&queued.request.workload, &queued.request.input);
+        let result = RequestResult {
+            id: queued.id,
+            workload: queued.request.workload.name(),
+            output,
+            simulated_us,
+            batch_size,
+            cache_hit,
+        };
+        queued.fulfil(Ok(result));
+    }
+    shared.metrics.record_batch(batch_size, simulated_us);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{execute_reference, RequestInput};
+    use rf_codegen::Workload;
+    use rf_workloads::{moe_tiny, random_matrix};
+
+    fn tiny_engine(workers: usize) -> Engine {
+        Engine::with_config(
+            GpuArch::a10(),
+            RuntimeConfig {
+                workers,
+                max_batch: 4,
+                cache_capacity: 16,
+            },
+        )
+    }
+
+    #[test]
+    fn served_results_match_the_reference_kernels() {
+        let engine = tiny_engine(2);
+        let requests: Vec<Request> = (0..6)
+            .map(|seed| Request::softmax(random_matrix(2, 32, seed, -2.0, 2.0)))
+            .collect();
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|r| engine.submit(r.clone()).unwrap())
+            .collect();
+        engine.run_until_drained();
+        for (request, ticket) in requests.iter().zip(tickets) {
+            let result = ticket.wait().unwrap();
+            let oracle = execute_reference(&request.workload, &request.input);
+            assert!(result.output.approx_eq(&oracle, 1e-9));
+            assert!(result.simulated_us.is_finite() && result.simulated_us > 0.0);
+        }
+        let metrics = engine.metrics();
+        assert_eq!(metrics.completed, 6);
+        assert_eq!(metrics.queue_depth, 0);
+        assert_eq!(metrics.cache.misses, 1, "one shape => one compile");
+        assert!(metrics.p99_us >= metrics.p50_us);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_at_the_front_door() {
+        let engine = tiny_engine(1);
+        let c = moe_tiny();
+        let err = engine
+            .submit(Request {
+                workload: Workload::Moe(c.clone()),
+                input: RequestInput::Rows(random_matrix(2, 4, 1, 0.0, 1.0)),
+            })
+            .unwrap_err();
+        assert!(matches!(err, RuntimeError::InputMismatch { .. }));
+        assert_eq!(engine.metrics().submitted, 0);
+    }
+
+    #[test]
+    fn drop_fails_pending_tickets_cleanly() {
+        let engine = tiny_engine(1);
+        // Queue more work than one worker can finish instantly, then drop.
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|seed| {
+                engine
+                    .submit(Request::softmax(random_matrix(8, 128, seed, -1.0, 1.0)))
+                    .unwrap()
+            })
+            .collect();
+        drop(engine);
+        for ticket in tickets {
+            match ticket.wait() {
+                Ok(result) => assert!(result.simulated_us > 0.0),
+                Err(err) => assert_eq!(err, RuntimeError::ShuttingDown),
+            }
+        }
+    }
+
+    #[test]
+    fn mean_batch_size_grows_when_shapes_repeat() {
+        let engine = Engine::with_config(
+            GpuArch::a10(),
+            RuntimeConfig {
+                workers: 1,
+                max_batch: 8,
+                cache_capacity: 16,
+            },
+        );
+        for seed in 0..8 {
+            engine
+                .submit(Request::softmax(random_matrix(2, 64, seed, -1.0, 1.0)))
+                .unwrap();
+        }
+        engine.run_until_drained();
+        let metrics = engine.metrics();
+        assert_eq!(metrics.completed, 8);
+        assert!(
+            metrics.mean_batch_size > 1.0,
+            "identical shapes should have been batched (mean {})",
+            metrics.mean_batch_size
+        );
+    }
+}

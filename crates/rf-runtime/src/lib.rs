@@ -1,0 +1,57 @@
+//! A concurrent serving runtime over the RedFuser compiler pipeline.
+//!
+//! The compiler crates answer "how do I fuse and tune this cascade once"; this
+//! crate answers "how do I serve a stream of such requests". It adds the layer
+//! both serving systems this repository mirrors are built around (a
+//! router/worker split with compiled-model reuse): callers submit
+//! [`Request`]s — a [`rf_codegen::Workload`] plus input tensors — and a worker
+//! pool serves them through three cooperating pieces:
+//!
+//! * [`PlanCache`] — a bounded, thread-safe LRU cache of tuned
+//!   [`rf_codegen::CompiledKernel`]s keyed by [`rf_codegen::PlanKey`]
+//!   (`(workload, arch)`), so detection, ACRF analysis, lowering and
+//!   auto-tuning run once per distinct shape instead of once per request;
+//! * [`BatchScheduler`] — a blocking queue that groups shape-compatible
+//!   requests (same plan key) into batches executed as one simulated launch;
+//! * [`RuntimeMetrics`] — served/batch counters, p50/p99 *simulated* latency
+//!   from the `rf-gpusim` model, queue depth and cache hit rate, with a
+//!   plain-text [`MetricsSnapshot::report`].
+//!
+//! The [`Engine`] facade ties them together:
+//!
+//! ```
+//! use rf_gpusim::GpuArch;
+//! use rf_runtime::{Engine, Request};
+//! use rf_workloads::random_matrix;
+//!
+//! let engine = Engine::new(GpuArch::h800());
+//! let tickets: Vec<_> = (0..32)
+//!     .map(|seed| {
+//!         let rows = random_matrix(4, 128, seed, -2.0, 2.0);
+//!         engine.submit(Request::softmax(rows)).unwrap()
+//!     })
+//!     .collect();
+//! engine.run_until_drained();
+//! assert!(tickets.into_iter().all(|t| t.wait().is_ok()));
+//! // 32 identical shapes -> 1 compilation.
+//! assert_eq!(engine.cache_stats().misses, 1);
+//! ```
+//!
+//! Locking discipline: the scheduler mutex and the cache's `RwLock` protect
+//! only queue and map state. Compilation runs behind a per-key
+//! [`std::sync::OnceLock`] and kernel execution runs on `Arc` snapshots — no
+//! lock is ever held across either.
+
+pub mod batch;
+pub mod cache;
+pub mod engine;
+pub mod metrics;
+pub mod request;
+
+pub use batch::{BatchScheduler, QueuedRequest, RequestResult, Ticket};
+pub use cache::{CacheStats, PlanCache};
+pub use engine::{Engine, RuntimeConfig};
+pub use metrics::{MetricsSnapshot, RuntimeMetrics};
+pub use request::{
+    execute_fused, execute_reference, Request, RequestId, RequestInput, RequestOutput, RuntimeError,
+};

@@ -1,0 +1,274 @@
+//! Serving metrics: request/batch counters, simulated latency percentiles,
+//! queue depth and cache effectiveness, with a plain-text report.
+//!
+//! Latencies are the **simulated** per-request latencies from the analytical
+//! GPU model (`rf-gpusim`) — the quantity the paper's evaluation reasons
+//! about — not wall-clock CPU time of the reference interpreters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::cache::CacheStats;
+
+/// Number of most-recent latency samples kept for the percentile estimates.
+/// Bounds the engine's memory at one `f64` per slot regardless of how long it
+/// serves; the mean is maintained over the full lifetime separately.
+pub const LATENCY_WINDOW: usize = 8192;
+
+/// A sliding window of latency samples plus lifetime totals.
+#[derive(Debug, Default)]
+struct LatencyTrack {
+    window: std::collections::VecDeque<f64>,
+    total_us: f64,
+    count: u64,
+}
+
+/// Thread-safe metric accumulators, owned by the engine and updated by the
+/// worker pool.
+#[derive(Debug, Default)]
+pub struct RuntimeMetrics {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    batches: AtomicU64,
+    /// Simulated per-request latencies, in microseconds.
+    latencies_us: Mutex<LatencyTrack>,
+    /// Sum of batch sizes, for the mean batch size.
+    batched_requests: AtomicU64,
+}
+
+/// A point-in-time view of the runtime's health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Requests accepted by `submit`.
+    pub submitted: u64,
+    /// Requests fully executed.
+    pub completed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Requests waiting or executing right now.
+    pub queue_depth: usize,
+    /// Mean batch size over all executed batches.
+    pub mean_batch_size: f64,
+    /// Median simulated request latency over the last [`LATENCY_WINDOW`]
+    /// requests, in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile simulated request latency over the last
+    /// [`LATENCY_WINDOW`] requests, in microseconds.
+    pub p99_us: f64,
+    /// Mean simulated request latency over the engine's lifetime, in
+    /// microseconds.
+    pub mean_us: f64,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+}
+
+/// Linear-interpolation percentile of an unsorted sample set, `p` in `[0, 100]`.
+///
+/// Returns `0.0` for an empty sample set.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    percentile_sorted(&sorted, p)
+}
+
+/// [`percentile`] over an already-sorted sample set (sort once, query many).
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+impl RuntimeMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one accepted request.
+    pub fn record_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rolls back one [`RuntimeMetrics::record_submit`] whose request was
+    /// rejected after counting (scheduler shutdown race).
+    pub fn cancel_submit(&self) {
+        self.submitted.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records one executed batch of `size` requests, each experiencing the
+    /// batch's simulated latency `latency_us`.
+    pub fn record_batch(&self, size: usize, latency_us: f64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.completed.fetch_add(size as u64, Ordering::Relaxed);
+        let mut track = self.latencies_us.lock().expect("metrics lock poisoned");
+        track.total_us += latency_us * size as f64;
+        track.count += size as u64;
+        for _ in 0..size {
+            if track.window.len() == LATENCY_WINDOW {
+                track.window.pop_front();
+            }
+            track.window.push_back(latency_us);
+        }
+    }
+
+    /// Builds a snapshot; the caller supplies the current queue depth and
+    /// cache counters (owned by the engine). The latency window is copied out
+    /// under the lock and sorted once outside it.
+    pub fn snapshot(&self, queue_depth: usize, cache: CacheStats) -> MetricsSnapshot {
+        let (mut window, mean_us) = {
+            let track = self.latencies_us.lock().expect("metrics lock poisoned");
+            let mean = if track.count == 0 {
+                0.0
+            } else {
+                track.total_us / track.count as f64
+            };
+            (Vec::from_iter(track.window.iter().copied()), mean)
+        };
+        window.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            batches,
+            queue_depth,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched as f64 / batches as f64
+            },
+            p50_us: percentile_sorted(&window, 50.0),
+            p99_us: percentile_sorted(&window, 99.0),
+            mean_us,
+            cache,
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot as an aligned plain-text report.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("runtime metrics\n");
+        out.push_str(&format!("  requests submitted   {:>12}\n", self.submitted));
+        out.push_str(&format!("  requests completed   {:>12}\n", self.completed));
+        out.push_str(&format!("  batches executed     {:>12}\n", self.batches));
+        out.push_str(&format!(
+            "  mean batch size      {:>12.2}\n",
+            self.mean_batch_size
+        ));
+        out.push_str(&format!(
+            "  queue depth          {:>12}\n",
+            self.queue_depth
+        ));
+        out.push_str(&format!("  p50 latency (sim)    {:>9.2} us\n", self.p50_us));
+        out.push_str(&format!("  p99 latency (sim)    {:>9.2} us\n", self.p99_us));
+        out.push_str(&format!(
+            "  mean latency (sim)   {:>9.2} us\n",
+            self.mean_us
+        ));
+        out.push_str(&format!(
+            "  cache hits / misses  {:>6} / {:<6} ({:.1}% hit rate)\n",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0
+        ));
+        out.push_str(&format!(
+            "  cache entries        {:>12} ({} evictions)\n",
+            self.cache.entries, self.cache.evictions
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_cache_stats() -> CacheStats {
+        CacheStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            entries: 0,
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let samples = vec![4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 100.0), 4.0);
+        assert!((percentile(&samples, 50.0) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn batches_update_counters_and_latency_distribution() {
+        let metrics = RuntimeMetrics::new();
+        for _ in 0..4 {
+            metrics.record_submit();
+        }
+        metrics.record_batch(3, 10.0);
+        metrics.record_batch(1, 50.0);
+        let snap = metrics.snapshot(0, empty_cache_stats());
+        assert_eq!(snap.submitted, 4);
+        assert_eq!(snap.completed, 4);
+        assert_eq!(snap.batches, 2);
+        assert!((snap.mean_batch_size - 2.0).abs() < 1e-12);
+        assert_eq!(snap.p50_us, 10.0);
+        assert!(snap.p99_us > 10.0 && snap.p99_us <= 50.0);
+        assert!((snap.mean_us - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_window_is_bounded_but_mean_is_lifetime() {
+        let metrics = RuntimeMetrics::new();
+        // Overfill the window: the old 1.0us samples must be displaced by the
+        // later 9.0us ones for the percentiles, while the mean still sees all.
+        metrics.record_batch(LATENCY_WINDOW, 1.0);
+        metrics.record_batch(LATENCY_WINDOW, 9.0);
+        metrics.record_batch(LATENCY_WINDOW, 9.0);
+        let snap = metrics.snapshot(0, empty_cache_stats());
+        assert_eq!(snap.completed as usize, 3 * LATENCY_WINDOW);
+        assert_eq!(snap.p50_us, 9.0, "window holds only the latest samples");
+        let track = metrics.latencies_us.lock().unwrap();
+        assert_eq!(track.window.len(), LATENCY_WINDOW);
+        drop(track);
+        assert!((snap.mean_us - (1.0 + 9.0 + 9.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_mentions_every_headline_number() {
+        let metrics = RuntimeMetrics::new();
+        metrics.record_submit();
+        metrics.record_batch(1, 12.5);
+        let report = metrics
+            .snapshot(
+                3,
+                CacheStats {
+                    hits: 9,
+                    misses: 1,
+                    evictions: 0,
+                    entries: 1,
+                },
+            )
+            .report();
+        assert!(report.contains("requests completed"));
+        assert!(report.contains("p99 latency"));
+        assert!(report.contains("90.0% hit rate"));
+        assert!(report.contains("queue depth"));
+    }
+}

@@ -1,0 +1,635 @@
+//! Requests, their input tensors, outputs and the numeric execution paths.
+//!
+//! A [`Request`] pairs a [`Workload`] (the shape description the compiler
+//! understands, and the cache key) with a [`RequestInput`] (the concrete
+//! tensors to run the fused kernel over). Two execution paths are provided:
+//!
+//! * [`execute_fused`] — the kernels RedFuser generates (single-pass online
+//!   softmax, FlashAttention-style tiling, fused routing, fused quant+GEMM),
+//!   used by the [`crate::engine::Engine`] worker pool;
+//! * [`execute_reference`] — the unfused naive kernels, used by tests as the
+//!   correctness oracle for everything the runtime serves.
+
+use std::fmt;
+
+use rf_codegen::Workload;
+use rf_kernels::moe::RoutingDecision;
+use rf_kernels::{attention, moe, nonml, quant, softmax};
+use rf_workloads::Matrix;
+
+/// Monotonically increasing identifier assigned to each submitted request.
+pub type RequestId = u64;
+
+/// Errors reported by the serving runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The input tensor kind does not match the workload family (e.g. routing
+    /// tensors submitted with a softmax workload).
+    InputMismatch {
+        /// Name of the offending workload.
+        workload: String,
+        /// The input kind the workload requires.
+        expected: &'static str,
+        /// The input kind that was provided.
+        got: &'static str,
+    },
+    /// The input tensor shapes disagree with the workload configuration.
+    ShapeMismatch {
+        /// Name of the offending workload.
+        workload: String,
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+    /// The engine is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// A worker failed (panicked) while executing the batch this request was
+    /// part of; the request was not served.
+    ExecutionFailed {
+        /// Name of the workload whose batch failed.
+        workload: String,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InputMismatch {
+                workload,
+                expected,
+                got,
+            } => write!(
+                f,
+                "workload `{workload}` requires {expected} input, got {got}"
+            ),
+            RuntimeError::ShapeMismatch { workload, detail } => {
+                write!(f, "workload `{workload}`: {detail}")
+            }
+            RuntimeError::ShuttingDown => write!(f, "engine is shutting down"),
+            RuntimeError::ExecutionFailed { workload } => {
+                write!(f, "execution of workload `{workload}` failed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// The input tensors of one request. Each variant serves one workload family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestInput {
+    /// Independent rows reduced along the row axis: softmax and variance.
+    Rows(Matrix),
+    /// One `(batch, head)` attention slice: `q` is `[q_len, qk_dim]`, `k` is
+    /// `[kv_len, qk_dim]`, `v` is `[kv_len, head_dim]`.
+    Attention {
+        /// Query matrix.
+        q: Matrix,
+        /// Key matrix.
+        k: Matrix,
+        /// Value matrix.
+        v: Matrix,
+    },
+    /// MoE routing: token activations `[tokens, hd]` and router weights
+    /// `[hd, experts]`.
+    Routing {
+        /// Token activations.
+        x: Matrix,
+        /// Routing weight matrix.
+        w: Matrix,
+    },
+    /// FP8 per-token quantization + GEMM: activations `[m, k]`, weights `[k, n]`.
+    QuantGemm {
+        /// Activation matrix.
+        a: Matrix,
+        /// Weight matrix.
+        w: Matrix,
+    },
+    /// Moment of inertia: per-particle masses and positions `[n, dim]`.
+    Inertia {
+        /// Particle masses.
+        masses: Vec<f64>,
+        /// Particle positions.
+        positions: Matrix,
+    },
+}
+
+impl RequestInput {
+    /// Short name of the input kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            RequestInput::Rows(_) => "row-matrix",
+            RequestInput::Attention { .. } => "attention (q/k/v)",
+            RequestInput::Routing { .. } => "routing (x/w)",
+            RequestInput::QuantGemm { .. } => "quant-gemm (a/w)",
+            RequestInput::Inertia { .. } => "inertia (masses/positions)",
+        }
+    }
+}
+
+/// The output of one served request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOutput {
+    /// A dense matrix result (softmax probabilities, attention output,
+    /// quant+GEMM output).
+    Matrix(Matrix),
+    /// One scalar per row/system (variance, moment of inertia).
+    Values(Vec<f64>),
+    /// Per-token expert selections (MoE routing).
+    Routing(Vec<RoutingDecision>),
+}
+
+impl RequestOutput {
+    /// Whether two outputs agree element-wise within a relative tolerance.
+    pub fn approx_eq(&self, other: &RequestOutput, tolerance: f64) -> bool {
+        match (self, other) {
+            (RequestOutput::Matrix(a), RequestOutput::Matrix(b)) => {
+                a.rows() == b.rows()
+                    && a.cols() == b.cols()
+                    && rf_kernels::max_rel_diff(a.as_slice(), b.as_slice()) <= tolerance
+            }
+            (RequestOutput::Values(a), RequestOutput::Values(b)) => {
+                a.len() == b.len() && rf_kernels::max_rel_diff(a, b) <= tolerance
+            }
+            (RequestOutput::Routing(a), RequestOutput::Routing(b)) => {
+                moe::decisions_equal(a, b, tolerance)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// One serving request: a compiler-visible workload plus concrete tensors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// The workload (compilation cache key).
+    pub workload: Workload,
+    /// The input tensors.
+    pub input: RequestInput,
+}
+
+impl Request {
+    /// Creates a request after validating that the input matches the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InputMismatch`] or
+    /// [`RuntimeError::ShapeMismatch`] when the tensors cannot serve the
+    /// workload.
+    pub fn new(workload: Workload, input: RequestInput) -> Result<Self, RuntimeError> {
+        validate(&workload, &input)?;
+        Ok(Request { workload, input })
+    }
+
+    /// Builds a softmax request whose workload shape is derived from the
+    /// input matrix (`rows × len`).
+    pub fn softmax(rows: Matrix) -> Self {
+        let workload = Workload::Softmax {
+            rows: rows.rows(),
+            len: rows.cols(),
+        };
+        Request {
+            workload,
+            input: RequestInput::Rows(rows),
+        }
+    }
+}
+
+fn mismatch(workload: &Workload, expected: &'static str, input: &RequestInput) -> RuntimeError {
+    RuntimeError::InputMismatch {
+        workload: workload.name(),
+        expected,
+        got: input.kind(),
+    }
+}
+
+fn shape_err(workload: &Workload, detail: String) -> RuntimeError {
+    RuntimeError::ShapeMismatch {
+        workload: workload.name(),
+        detail,
+    }
+}
+
+/// Validates that `input`'s kind and shapes can serve `workload`.
+///
+/// # Errors
+///
+/// See [`Request::new`].
+pub fn validate(workload: &Workload, input: &RequestInput) -> Result<(), RuntimeError> {
+    match workload {
+        Workload::Softmax { rows, len } => match input {
+            RequestInput::Rows(m) => {
+                if m.rows() != *rows || m.cols() != *len {
+                    return Err(shape_err(
+                        workload,
+                        format!(
+                            "expected a {rows}x{len} matrix, got {}x{}",
+                            m.rows(),
+                            m.cols()
+                        ),
+                    ));
+                }
+                if *rows == 0 || *len == 0 {
+                    return Err(shape_err(
+                        workload,
+                        "softmax input must be non-empty".to_string(),
+                    ));
+                }
+                Ok(())
+            }
+            other => Err(mismatch(workload, "row-matrix", other)),
+        },
+        Workload::Variance(c) => match input {
+            RequestInput::Rows(m) => {
+                if m.cols() != c.l || c.l == 0 {
+                    return Err(shape_err(
+                        workload,
+                        format!(
+                            "expected non-empty rows of length {}, got {}",
+                            c.l,
+                            m.cols()
+                        ),
+                    ));
+                }
+                if m.rows() == 0 {
+                    return Err(shape_err(
+                        workload,
+                        "variance input must have at least one row".to_string(),
+                    ));
+                }
+                Ok(())
+            }
+            other => Err(mismatch(workload, "row-matrix", other)),
+        },
+        Workload::Mha(c) => match input {
+            RequestInput::Attention { q, k, v } => {
+                let ok = q.rows() == c.q
+                    && q.cols() == c.hd
+                    && k.rows() == c.kv
+                    && k.cols() == c.hd
+                    && v.rows() == c.kv
+                    && v.cols() == c.hd;
+                if !ok {
+                    return Err(shape_err(
+                        workload,
+                        format!(
+                            "expected q [{}x{}], k/v [{}x{}]; got q [{}x{}], k [{}x{}], v [{}x{}]",
+                            c.q,
+                            c.hd,
+                            c.kv,
+                            c.hd,
+                            q.rows(),
+                            q.cols(),
+                            k.rows(),
+                            k.cols(),
+                            v.rows(),
+                            v.cols()
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+            other => Err(mismatch(workload, "attention (q/k/v)", other)),
+        },
+        Workload::Mla(c) => match input {
+            RequestInput::Attention { q, k, v } => {
+                let ok = q.rows() == 1
+                    && q.cols() == c.qk_dim()
+                    && k.rows() == c.kv
+                    && k.cols() == c.qk_dim()
+                    && v.rows() == c.kv
+                    && v.cols() == c.hd;
+                if !ok {
+                    return Err(shape_err(
+                        workload,
+                        format!(
+                            "expected q [1x{}], k [{}x{}], v [{}x{}]; got q [{}x{}], k [{}x{}], v [{}x{}]",
+                            c.qk_dim(),
+                            c.kv,
+                            c.qk_dim(),
+                            c.kv,
+                            c.hd,
+                            q.rows(),
+                            q.cols(),
+                            k.rows(),
+                            k.cols(),
+                            v.rows(),
+                            v.cols()
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+            other => Err(mismatch(workload, "attention (q/k/v)", other)),
+        },
+        Workload::Moe(c) => match input {
+            RequestInput::Routing { x, w } => {
+                // The fused routing kernel asserts topk <= experts; reject
+                // inconsistent configurations at the front door instead.
+                if c.topk == 0 || c.topk > c.en {
+                    return Err(shape_err(
+                        workload,
+                        format!("topk ({}) must be in 1..={} (expert count)", c.topk, c.en),
+                    ));
+                }
+                let ok = x.cols() == c.hd && w.rows() == c.hd && w.cols() == c.en && x.rows() > 0;
+                if !ok {
+                    return Err(shape_err(
+                        workload,
+                        format!(
+                            "expected x [*x{}], w [{}x{}]; got x [{}x{}], w [{}x{}]",
+                            c.hd,
+                            c.hd,
+                            c.en,
+                            x.rows(),
+                            x.cols(),
+                            w.rows(),
+                            w.cols()
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+            other => Err(mismatch(workload, "routing (x/w)", other)),
+        },
+        Workload::Quant(c) => match input {
+            RequestInput::QuantGemm { a, w } => {
+                let ok = a.cols() == c.k
+                    && w.rows() == c.k
+                    && w.cols() == c.n
+                    && a.rows() > 0
+                    && c.k > 0;
+                if !ok {
+                    return Err(shape_err(
+                        workload,
+                        format!(
+                            "expected a [*x{}], w [{}x{}]; got a [{}x{}], w [{}x{}]",
+                            c.k,
+                            c.k,
+                            c.n,
+                            a.rows(),
+                            a.cols(),
+                            w.rows(),
+                            w.cols()
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+            other => Err(mismatch(workload, "quant-gemm (a/w)", other)),
+        },
+        Workload::Inertia(c) => match input {
+            RequestInput::Inertia { masses, positions } => {
+                let ok = masses.len() == positions.rows()
+                    && positions.cols() == c.dim
+                    && !masses.is_empty();
+                if !ok {
+                    return Err(shape_err(
+                        workload,
+                        format!(
+                            "expected {} masses and positions [*x{}]; got {} masses, positions [{}x{}]",
+                            positions.rows(),
+                            c.dim,
+                            masses.len(),
+                            positions.rows(),
+                            positions.cols()
+                        ),
+                    ));
+                }
+                Ok(())
+            }
+            other => Err(mismatch(workload, "inertia (masses/positions)", other)),
+        },
+    }
+}
+
+/// Block size used by the fused attention and quant kernels; small enough to
+/// exercise the block-merge path on the tiny test configurations.
+const EXEC_BLOCK: usize = 16;
+
+fn attention_scale(qk_dim: usize) -> f64 {
+    1.0 / (qk_dim.max(1) as f64).sqrt()
+}
+
+/// Executes a validated request with the **fused** kernels (the execution path
+/// the runtime serves).
+pub fn execute_fused(workload: &Workload, input: &RequestInput) -> RequestOutput {
+    match (workload, input) {
+        (Workload::Softmax { .. }, RequestInput::Rows(m)) => {
+            let mut out = Matrix::zeros(m.rows(), m.cols());
+            for r in 0..m.rows() {
+                out.row_mut(r)
+                    .copy_from_slice(&softmax::softmax_online(m.row(r)));
+            }
+            RequestOutput::Matrix(out)
+        }
+        (Workload::Variance(_), RequestInput::Rows(m)) => {
+            RequestOutput::Values(nonml::variance_rows(m, nonml::variance_fused))
+        }
+        (Workload::Mha(_) | Workload::Mla(_), RequestInput::Attention { q, k, v }) => {
+            RequestOutput::Matrix(attention::flash_attention(
+                q,
+                k,
+                v,
+                attention_scale(q.cols()),
+                EXEC_BLOCK,
+            ))
+        }
+        (Workload::Moe(c), RequestInput::Routing { x, w }) => {
+            RequestOutput::Routing(moe::route_fused(x, w, c.topk))
+        }
+        (Workload::Quant(_), RequestInput::QuantGemm { a, w }) => {
+            RequestOutput::Matrix(quant::quant_gemm_fused(a, w, EXEC_BLOCK))
+        }
+        (Workload::Inertia(_), RequestInput::Inertia { masses, positions }) => {
+            RequestOutput::Values(vec![nonml::inertia_fused(masses, positions)])
+        }
+        _ => unreachable!("requests are validated before execution"),
+    }
+}
+
+/// Executes a validated request with the **unfused** reference kernels (the
+/// correctness oracle for [`execute_fused`]).
+pub fn execute_reference(workload: &Workload, input: &RequestInput) -> RequestOutput {
+    match (workload, input) {
+        (Workload::Softmax { .. }, RequestInput::Rows(m)) => {
+            RequestOutput::Matrix(softmax::softmax_rows(m))
+        }
+        (Workload::Variance(_), RequestInput::Rows(m)) => {
+            RequestOutput::Values(nonml::variance_rows(m, nonml::variance_naive))
+        }
+        (Workload::Mha(_) | Workload::Mla(_), RequestInput::Attention { q, k, v }) => {
+            RequestOutput::Matrix(attention::attention_naive(
+                q,
+                k,
+                v,
+                attention_scale(q.cols()),
+            ))
+        }
+        (Workload::Moe(c), RequestInput::Routing { x, w }) => {
+            RequestOutput::Routing(moe::route_naive(x, w, c.topk))
+        }
+        (Workload::Quant(_), RequestInput::QuantGemm { a, w }) => {
+            RequestOutput::Matrix(quant::quant_gemm_naive(a, w))
+        }
+        (Workload::Inertia(_), RequestInput::Inertia { masses, positions }) => {
+            RequestOutput::Values(vec![nonml::inertia_naive(masses, positions)])
+        }
+        _ => unreachable!("requests are validated before execution"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rf_workloads::{
+        inertia_tiny, mha_tiny, mla_tiny, moe_tiny, quant_tiny, random_matrix, random_vec,
+        variance_tiny,
+    };
+
+    const TOL: f64 = 1e-9;
+
+    fn mha_request() -> Request {
+        let c = mha_tiny();
+        Request::new(
+            Workload::Mha(c.clone()),
+            RequestInput::Attention {
+                q: random_matrix(c.q, c.hd, 1, -1.0, 1.0),
+                k: random_matrix(c.kv, c.hd, 2, -1.0, 1.0),
+                v: random_matrix(c.kv, c.hd, 3, -1.0, 1.0),
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn every_workload_family_executes_and_matches_reference() {
+        let moe = moe_tiny();
+        let quant = quant_tiny();
+        let var = variance_tiny();
+        let inertia = inertia_tiny();
+        let mla = mla_tiny();
+        let requests = vec![
+            Request::softmax(random_matrix(4, 64, 10, -3.0, 3.0)),
+            mha_request(),
+            Request::new(
+                Workload::Mla(mla.clone()),
+                RequestInput::Attention {
+                    q: random_matrix(1, mla.qk_dim(), 4, -1.0, 1.0),
+                    k: random_matrix(mla.kv, mla.qk_dim(), 5, -1.0, 1.0),
+                    v: random_matrix(mla.kv, mla.hd, 6, -1.0, 1.0),
+                },
+            )
+            .unwrap(),
+            Request::new(
+                Workload::Moe(moe.clone()),
+                RequestInput::Routing {
+                    x: random_matrix(6, moe.hd, 7, -1.0, 1.0),
+                    w: random_matrix(moe.hd, moe.en, 8, -1.0, 1.0),
+                },
+            )
+            .unwrap(),
+            Request::new(
+                Workload::Quant(quant.clone()),
+                RequestInput::QuantGemm {
+                    a: random_matrix(5, quant.k, 9, -1.0, 1.0),
+                    w: random_matrix(quant.k, quant.n, 11, -1.0, 1.0),
+                },
+            )
+            .unwrap(),
+            Request::new(
+                Workload::Variance(var.clone()),
+                RequestInput::Rows(random_matrix(3, var.l, 12, -2.0, 2.0)),
+            )
+            .unwrap(),
+            Request::new(
+                Workload::Inertia(inertia.clone()),
+                RequestInput::Inertia {
+                    masses: random_vec(32, 13, 0.1, 2.0),
+                    positions: random_matrix(32, inertia.dim, 14, -1.0, 1.0),
+                },
+            )
+            .unwrap(),
+        ];
+        for req in requests {
+            let fused = execute_fused(&req.workload, &req.input);
+            let reference = execute_reference(&req.workload, &req.input);
+            assert!(
+                fused.approx_eq(&reference, TOL),
+                "{}: fused and reference disagree",
+                req.workload.name()
+            );
+        }
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let err = Request::new(
+            Workload::Softmax { rows: 2, len: 4 },
+            RequestInput::Inertia {
+                masses: vec![1.0],
+                positions: random_matrix(1, 3, 1, 0.0, 1.0),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::InputMismatch { .. }));
+        assert!(err.to_string().contains("row-matrix"));
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let err = Request::new(
+            Workload::Softmax { rows: 2, len: 4 },
+            RequestInput::Rows(random_matrix(2, 5, 1, 0.0, 1.0)),
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::ShapeMismatch { .. }));
+
+        let c = moe_tiny();
+        let err = Request::new(
+            Workload::Moe(c.clone()),
+            RequestInput::Routing {
+                x: random_matrix(4, c.hd + 1, 2, 0.0, 1.0),
+                w: random_matrix(c.hd, c.en, 3, 0.0, 1.0),
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, RuntimeError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn kernel_panicking_inputs_are_rejected_up_front() {
+        // Empty softmax rows would hit the non-empty assert in rf-kernels.
+        let err = validate(
+            &Workload::Softmax { rows: 2, len: 0 },
+            &RequestInput::Rows(Matrix::zeros(2, 0)),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("non-empty"));
+
+        // topk > expert count would hit the assert in the routing kernel.
+        let mut c = moe_tiny();
+        c.topk = c.en + 1;
+        let err = validate(
+            &Workload::Moe(c.clone()),
+            &RequestInput::Routing {
+                x: random_matrix(2, c.hd, 1, 0.0, 1.0),
+                w: random_matrix(c.hd, c.en, 2, 0.0, 1.0),
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("topk"));
+    }
+
+    #[test]
+    fn outputs_of_different_kinds_never_compare_equal() {
+        let a = RequestOutput::Values(vec![1.0]);
+        let b = RequestOutput::Matrix(Matrix::zeros(1, 1));
+        assert!(!a.approx_eq(&b, 1.0));
+    }
+
+    #[test]
+    fn softmax_constructor_derives_workload_from_input() {
+        let req = Request::softmax(random_matrix(3, 7, 1, -1.0, 1.0));
+        assert_eq!(req.workload, Workload::Softmax { rows: 3, len: 7 });
+    }
+}

@@ -8,7 +8,10 @@
 use crate::Precision;
 
 /// One Multi-Head Attention configuration (a row of Table 2a).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// All shape fields are integers, so the struct derives `Hash`/`Eq` and can be
+/// used directly as (part of) a compiled-plan cache key in `rf-runtime`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MhaConfig {
     /// Row name (`H1..H9`).
     pub name: &'static str,
@@ -63,7 +66,7 @@ impl MhaConfig {
 }
 
 /// One Multi-Latent Attention (decode) configuration (a row of Table 2b).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MlaConfig {
     /// Row name (`L1..L9`).
     pub name: &'static str,

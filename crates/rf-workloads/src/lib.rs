@@ -21,14 +21,16 @@ pub mod moe;
 pub mod nonml;
 pub mod quant;
 
-pub use attention::{mha_configs, mla_configs, MhaConfig, MlaConfig};
+pub use attention::{mha_configs, mha_tiny, mla_configs, mla_tiny, MhaConfig, MlaConfig};
 pub use data::{random_matrix, random_vec, Matrix};
-pub use moe::{moe_configs, MoeConfig};
-pub use nonml::{inertia_configs, variance_configs, InertiaConfig, VarianceConfig};
-pub use quant::{quant_configs, QuantGemmConfig};
+pub use moe::{moe_configs, moe_tiny, MoeConfig};
+pub use nonml::{
+    inertia_configs, inertia_tiny, variance_configs, variance_tiny, InertiaConfig, VarianceConfig,
+};
+pub use quant::{quant_configs, quant_tiny, QuantGemmConfig};
 
 /// Bytes per element for the storage precisions used in the paper's workloads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Precision {
     /// 8-bit floating point (FP8 E4M3).
     Fp8,
@@ -58,6 +60,33 @@ mod tests {
         assert_eq!(Precision::Fp8.bytes(), 1);
         assert_eq!(Precision::Fp16.bytes(), 2);
         assert_eq!(Precision::Fp32.bytes(), 4);
+    }
+
+    #[test]
+    fn configs_work_as_hash_map_keys() {
+        use std::collections::HashMap;
+        let mut by_mha: HashMap<MhaConfig, usize> = HashMap::new();
+        for (i, c) in mha_configs().into_iter().enumerate() {
+            by_mha.insert(c, i);
+        }
+        assert_eq!(by_mha.len(), 9);
+        assert_eq!(by_mha.get(&mha_configs()[3]), Some(&3));
+
+        let mut mixed: HashMap<(MoeConfig, Precision), u64> = HashMap::new();
+        mixed.insert((moe_configs()[0].clone(), Precision::Fp16), 1);
+        mixed.insert((moe_configs()[0].clone(), Precision::Fp8), 2);
+        assert_eq!(mixed.len(), 2);
+
+        let mut nonml: HashMap<(VarianceConfig, InertiaConfig), ()> = HashMap::new();
+        nonml.insert(
+            (variance_configs()[0].clone(), inertia_configs()[0].clone()),
+            (),
+        );
+        assert_eq!(nonml.len(), 1);
+
+        let mut by_quant: HashMap<(MlaConfig, QuantGemmConfig), ()> = HashMap::new();
+        by_quant.insert((mla_configs()[0].clone(), quant_configs()[0].clone()), ());
+        assert!(by_quant.contains_key(&(mla_configs()[0].clone(), quant_configs()[0].clone())));
     }
 
     #[test]

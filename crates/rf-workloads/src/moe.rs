@@ -7,7 +7,7 @@
 use crate::Precision;
 
 /// One MoE routing configuration (a row of Table 2c).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct MoeConfig {
     /// Row name (`R1..R8`).
     pub name: &'static str,

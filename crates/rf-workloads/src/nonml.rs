@@ -7,7 +7,7 @@
 use crate::Precision;
 
 /// One variance configuration (a row of Table 3a).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct VarianceConfig {
     /// Row name (`V1..V8`).
     pub name: &'static str,
@@ -36,7 +36,7 @@ impl VarianceConfig {
 }
 
 /// One moment-of-inertia configuration (a row of Table 3b).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct InertiaConfig {
     /// Row name (`I1..I8`).
     pub name: &'static str,

@@ -7,7 +7,7 @@
 use crate::Precision;
 
 /// One Quant + GEMM configuration (a row of Table 2d).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct QuantGemmConfig {
     /// Row name (`Q1..Q10`).
     pub name: &'static str,

@@ -27,6 +27,7 @@
 //! | [`gpusim`] | `rf-gpusim` | analytical GPU performance model (A10/A100/H800/MI308X) |
 //! | [`codegen`] | `rf-codegen` | lowering, Single/Multi-Segment strategies, fusion levels, auto-tuner |
 //! | [`kernels`] | `rf-kernels` | reference + hand-optimized CPU numeric kernels |
+//! | [`runtime`] | `rf-runtime` | concurrent serving engine: plan cache, batch scheduler, metrics |
 //! | [`baselines`] | `rf-baselines` | eager / inductor-like / tvm-like compiler behaviour models |
 //! | [`workloads`] | `rf-workloads` | paper configuration tables and data generation |
 //!
@@ -49,6 +50,7 @@ pub use rf_expr as expr;
 pub use rf_fusion as fusion;
 pub use rf_gpusim as gpusim;
 pub use rf_kernels as kernels;
+pub use rf_runtime as runtime;
 pub use rf_tile as tile;
 pub use rf_tir as tir;
 pub use rf_workloads as workloads;

@@ -16,6 +16,8 @@ mod moe_routing;
 mod quant_gemm;
 #[path = "../examples/quickstart.rs"]
 mod quickstart;
+#[path = "../examples/serving.rs"]
+mod serving;
 
 #[test]
 fn quickstart_runs() {
@@ -40,4 +42,9 @@ fn moe_routing_runs() {
 #[test]
 fn quant_gemm_runs() {
     quant_gemm::main();
+}
+
+#[test]
+fn serving_runs() {
+    serving::main();
 }

@@ -5,7 +5,7 @@
 //!
 //! * numeric range strategies (`-100.0f64..100.0`, `1usize..8`, …),
 //! * tuple strategies, [`prop::sample::select`], [`prop::collection::vec`],
-//! * [`Strategy::prop_map`], [`Strategy::prop_recursive`], [`prop_oneof!`],
+//! * [`strategy::Strategy`] combinators (`prop_map`, `prop_recursive`), [`prop_oneof!`],
 //! * the [`proptest!`] macro with optional `#![proptest_config(..)]` header,
 //! * `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
 //!
@@ -269,7 +269,7 @@ pub mod prop {
         use rand::rngs::StdRng;
         use rand::Rng;
 
-        /// Length specification for [`vec`]: a range or an exact size.
+        /// Length specification for [`vec()`]: a range or an exact size.
         pub trait SizeRange {
             fn pick(&self, rng: &mut StdRng) -> usize;
         }
