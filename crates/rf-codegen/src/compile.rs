@@ -9,8 +9,25 @@ use rf_workloads::{
 };
 
 use crate::lower::{attention_program, cascade_program, AttentionShape, AttentionTiling};
-use crate::strategy::{Mode, Strategy};
-use crate::tuner::{AutoTuner, TuningChoice, TuningPoint};
+use crate::strategy::Mode;
+use crate::tuner::{
+    AutoTuner, PointFootprint, SearchMode, TuneHooks, TuningCache, TuningChoice, TuningPoint,
+};
+
+/// Options for [`compile_workload_with`]: how the auto-tuner searches and
+/// whether it warm-starts from (and records into) a shared [`TuningCache`].
+#[derive(Debug, Clone, Default)]
+pub struct CompileOptions {
+    /// The tuner search mode ([`SearchMode::Guided`] by default;
+    /// [`SearchMode::Exhaustive`] is the oracle).
+    pub mode: SearchMode,
+    /// Warm-start cache shared across compilations (keyed by
+    /// [`Workload::class`] and architecture fingerprint).
+    pub tuning_cache: Option<Arc<TuningCache>>,
+    /// Debug-build verification of the guided search against the exhaustive
+    /// oracle (see [`AutoTuner::with_oracle_check`]).
+    pub oracle_check: bool,
+}
 
 /// A workload RedFuser can compile end-to-end.
 ///
@@ -50,6 +67,21 @@ impl Workload {
             Workload::Variance(c) => format!("variance_{}", c.name),
             Workload::Inertia(c) => format!("inertia_{}", c.name),
             Workload::Softmax { rows, len } => format!("softmax_{rows}x{len}"),
+        }
+    }
+
+    /// The workload class, shared by every shape of one family — the key the
+    /// [`TuningCache`] warm-starts under (a winning launch configuration for
+    /// one MHA shape is a good starting point for the next MHA shape).
+    pub fn class(&self) -> &'static str {
+        match self {
+            Workload::Mha(_) => "mha",
+            Workload::Mla(_) => "mla",
+            Workload::Moe(_) => "moe",
+            Workload::Quant(_) => "quant",
+            Workload::Variance(_) => "variance",
+            Workload::Inertia(_) => "inertia",
+            Workload::Softmax { .. } => "softmax",
         }
     }
 }
@@ -119,44 +151,71 @@ pub struct CompiledKernel {
     pub tuning: TuningChoice,
 }
 
-fn tuned_attention(shape: AttentionShape, arch: &GpuArch, name: &str) -> CompiledKernel {
-    let tuner = AutoTuner::new(arch.clone());
-    let choice = tuner.tune(|p: &TuningPoint| {
-        let strategy = if p.segments > 1 {
-            Strategy::MultiSegment {
-                segments: p.segments,
-            }
-        } else {
-            Strategy::SingleSegment
-        };
+fn tuner_for(arch: &GpuArch, class: &'static str, opts: &CompileOptions) -> AutoTuner {
+    let mut tuner = AutoTuner::new(arch.clone())
+        .with_mode(opts.mode)
+        .with_oracle_check(opts.oracle_check);
+    if let Some(cache) = &opts.tuning_cache {
+        tuner = tuner.with_cache(Arc::clone(cache), class);
+    }
+    tuner
+}
+
+fn tuned_attention(
+    shape: AttentionShape,
+    arch: &GpuArch,
+    name: &str,
+    class: &'static str,
+    opts: &CompileOptions,
+) -> CompiledKernel {
+    let tuner = tuner_for(arch, class, opts);
+    // Canonicalization mirrors the clamps `attention_program` applies, so two
+    // raw points building the identical kernel are evaluated once.
+    let normalize = |p: &TuningPoint| TuningPoint {
+        block_rows: p.block_rows.min(shape.q_len).max(1),
+        block_axis: p.block_axis.min(shape.kv_len).max(1),
+        threads: p.threads,
+        pipeline_depth: p.pipeline_depth,
+        segments: p.segments.max(1),
+    };
+    // Exactly the shared-memory footprint of the Q/K/V staging buffers the
+    // lowering allocates (the combine kernel uses no shared memory).
+    let footprint = |p: &TuningPoint| PointFootprint {
+        threads_per_block: p.threads,
+        shared_mem_per_block: 2
+            * (p.block_rows * shape.qk_dim
+                + p.block_axis * shape.qk_dim
+                + p.block_axis * shape.head_dim) as u64,
+    };
+    let build = |p: &TuningPoint| {
         let tiling = AttentionTiling {
             block_q: p.block_rows,
             block_kv: p.block_axis,
             threads: p.threads,
             pipeline_depth: p.pipeline_depth,
         };
-        let program = attention_program(&shape, &tiling, strategy);
+        let program = attention_program(&shape, &tiling, p.strategy());
         let mut profile = KernelProfile::from_tile_program(&program);
         // Hardware-aware implementation selection (§4.4): MMA/WGMMA mapping
         // and cp.async/TMA copies lift the fused kernel close to peak.
         profile.compute_efficiency = 0.75;
         profile
-    });
-    // Rebuild the winning program so callers can inspect / dump it.
-    let strategy = if choice.point.segments > 1 {
-        Strategy::MultiSegment {
-            segments: choice.point.segments,
-        }
-    } else {
-        Strategy::SingleSegment
     };
+    let choice = tuner.tune_with_hooks(
+        &build,
+        TuneHooks {
+            normalize: Some(&normalize),
+            footprint: Some(&footprint),
+        },
+    );
+    // Rebuild the winning program so callers can inspect / dump it.
     let tiling = AttentionTiling {
         block_q: choice.point.block_rows,
         block_kv: choice.point.block_axis,
         threads: choice.point.threads,
         pipeline_depth: choice.point.pipeline_depth,
     };
-    let program = attention_program(&shape, &tiling, strategy);
+    let program = attention_program(&shape, &tiling, choice.point.strategy());
     CompiledKernel {
         name: name.to_string(),
         program: Some(program),
@@ -172,58 +231,68 @@ fn tuned_cascade(
     rows: usize,
     axis_len: usize,
     arch: &GpuArch,
+    class: &'static str,
+    opts: &CompileOptions,
 ) -> CompiledKernel {
-    let tuner = AutoTuner::new(arch.clone());
-    let choice = tuner.tune(|p: &TuningPoint| {
-        let strategy = if p.segments > 1 {
-            Strategy::MultiSegment {
-                segments: p.segments,
-            }
-        } else {
-            Strategy::SingleSegment
-        };
-        let cfg = TensorizeConfig {
-            block_rows: p.block_rows,
-            block_axis: p.block_axis,
-            threads_per_block: p.threads,
+    const ELEMENT_BYTES: u32 = 2;
+    let tuner = tuner_for(arch, class, opts);
+    // Mirror the clamps of `tensorize_cascade`: the cascade is lowered with
+    // `rows * segments` effective rows over `ceil(axis_len / segments)` axis
+    // elements per segment, so larger tile sizes collapse onto those bounds.
+    let normalize = |p: &TuningPoint| {
+        let segments = p.segments.max(1);
+        TuningPoint {
+            block_rows: p.block_rows.min(rows * segments as usize).max(1),
+            block_axis: p
+                .block_axis
+                .min(axis_len.div_ceil(segments as usize))
+                .max(1),
+            threads: p.threads,
             pipeline_depth: p.pipeline_depth,
-            element_bytes: 2,
-            incremental: true,
-        };
+            segments,
+        }
+    };
+    // The incremental lowering stages exactly one input tile in shared memory
+    // (the combine kernel uses none).
+    let footprint = |p: &TuningPoint| PointFootprint {
+        threads_per_block: p.threads,
+        shared_mem_per_block: (p.block_rows * p.block_axis) as u64 * ELEMENT_BYTES as u64,
+    };
+    let cfg_for = |p: &TuningPoint| TensorizeConfig {
+        block_rows: p.block_rows,
+        block_axis: p.block_axis,
+        threads_per_block: p.threads,
+        pipeline_depth: p.pipeline_depth,
+        element_bytes: ELEMENT_BYTES,
+        incremental: true,
+    };
+    let build = |p: &TuningPoint| {
         let program = cascade_program(
             name,
             num_reductions,
             rows,
             axis_len,
             Mode::Incremental,
-            strategy,
-            &cfg,
+            p.strategy(),
+            &cfg_for(p),
         );
         KernelProfile::from_tile_program(&program)
-    });
-    let cfg = TensorizeConfig {
-        block_rows: choice.point.block_rows,
-        block_axis: choice.point.block_axis,
-        threads_per_block: choice.point.threads,
-        pipeline_depth: choice.point.pipeline_depth,
-        element_bytes: 2,
-        incremental: true,
     };
-    let strategy = if choice.point.segments > 1 {
-        Strategy::MultiSegment {
-            segments: choice.point.segments,
-        }
-    } else {
-        Strategy::SingleSegment
-    };
+    let choice = tuner.tune_with_hooks(
+        &build,
+        TuneHooks {
+            normalize: Some(&normalize),
+            footprint: Some(&footprint),
+        },
+    );
     let program = cascade_program(
         name,
         num_reductions,
         rows,
         axis_len,
         Mode::Incremental,
-        strategy,
-        &cfg,
+        choice.point.strategy(),
+        &cfg_for(&choice.point),
     );
     CompiledKernel {
         name: name.to_string(),
@@ -269,6 +338,8 @@ fn fused_profile_from_accounting(
         profile: profile.clone(),
         latency_us,
         evaluated: 1,
+        space_size: 1,
+        mode: SearchMode::Exhaustive,
     };
     CompiledKernel {
         name: name.to_string(),
@@ -280,12 +351,38 @@ fn fused_profile_from_accounting(
 }
 
 /// Compiles a workload with RedFuser for one architecture: lowering, strategy
-/// selection and auto-tuning, returning the tuned fused kernel.
+/// selection and auto-tuning with the default [`CompileOptions`] (guided
+/// search, no warm-start cache), returning the tuned fused kernel.
 pub fn compile_workload(workload: &Workload, arch: &GpuArch) -> CompiledKernel {
+    compile_workload_with(workload, arch, &CompileOptions::default())
+}
+
+/// Like [`compile_workload`], with explicit tuner options (search mode,
+/// warm-start [`TuningCache`], oracle verification).
+pub fn compile_workload_with(
+    workload: &Workload,
+    arch: &GpuArch,
+    opts: &CompileOptions,
+) -> CompiledKernel {
+    let class = workload.class();
     match workload {
-        Workload::Mha(c) => tuned_attention(AttentionShape::from_mha(c), arch, &workload.name()),
-        Workload::Mla(c) => tuned_attention(AttentionShape::from_mla(c), arch, &workload.name()),
-        Workload::Softmax { rows, len } => tuned_cascade(&workload.name(), 2, *rows, *len, arch),
+        Workload::Mha(c) => tuned_attention(
+            AttentionShape::from_mha(c),
+            arch,
+            &workload.name(),
+            class,
+            opts,
+        ),
+        Workload::Mla(c) => tuned_attention(
+            AttentionShape::from_mla(c),
+            arch,
+            &workload.name(),
+            class,
+            opts,
+        ),
+        Workload::Softmax { rows, len } => {
+            tuned_cascade(&workload.name(), 2, *rows, *len, arch, class, opts)
+        }
         Workload::Moe(c) => {
             // Scoring GEMM + softmax + top-k fused into one pass over experts.
             let correction_flops = 6 * (c.s * c.en) as u64;
@@ -457,6 +554,152 @@ mod tests {
             PlanKey::new(&softmax, &tweaked),
             PlanKey::new(&softmax, &GpuArch::a10())
         );
+    }
+
+    #[test]
+    fn guided_search_matches_oracle_on_tiny_configs() {
+        // Exercises the debug assertion in `AutoTuner::tune` (pruned search
+        // within 5% of the exhaustive oracle) on every tuned tiny workload.
+        use rf_workloads::{mha_tiny, mla_tiny};
+        let opts = CompileOptions {
+            oracle_check: true,
+            ..CompileOptions::default()
+        };
+        for arch in [GpuArch::a10(), GpuArch::h800()] {
+            for workload in [
+                Workload::Mha(mha_tiny()),
+                Workload::Mla(mla_tiny()),
+                Workload::Softmax { rows: 32, len: 128 },
+            ] {
+                let guided = compile_workload_with(&workload, &arch, &opts);
+                let oracle = compile_workload_with(
+                    &workload,
+                    &arch,
+                    &CompileOptions {
+                        mode: SearchMode::Exhaustive,
+                        ..CompileOptions::default()
+                    },
+                );
+                assert!(
+                    guided.latency_us <= oracle.latency_us * 1.05,
+                    "{}: guided {} vs oracle {}",
+                    workload.name(),
+                    guided.latency_us,
+                    oracle.latency_us
+                );
+                assert!(
+                    guided.tuning.evaluated < oracle.tuning.evaluated,
+                    "{}: guided must evaluate fewer candidates",
+                    workload.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dedup_shrinks_the_search_on_clamped_shapes() {
+        // The tiny MLA decode shape clamps every oversized tile size, so the
+        // canonicalization stage must collapse large parts of the space.
+        let oracle = compile_workload_with(
+            &Workload::Mla(rf_workloads::mla_tiny()),
+            &GpuArch::a10(),
+            &CompileOptions {
+                mode: SearchMode::Exhaustive,
+                ..CompileOptions::default()
+            },
+        );
+        assert!(
+            oracle.tuning.evaluated * 2 <= oracle.tuning.space_size,
+            "evaluated {} of {} raw points",
+            oracle.tuning.evaluated,
+            oracle.tuning.space_size
+        );
+    }
+
+    #[test]
+    fn fp8_quant_tile_programs_are_not_costed_at_fp16_rate() {
+        // Regression: `KernelProfile::from_tile_program` hardcoded fp16, so
+        // FP8 quant-GEMM tile programs were rated against fp16 throughput.
+        use crate::strategy::Strategy;
+        let c = &quant_configs()[0];
+        let arch = GpuArch::h800();
+        let fp8_cfg = TensorizeConfig {
+            element_bytes: 1,
+            ..TensorizeConfig::default()
+        };
+        let fp16_cfg = TensorizeConfig {
+            element_bytes: 2,
+            ..TensorizeConfig::default()
+        };
+        let fp8 = cascade_program(
+            "quant",
+            2,
+            c.m,
+            c.k,
+            Mode::Incremental,
+            Strategy::SingleSegment,
+            &fp8_cfg,
+        );
+        let fp16 = cascade_program(
+            "quant",
+            2,
+            c.m,
+            c.k,
+            Mode::Incremental,
+            Strategy::SingleSegment,
+            &fp16_cfg,
+        );
+        let fp8_profile = KernelProfile::from_tile_program(&fp8);
+        assert_eq!(fp8_profile.precision, "fp8");
+        assert_eq!(KernelProfile::from_tile_program(&fp16).precision, "fp16");
+        // The exact regression: the same fp8 kernel rated at fp16 throughput
+        // (what the hardcoded tag used to do) must be estimated slower than
+        // the correct fp8 rating on an fp8-capable part.
+        let misrated = KernelProfile {
+            precision: "fp16",
+            ..fp8_profile.clone()
+        };
+        let fp8_us = estimate_latency(&arch, &fp8_profile).total_us;
+        let misrated_us = estimate_latency(&arch, &misrated).total_us;
+        assert!(
+            fp8_us < misrated_us,
+            "fp8 {fp8_us} vs fp16-misrated {misrated_us}"
+        );
+        // And the end-to-end quant compilation keeps its fp8 rating.
+        let compiled = compile_workload(&Workload::Quant(c.clone()), &arch);
+        assert_eq!(compiled.profile.precision, "fp8");
+    }
+
+    #[test]
+    fn tuning_cache_warm_starts_across_shapes_of_one_class() {
+        let arch = GpuArch::a10();
+        let cache = std::sync::Arc::new(TuningCache::new());
+        let opts = CompileOptions {
+            tuning_cache: Some(std::sync::Arc::clone(&cache)),
+            ..CompileOptions::default()
+        };
+        let cold = compile_workload_with(
+            &Workload::Softmax {
+                rows: 512,
+                len: 2048,
+            },
+            &arch,
+            &opts,
+        );
+        let warm = compile_workload_with(
+            &Workload::Softmax {
+                rows: 512,
+                len: 4096,
+            },
+            &arch,
+            &opts,
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 2);
+        assert_eq!(stats.seeded, 1, "second compile warm-starts");
+        assert_eq!(stats.insertions, 2);
+        assert_eq!(stats.entries, 1, "one (class, arch) key");
+        assert!(cold.latency_us.is_finite() && warm.latency_us.is_finite());
     }
 
     #[test]

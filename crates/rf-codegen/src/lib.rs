@@ -29,12 +29,16 @@ pub mod strategy;
 pub mod tuner;
 
 pub use compile::{
-    arch_fingerprint, compile_workload, compile_workload_arc, CompiledKernel, PlanKey, Workload,
+    arch_fingerprint, compile_workload, compile_workload_arc, compile_workload_with,
+    CompileOptions, CompiledKernel, PlanKey, Workload,
 };
 pub use level::{fusion_level_latency, incremental_sweep, FusionLevelReport, IncrementalPoint};
 pub use lower::{attention_program, cascade_program, AttentionShape};
 pub use strategy::{FusionLevel, Mode, Strategy};
-pub use tuner::{AutoTuner, TuningChoice, TuningSpace};
+pub use tuner::{
+    AutoTuner, PointFootprint, SearchMode, TuneHooks, TuningCache, TuningCacheStats, TuningChoice,
+    TuningPoint, TuningSpace, DEFAULT_BEAM_WIDTH,
+};
 
 #[cfg(test)]
 mod tests {

@@ -396,11 +396,16 @@ pub fn cascade_program(
         &tensorize_cfg,
     );
     if strategy.needs_combine_kernel() {
+        // The combine kernel iterates over the original rows, so its tile
+        // height clamps to them (exactly like the main kernel's tiles clamp
+        // to the effective rows).
+        let combine_rows = cfg.block_rows.min(rows).max(1);
         let mut combine = TileProgram::new(
             format!("{name}_combine"),
-            rows.div_ceil(cfg.block_rows).max(1) as u64,
+            rows.div_ceil(combine_rows).max(1) as u64,
             cfg.threads_per_block,
         );
+        combine.precision = program.precision;
         combine.buffers = vec![
             TileBuffer::new(
                 "partials",
@@ -411,7 +416,7 @@ pub fn cascade_program(
             TileBuffer::new("out", vec![rows, num_reductions], MemoryScope::Global, 4),
             TileBuffer::new(
                 "partial_frag",
-                vec![cfg.block_rows, segments * num_reductions],
+                vec![combine_rows, segments * num_reductions],
                 MemoryScope::Fragment,
                 4,
             ),
@@ -422,19 +427,19 @@ pub fn cascade_program(
                 TileOp::Copy {
                     src: "partials".into(),
                     dst: "partial_frag".into(),
-                    elements: (cfg.block_rows * segments * num_reductions) as u64,
+                    elements: (combine_rows * segments * num_reductions) as u64,
                 },
                 TileOp::Reduce {
                     src: "partial_frag".into(),
                     dst: "out".into(),
                     axis_len: segments as u64,
-                    rows: (cfg.block_rows * num_reductions) as u64,
+                    rows: (combine_rows * num_reductions) as u64,
                     op: rf_algebra::BinaryOp::Add,
                 },
                 TileOp::Copy {
                     src: "partial_frag".into(),
                     dst: "out".into(),
-                    elements: (cfg.block_rows * num_reductions) as u64,
+                    elements: (combine_rows * num_reductions) as u64,
                 },
             ],
         };

@@ -19,6 +19,18 @@ pub enum Strategy {
 }
 
 impl Strategy {
+    /// The canonical strategy for a segment-count knob: any count above one
+    /// selects Multi-Segment, everything else (including 0) collapses to
+    /// Single-Segment. This is the rule the auto-tuner's dedup stage uses to
+    /// stop re-evaluating `segments` values a strategy ignores.
+    pub fn from_segments(segments: u32) -> Strategy {
+        if segments > 1 {
+            Strategy::MultiSegment { segments }
+        } else {
+            Strategy::SingleSegment
+        }
+    }
+
     /// Number of axis segments processed by independent blocks.
     pub fn segments(self) -> u32 {
         match self {
@@ -138,6 +150,16 @@ impl FusionLevel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn strategy_from_segments_collapses_degenerate_splits() {
+        assert_eq!(Strategy::from_segments(0), Strategy::SingleSegment);
+        assert_eq!(Strategy::from_segments(1), Strategy::SingleSegment);
+        assert_eq!(
+            Strategy::from_segments(4),
+            Strategy::MultiSegment { segments: 4 }
+        );
+    }
 
     #[test]
     fn strategy_segments_and_combine() {

@@ -2,8 +2,42 @@
 //! threads per block, software-pipeline depth and (for the Multi-Segment
 //! strategy) the number of segments, evaluated against the analytical GPU
 //! model.
+//!
+//! Compilation is the serving hot path (the `rf-runtime` plan cache pays the
+//! full tuner cost on every miss), so the search is staged instead of brute
+//! force:
+//!
+//! 1. **Canonicalization + dedup** — an optional [`TuneHooks::normalize`] hook
+//!    maps every raw point to the point the lowering will actually build
+//!    (tile sizes clamped to the shape, the `segments` knob collapsed where
+//!    the strategy ignores it). Points that collapse to the same canonical
+//!    point are evaluated once instead of once per alias.
+//! 2. **Static feasibility** — an optional [`TuneHooks::footprint`] hook
+//!    reports the launch resources of a point without lowering it; points
+//!    that can never fit the target [`GpuArch`] (shared memory, per-block
+//!    thread limit) are rejected by [`GpuArch::launch_feasible`] before a
+//!    [`KernelProfile`] is ever built.
+//! 3. **Search** — [`SearchMode::Guided`] seeds a stratified sample (plus any
+//!    [`TuningCache`] warm-start points) and refines the best seeds by
+//!    coordinate descent over one knob at a time; the exhaustive scan of the
+//!    surviving candidates is kept behind [`SearchMode::Exhaustive`] /
+//!    [`TuningSpace::exhaustive`] as the oracle.
+//! 4. **Parallel evaluation** — large candidate batches are evaluated on a
+//!    scoped thread pool (`std::thread::scope`); results are memoized per
+//!    point and the winner is selected with a deterministic tie-break, so the
+//!    parallel and serial paths choose identical configurations.
+//!
+//! A [`TuningCache`] remembers winning points per `(workload class, arch
+//! fingerprint)` pair and warm-starts later searches of the same class, the
+//! way the `rf-runtime` plan cache amortizes whole compilations.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use rf_gpusim::{estimate_latency, GpuArch, KernelProfile};
+
+use crate::strategy::Strategy;
 
 /// One point of the tuning search space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -18,6 +52,13 @@ pub struct TuningPoint {
     pub pipeline_depth: u32,
     /// Number of axis segments (1 = Single-Segment strategy).
     pub segments: u32,
+}
+
+impl TuningPoint {
+    /// The execution strategy this point's `segments` knob encodes.
+    pub fn strategy(&self) -> Strategy {
+        Strategy::from_segments(self.segments)
+    }
 }
 
 /// The search space. The defaults mirror the paper's empirical space: a few
@@ -52,7 +93,7 @@ impl Default for TuningSpace {
 impl TuningSpace {
     /// Enumerates every point of the space.
     pub fn points(&self) -> Vec<TuningPoint> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(self.len());
         for &block_rows in &self.block_rows {
             for &block_axis in &self.block_axis {
                 for &threads in &self.threads {
@@ -72,6 +113,247 @@ impl TuningSpace {
         }
         out
     }
+
+    /// The full cartesian scan, for exhaustive-oracle comparisons (alias of
+    /// [`TuningSpace::points`]; the guided search only ever evaluates a
+    /// subset of these).
+    pub fn exhaustive(&self) -> Vec<TuningPoint> {
+        self.points()
+    }
+
+    /// Size of the cartesian product.
+    pub fn len(&self) -> usize {
+        self.block_rows.len()
+            * self.block_axis.len()
+            * self.threads.len()
+            * self.pipeline_depths.len()
+            * self.segments.len()
+    }
+
+    /// Whether the space contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The coordinate-descent neighborhood of `point`: every single-knob
+    /// variation, plus two joint planes — `(block_rows, block_axis)` (the
+    /// tile knobs trade off against the same shared-memory budget) and
+    /// `(block_axis, segments)` (together they set the per-segment trip
+    /// count). A better configuration often requires moving both knobs of a
+    /// coupled pair at once, a diagonal step no single-knob sweep can take.
+    /// Includes `point` itself.
+    fn neighborhood(&self, point: &TuningPoint) -> Vec<TuningPoint> {
+        let mut out = Vec::with_capacity(
+            self.block_rows.len() * self.block_axis.len()
+                + self.block_axis.len() * self.segments.len()
+                + self.threads.len()
+                + self.pipeline_depths.len(),
+        );
+        for &block_rows in &self.block_rows {
+            for &block_axis in &self.block_axis {
+                out.push(TuningPoint {
+                    block_rows,
+                    block_axis,
+                    ..*point
+                });
+            }
+        }
+        for &block_axis in &self.block_axis {
+            for &segments in &self.segments {
+                out.push(TuningPoint {
+                    block_axis,
+                    segments,
+                    ..*point
+                });
+            }
+        }
+        // The ±1 cube over all three coupled knobs at once: a 3-knob diagonal
+        // ridge (seen on MLA decode shapes) is invisible to both planes but
+        // always within one cube step.
+        fn window<T: Copy + PartialOrd>(values: &[T], current: T) -> Vec<T> {
+            let idx = values
+                .iter()
+                .position(|v| *v >= current)
+                .unwrap_or(values.len().saturating_sub(1));
+            values[idx.saturating_sub(1)..(idx + 2).min(values.len())].to_vec()
+        }
+        for block_rows in window(&self.block_rows, point.block_rows) {
+            for block_axis in window(&self.block_axis, point.block_axis) {
+                for segments in window(&self.segments, point.segments) {
+                    out.push(TuningPoint {
+                        block_rows,
+                        block_axis,
+                        segments,
+                        ..*point
+                    });
+                }
+            }
+        }
+        for &threads in &self.threads {
+            out.push(TuningPoint { threads, ..*point });
+        }
+        for &pipeline_depth in &self.pipeline_depths {
+            out.push(TuningPoint {
+                pipeline_depth,
+                ..*point
+            });
+        }
+        out
+    }
+}
+
+/// Default number of coordinate-descent starting points for
+/// [`SearchMode::Guided`].
+pub const DEFAULT_BEAM_WIDTH: usize = 2;
+
+/// Candidate batches at least this large are evaluated on the scoped thread
+/// pool; smaller batches (a single coordinate-descent sweep) stay inline,
+/// where thread spawn overhead would dominate.
+const PARALLEL_BATCH_THRESHOLD: usize = 64;
+
+/// How the tuner walks the (deduplicated, statically feasible) candidate set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Evaluate every candidate. This is the oracle the guided mode is
+    /// validated against; it is also what the tuner did historically.
+    Exhaustive,
+    /// Evaluate a stratified seed sample (plus [`TuningCache`] warm starts)
+    /// and refine the best `beam_width` seeds by coordinate descent: sweep
+    /// one knob at a time, move on strict improvement, stop when no knob
+    /// improves.
+    Guided {
+        /// Number of seeds refined by coordinate descent.
+        beam_width: usize,
+    },
+}
+
+impl Default for SearchMode {
+    fn default() -> Self {
+        SearchMode::Guided {
+            beam_width: DEFAULT_BEAM_WIDTH,
+        }
+    }
+}
+
+/// Static launch resources of one candidate point, cheap to compute without
+/// lowering the point to a tile program (see [`TuneHooks::footprint`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PointFootprint {
+    /// Threads per block the point launches with.
+    pub threads_per_block: u32,
+    /// Shared memory per block, in bytes, the lowered kernel will request.
+    pub shared_mem_per_block: u64,
+}
+
+/// Optional workload-specific hooks for the staged search.
+///
+/// Both hooks must be *exact* with respect to the lowering they describe:
+/// `normalize` must map a point to another point producing the identical
+/// kernel (it is used to deduplicate), and `footprint` must report exactly
+/// the shared memory the lowered program requests (an over-estimate would
+/// prune feasible points and break the exhaustive-oracle equivalence).
+#[derive(Default, Clone, Copy)]
+pub struct TuneHooks<'a> {
+    /// Maps a raw point to the canonical point the lowering actually builds
+    /// (e.g. tile sizes clamped to the workload shape, `segments` collapsed
+    /// to 1 where the Single-Segment strategy ignores it).
+    pub normalize: Option<&'a (dyn Fn(&TuningPoint) -> TuningPoint + Sync)>,
+    /// Reports the static launch resources of a canonical point.
+    pub footprint: Option<&'a (dyn Fn(&TuningPoint) -> PointFootprint + Sync)>,
+}
+
+impl std::fmt::Debug for TuneHooks<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TuneHooks")
+            .field("normalize", &self.normalize.is_some())
+            .field("footprint", &self.footprint.is_some())
+            .finish()
+    }
+}
+
+/// Counters of one [`TuningCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TuningCacheStats {
+    /// Warm-start lookups performed.
+    pub lookups: u64,
+    /// Lookups that returned at least one previously winning point.
+    pub seeded: u64,
+    /// Winning points recorded.
+    pub insertions: u64,
+    /// Distinct `(workload class, arch fingerprint)` keys resident.
+    pub entries: usize,
+}
+
+/// Most-recent winners kept per `(workload class, arch fingerprint)` key.
+const MAX_SEEDS_PER_KEY: usize = 4;
+
+/// A cross-compilation memory of winning [`TuningPoint`]s, keyed by workload
+/// class (e.g. `"mha"`, `"softmax"`) and architecture fingerprint.
+///
+/// The guided search injects the cached winners as extra seeds, so compiling
+/// a new shape of an already-seen workload class starts its coordinate
+/// descent next to a configuration that won before and typically converges in
+/// one sweep. The cache is thread-safe and shared via [`Arc`]; `rf-runtime`'s
+/// plan cache owns one per engine and reports its counters in the runtime
+/// metrics.
+#[derive(Debug, Default)]
+pub struct TuningCache {
+    entries: RwLock<HashMap<(String, u64), Vec<TuningPoint>>>,
+    lookups: AtomicU64,
+    seeded: AtomicU64,
+    insertions: AtomicU64,
+}
+
+impl TuningCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Previously winning points for `class` on the architecture with the
+    /// given fingerprint, most recent first (empty when the class was never
+    /// tuned on that architecture).
+    pub fn seeds(&self, class: &str, arch_fingerprint: u64) -> Vec<TuningPoint> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let seeds = self
+            .entries
+            .read()
+            .expect("tuning cache lock poisoned")
+            .get(&(class.to_string(), arch_fingerprint))
+            .cloned()
+            .unwrap_or_default();
+        if !seeds.is_empty() {
+            self.seeded.fetch_add(1, Ordering::Relaxed);
+        }
+        seeds
+    }
+
+    /// Records `point` as a winner for `class` on the architecture with the
+    /// given fingerprint (most recent first, bounded per key).
+    pub fn record(&self, class: &str, arch_fingerprint: u64, point: TuningPoint) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.write().expect("tuning cache lock poisoned");
+        let seeds = entries
+            .entry((class.to_string(), arch_fingerprint))
+            .or_default();
+        seeds.retain(|p| *p != point);
+        seeds.insert(0, point);
+        seeds.truncate(MAX_SEEDS_PER_KEY);
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> TuningCacheStats {
+        TuningCacheStats {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            seeded: self.seeded.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            entries: self
+                .entries
+                .read()
+                .expect("tuning cache lock poisoned")
+                .len(),
+        }
+    }
 }
 
 /// The winning configuration and its estimated latency.
@@ -83,23 +365,47 @@ pub struct TuningChoice {
     pub profile: KernelProfile,
     /// Estimated latency in microseconds.
     pub latency_us: f64,
-    /// Number of candidates evaluated.
+    /// Number of distinct candidates run through the cost model.
     pub evaluated: usize,
+    /// Size of the raw cartesian space before dedup and pruning.
+    pub space_size: usize,
+    /// The search mode that produced this choice.
+    pub mode: SearchMode,
 }
 
-/// Exhaustively evaluates a search space against one architecture.
+#[derive(Clone)]
+struct Evaluation {
+    profile: KernelProfile,
+    latency_us: f64,
+}
+
+/// Evaluates a search space against one architecture using the staged search
+/// described in the [module docs](self).
 #[derive(Debug, Clone)]
 pub struct AutoTuner {
     arch: GpuArch,
     space: TuningSpace,
+    mode: SearchMode,
+    parallelism: usize,
+    oracle_check: bool,
+    cache: Option<(Arc<TuningCache>, String)>,
 }
 
 impl AutoTuner {
-    /// Creates a tuner for one architecture with the default search space.
+    /// Creates a tuner for one architecture with the default search space and
+    /// the default (guided) search mode.
     pub fn new(arch: GpuArch) -> Self {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
         AutoTuner {
             arch,
             space: TuningSpace::default(),
+            mode: SearchMode::default(),
+            parallelism,
+            oracle_check: false,
+            cache: None,
         }
     }
 
@@ -109,12 +415,41 @@ impl AutoTuner {
         self
     }
 
+    /// Replaces the search mode.
+    pub fn with_mode(mut self, mode: SearchMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Caps the number of evaluation threads (1 forces serial evaluation).
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism.max(1);
+        self
+    }
+
+    /// In debug builds, re-runs the exhaustive oracle after a guided search
+    /// and asserts the guided choice is within 5% of the oracle's latency.
+    /// Intended for tests on tiny configurations; it makes `tune` pay the
+    /// full exhaustive cost.
+    pub fn with_oracle_check(mut self, check: bool) -> Self {
+        self.oracle_check = check;
+        self
+    }
+
+    /// Warm-starts the search from `cache`'s winners for `class` and records
+    /// the new winner back into it.
+    pub fn with_cache(mut self, cache: Arc<TuningCache>, class: impl Into<String>) -> Self {
+        self.cache = Some((cache, class.into()));
+        self
+    }
+
     /// The architecture being tuned for.
     pub fn arch(&self) -> &GpuArch {
         &self.arch
     }
 
-    /// Evaluates `build` at every point and returns the lowest-latency choice.
+    /// Evaluates `build` over the space and returns the lowest-latency choice
+    /// (no workload-specific hooks; see [`AutoTuner::tune_with_hooks`]).
     ///
     /// # Panics
     ///
@@ -123,35 +458,316 @@ impl AutoTuner {
     /// Single-Segment point, which is feasible on every supported GPU.
     pub fn tune<F>(&self, build: F) -> TuningChoice
     where
-        F: Fn(&TuningPoint) -> KernelProfile,
+        F: Fn(&TuningPoint) -> KernelProfile + Sync,
     {
-        let points = self.space.points();
-        assert!(!points.is_empty(), "tuning space must not be empty");
-        let mut best: Option<TuningChoice> = None;
-        let evaluated = points.len();
-        for point in points {
-            let profile = build(&point);
-            let latency = estimate_latency(&self.arch, &profile).total_us;
-            if best
-                .as_ref()
-                .map(|b| latency < b.latency_us)
-                .unwrap_or(true)
+        self.tune_with_hooks(&build, TuneHooks::default())
+    }
+
+    /// Like [`AutoTuner::tune`], with workload-specific canonicalization and
+    /// static-footprint hooks enabling the dedup and feasibility stages.
+    pub fn tune_with_hooks<F>(&self, build: &F, hooks: TuneHooks<'_>) -> TuningChoice
+    where
+        F: Fn(&TuningPoint) -> KernelProfile + Sync,
+    {
+        let raw = self.space.points();
+        assert!(!raw.is_empty(), "tuning space must not be empty");
+        let space_size = raw.len();
+
+        // Stages 1 + 2: canonicalize, dedup, reject statically infeasible
+        // points before anything is lowered.
+        let mut seen = HashSet::with_capacity(raw.len());
+        let mut candidates = Vec::with_capacity(raw.len());
+        for point in &raw {
+            let canonical = hooks.normalize.map_or(*point, |n| n(point));
+            if !seen.insert(canonical) {
+                continue;
+            }
+            let footprint = hooks.footprint.map_or(
+                PointFootprint {
+                    threads_per_block: canonical.threads,
+                    shared_mem_per_block: 0,
+                },
+                |f| f(&canonical),
+            );
+            if !self
+                .arch
+                .launch_feasible(footprint.threads_per_block, footprint.shared_mem_per_block)
             {
-                best = Some(TuningChoice {
-                    point,
-                    profile,
-                    latency_us: latency,
-                    evaluated,
-                });
+                continue;
+            }
+            candidates.push(canonical);
+        }
+        assert!(
+            !candidates.is_empty(),
+            "every point of the tuning space is statically infeasible on {}",
+            self.arch.name
+        );
+        // Candidate order defines the deterministic tie-break, so parallel,
+        // serial, guided and exhaustive runs agree on equal-latency winners.
+        let index: HashMap<TuningPoint, usize> = candidates
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i))
+            .collect();
+
+        let memo: Mutex<HashMap<TuningPoint, Evaluation>> = Mutex::new(HashMap::new());
+        match self.mode {
+            SearchMode::Exhaustive => self.evaluate(build, &memo, &candidates),
+            SearchMode::Guided { beam_width } => {
+                self.guided_search(build, &memo, &candidates, &index, &hooks, beam_width);
+                // Safety net: if the guided walk only ever saw model-infeasible
+                // profiles (possible without a footprint hook), fall back to
+                // the oracle rather than panic on an infinite winner.
+                let all_infinite = {
+                    let map = memo.lock().expect("tuner memo poisoned");
+                    map.values().all(|e| !e.latency_us.is_finite())
+                };
+                if all_infinite {
+                    self.evaluate(build, &memo, &candidates);
+                }
             }
         }
-        let choice = best.expect("at least one tuning point evaluated");
+
+        let (point, evaluation, evaluated) = {
+            let map = memo.lock().expect("tuner memo poisoned");
+            let (point, evaluation) = map
+                .iter()
+                .min_by(|a, b| {
+                    a.1.latency_us
+                        .total_cmp(&b.1.latency_us)
+                        .then_with(|| index[a.0].cmp(&index[b.0]))
+                })
+                .expect("at least one tuning point evaluated");
+            (*point, evaluation.clone(), map.len())
+        };
+        let choice = TuningChoice {
+            point,
+            profile: evaluation.profile,
+            latency_us: evaluation.latency_us,
+            evaluated,
+            space_size,
+            mode: self.mode,
+        };
         assert!(
             choice.latency_us.is_finite(),
             "every candidate configuration was infeasible on {}",
             self.arch.name
         );
+        // Guard the hand-written hooks against drifting from the lowering
+        // they describe: the footprint must report exactly the resources the
+        // built kernel requests (an over-estimate would silently prune
+        // feasible points from both search modes, an under-estimate would
+        // defeat the prefilter).
+        if let Some(footprint) = hooks.footprint {
+            let fp = footprint(&choice.point);
+            debug_assert!(
+                fp.threads_per_block == choice.profile.threads_per_block
+                    && fp.shared_mem_per_block == choice.profile.shared_mem_per_block,
+                "footprint hook out of sync with the lowering for {:?}: \
+                 hook reports {} threads / {} B shared, built kernel uses {} / {}",
+                choice.point,
+                fp.threads_per_block,
+                fp.shared_mem_per_block,
+                choice.profile.threads_per_block,
+                choice.profile.shared_mem_per_block
+            );
+        }
+        if let Some((cache, class)) = &self.cache {
+            cache.record(class, crate::compile::arch_fingerprint(&self.arch), point);
+        }
+        if cfg!(debug_assertions)
+            && self.oracle_check
+            && matches!(self.mode, SearchMode::Guided { .. })
+        {
+            self.evaluate(build, &memo, &candidates);
+            let map = memo.lock().expect("tuner memo poisoned");
+            let oracle = map
+                .values()
+                .map(|e| e.latency_us)
+                .fold(f64::INFINITY, f64::min);
+            debug_assert!(
+                choice.latency_us <= oracle * 1.05,
+                "guided search chose {:.3} us but the exhaustive oracle found {:.3} us \
+                 (>5% slower) on {}",
+                choice.latency_us,
+                oracle,
+                self.arch.name
+            );
+        }
         choice
+    }
+
+    /// Seeds + coordinate descent (stage 3).
+    fn guided_search<F>(
+        &self,
+        build: &F,
+        memo: &Mutex<HashMap<TuningPoint, Evaluation>>,
+        candidates: &[TuningPoint],
+        index: &HashMap<TuningPoint, usize>,
+        hooks: &TuneHooks<'_>,
+        beam_width: usize,
+    ) where
+        F: Fn(&TuningPoint) -> KernelProfile + Sync,
+    {
+        let beam = beam_width.clamp(1, candidates.len());
+        let mut seeds: Vec<TuningPoint> = Vec::new();
+        if let Some((cache, class)) = &self.cache {
+            for warm in cache.seeds(class, crate::compile::arch_fingerprint(&self.arch)) {
+                let canonical = hooks.normalize.map_or(warm, |n| n(&warm));
+                if index.contains_key(&canonical) {
+                    seeds.push(canonical);
+                }
+            }
+        }
+        // A coarse half-resolution lattice over the three coupled knobs
+        // (`block_rows`, `block_axis`, `segments`): they all trade off
+        // against the same shared-memory budget and grid size, so descent
+        // seeded on the wrong side of that 3-D ridge stalls at a local
+        // optimum no single step escapes. Sampling every other value of each
+        // coupled axis (threads and pipeline depth held at their middle
+        // values — they are independent and cheap for descent to fix) puts
+        // one seed within one descent step of every region of the ridge.
+        // Every other value of an axis, always including the extremes (the
+        // boundary values are frequent winners — e.g. the largest row tile).
+        fn halved<T: Copy>(values: &[T]) -> Vec<T> {
+            let mut out: Vec<T> = values.iter().copied().step_by(2).collect();
+            if values.len().is_multiple_of(2) {
+                if let Some(last) = values.last() {
+                    out.push(*last);
+                }
+            }
+            out
+        }
+        let mid = |n: usize| n / 2;
+        let threads = self.space.threads[mid(self.space.threads.len())];
+        let pipeline_depth = self.space.pipeline_depths[mid(self.space.pipeline_depths.len())];
+        for block_rows in halved(&self.space.block_rows) {
+            for block_axis in halved(&self.space.block_axis) {
+                for segments in halved(&self.space.segments) {
+                    let lattice = TuningPoint {
+                        block_rows,
+                        block_axis,
+                        threads,
+                        pipeline_depth,
+                        segments,
+                    };
+                    let canonical = hooks.normalize.map_or(lattice, |n| n(&lattice));
+                    if index.contains_key(&canonical) {
+                        seeds.push(canonical);
+                    }
+                }
+            }
+        }
+        // Plus a stratified sample across the whole candidate list.
+        let stride = (candidates.len() / beam).max(1);
+        for i in (0..candidates.len()).step_by(stride) {
+            seeds.push(candidates[i]);
+        }
+        let mut seed_set = HashSet::new();
+        seeds.retain(|p| seed_set.insert(*p));
+        self.evaluate(build, memo, &seeds);
+
+        // Keep the best `beam` seeds as descent starting points.
+        {
+            let map = memo.lock().expect("tuner memo poisoned");
+            seeds.sort_by(|a, b| {
+                map[a]
+                    .latency_us
+                    .total_cmp(&map[b].latency_us)
+                    .then_with(|| index[a].cmp(&index[b]))
+            });
+        }
+        seeds.truncate(beam);
+
+        for start in seeds {
+            let mut current = start;
+            loop {
+                let neighborhood: Vec<TuningPoint> = self
+                    .space
+                    .neighborhood(&current)
+                    .into_iter()
+                    .map(|p| hooks.normalize.map_or(p, |n| n(&p)))
+                    .filter(|p| index.contains_key(p))
+                    .collect();
+                self.evaluate(build, memo, &neighborhood);
+                let map = memo.lock().expect("tuner memo poisoned");
+                let best = neighborhood
+                    .iter()
+                    .min_by(|a, b| {
+                        map[*a]
+                            .latency_us
+                            .total_cmp(&map[*b].latency_us)
+                            .then_with(|| index[*a].cmp(&index[*b]))
+                    })
+                    .copied()
+                    .unwrap_or(current);
+                // Move only on strict improvement so descent terminates.
+                if map[&best].latency_us < map[&current].latency_us {
+                    drop(map);
+                    current = best;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Evaluates every not-yet-memoized point of `points`, inline for small
+    /// batches and on a scoped thread pool for large ones (stage 4). The memo
+    /// guarantees each distinct point is costed exactly once per `tune` call.
+    fn evaluate<F>(
+        &self,
+        build: &F,
+        memo: &Mutex<HashMap<TuningPoint, Evaluation>>,
+        points: &[TuningPoint],
+    ) where
+        F: Fn(&TuningPoint) -> KernelProfile + Sync,
+    {
+        let todo: Vec<TuningPoint> = {
+            let map = memo.lock().expect("tuner memo poisoned");
+            let mut fresh = HashSet::new();
+            points
+                .iter()
+                .filter(|p| !map.contains_key(*p) && fresh.insert(**p))
+                .copied()
+                .collect()
+        };
+        if todo.is_empty() {
+            return;
+        }
+        let evaluate_one = |point: &TuningPoint| {
+            let profile = build(point);
+            let latency_us = estimate_latency(&self.arch, &profile).total_us;
+            (
+                *point,
+                Evaluation {
+                    profile,
+                    latency_us,
+                },
+            )
+        };
+        if self.parallelism <= 1 || todo.len() < PARALLEL_BATCH_THRESHOLD {
+            let evaluations: Vec<_> = todo.iter().map(evaluate_one).collect();
+            memo.lock()
+                .expect("tuner memo poisoned")
+                .extend(evaluations);
+        } else {
+            let workers = self.parallelism.min(todo.len());
+            let chunk_len = todo.len().div_ceil(workers);
+            let evaluate_one = &evaluate_one;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = todo
+                    .chunks(chunk_len)
+                    .map(|chunk| {
+                        scope.spawn(move || chunk.iter().map(evaluate_one).collect::<Vec<_>>())
+                    })
+                    .collect();
+                let mut map = memo.lock().expect("tuner memo poisoned");
+                for handle in handles {
+                    map.extend(handle.join().expect("tuning evaluation thread panicked"));
+                }
+            });
+        }
     }
 }
 
@@ -163,28 +779,121 @@ mod tests {
     fn space_enumerates_cartesian_product() {
         let space = TuningSpace::default();
         assert_eq!(space.points().len(), 4 * 5 * 2 * 3 * 7);
+        assert_eq!(space.len(), space.points().len());
+        assert_eq!(space.exhaustive(), space.points());
+        assert!(!space.is_empty());
     }
 
-    #[test]
-    fn tuner_picks_the_fastest_candidate() {
-        let tuner = AutoTuner::new(GpuArch::a10());
-        let choice = tuner.tune(|p| KernelProfile {
+    fn artificial_build(p: &TuningPoint) -> KernelProfile {
+        KernelProfile {
             // Smaller block_axis is artificially made cheaper here.
             flops: (p.block_axis as u64) << 22,
             hbm_bytes: 1 << 24,
             blocks: 1024,
             threads_per_block: p.threads,
             ..Default::default()
-        });
+        }
+    }
+
+    #[test]
+    fn exhaustive_tuner_picks_the_fastest_candidate() {
+        let tuner = AutoTuner::new(GpuArch::a10()).with_mode(SearchMode::Exhaustive);
+        let choice = tuner.tune(artificial_build);
         assert_eq!(choice.point.block_axis, 16);
         assert!(choice.latency_us.is_finite());
         assert_eq!(choice.evaluated, TuningSpace::default().points().len());
+        assert_eq!(choice.space_size, TuningSpace::default().len());
+    }
+
+    #[test]
+    fn guided_matches_exhaustive_with_far_fewer_evaluations() {
+        let arch = GpuArch::a10();
+        let oracle = AutoTuner::new(arch.clone())
+            .with_mode(SearchMode::Exhaustive)
+            .tune(artificial_build);
+        let guided = AutoTuner::new(arch)
+            .with_oracle_check(true)
+            .tune(artificial_build);
+        assert_eq!(guided.point, oracle.point);
+        assert_eq!(guided.latency_us, oracle.latency_us);
+        assert!(
+            guided.evaluated * 5 <= oracle.evaluated,
+            "guided evaluated {} of {}",
+            guided.evaluated,
+            oracle.evaluated
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_exhaustive_agree() {
+        let arch = GpuArch::a10();
+        let serial = AutoTuner::new(arch.clone())
+            .with_mode(SearchMode::Exhaustive)
+            .with_parallelism(1)
+            .tune(artificial_build);
+        let parallel = AutoTuner::new(arch)
+            .with_mode(SearchMode::Exhaustive)
+            .with_parallelism(8)
+            .tune(artificial_build);
+        assert_eq!(serial.point, parallel.point);
+        assert_eq!(serial.latency_us, parallel.latency_us);
+        assert_eq!(serial.evaluated, parallel.evaluated);
+    }
+
+    #[test]
+    fn normalize_hook_deduplicates_equivalent_points() {
+        // Collapse the segments knob entirely (a strategy that ignores it):
+        // the tuner must stop paying the 7x multiplier for it.
+        let tuner = AutoTuner::new(GpuArch::a10()).with_mode(SearchMode::Exhaustive);
+        let normalize = |p: &TuningPoint| TuningPoint { segments: 1, ..*p };
+        let hooks = TuneHooks {
+            normalize: Some(&normalize),
+            footprint: None,
+        };
+        let choice = tuner.tune_with_hooks(&artificial_build, hooks);
+        let space = TuningSpace::default();
+        assert_eq!(choice.evaluated, space.len() / space.segments.len());
+        assert_eq!(choice.point.segments, 1);
+    }
+
+    #[test]
+    fn footprint_hook_prunes_statically_infeasible_points() {
+        let arch = GpuArch::a10();
+        let shared = arch.shared_mem_per_sm;
+        let tuner = AutoTuner::new(arch).with_mode(SearchMode::Exhaustive);
+        // Pipeline depth 3 demands more shared memory than the SM has; the
+        // prefilter must reject it without ever calling `build`.
+        let footprint = move |p: &TuningPoint| PointFootprint {
+            threads_per_block: p.threads,
+            shared_mem_per_block: if p.pipeline_depth == 3 {
+                shared * 2
+            } else {
+                32 * 1024
+            },
+        };
+        let hooks = TuneHooks {
+            normalize: None,
+            footprint: Some(&footprint),
+        };
+        let choice = tuner.tune_with_hooks(
+            &|p: &TuningPoint| {
+                assert_ne!(p.pipeline_depth, 3, "pruned point reached the builder");
+                KernelProfile {
+                    shared_mem_per_block: 32 * 1024,
+                    ..artificial_build(p)
+                }
+            },
+            hooks,
+        );
+        assert_ne!(choice.point.pipeline_depth, 3);
+        let space = TuningSpace::default();
+        assert_eq!(choice.evaluated, space.len() * 2 / 3);
     }
 
     #[test]
     fn infeasible_candidates_are_skipped() {
         let arch = GpuArch::a10();
-        let tuner = AutoTuner::new(arch.clone());
+        let tuner = AutoTuner::new(arch.clone()).with_mode(SearchMode::Exhaustive);
         let choice = tuner.tune(|p| KernelProfile {
             flops: 1 << 26,
             hbm_bytes: 1 << 24,
@@ -198,5 +907,66 @@ mod tests {
             ..Default::default()
         });
         assert_ne!(choice.point.pipeline_depth, 3);
+    }
+
+    #[test]
+    fn tuning_cache_warm_starts_and_records() {
+        let cache = Arc::new(TuningCache::new());
+        let arch = GpuArch::a10();
+        let cold = AutoTuner::new(arch.clone())
+            .with_cache(Arc::clone(&cache), "artificial")
+            .tune(artificial_build);
+        let stats = cache.stats();
+        assert_eq!(stats.lookups, 1);
+        assert_eq!(stats.seeded, 0);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(stats.entries, 1);
+        let warm = AutoTuner::new(arch)
+            .with_cache(Arc::clone(&cache), "artificial")
+            .tune(artificial_build);
+        assert_eq!(warm.point, cold.point);
+        assert_eq!(warm.latency_us, cold.latency_us);
+        let stats = cache.stats();
+        assert_eq!(stats.seeded, 1);
+        assert_eq!(stats.insertions, 2);
+    }
+
+    #[test]
+    fn tuning_cache_bounds_seeds_per_key() {
+        let cache = TuningCache::new();
+        for i in 0..10u32 {
+            cache.record(
+                "softmax",
+                7,
+                TuningPoint {
+                    block_rows: 16,
+                    block_axis: 16,
+                    threads: 128,
+                    pipeline_depth: 1,
+                    segments: i + 1,
+                },
+            );
+        }
+        let seeds = cache.seeds("softmax", 7);
+        assert_eq!(seeds.len(), MAX_SEEDS_PER_KEY);
+        assert_eq!(seeds[0].segments, 10, "most recent winner first");
+        assert!(cache.seeds("softmax", 8).is_empty(), "fingerprint keyed");
+        assert!(cache.seeds("mha", 7).is_empty(), "class keyed");
+    }
+
+    #[test]
+    fn point_strategy_follows_segments() {
+        let p = TuningPoint {
+            block_rows: 16,
+            block_axis: 16,
+            threads: 128,
+            pipeline_depth: 1,
+            segments: 1,
+        };
+        assert_eq!(p.strategy(), Strategy::SingleSegment);
+        assert_eq!(
+            TuningPoint { segments: 8, ..p }.strategy(),
+            Strategy::MultiSegment { segments: 8 }
+        );
     }
 }

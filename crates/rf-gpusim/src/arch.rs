@@ -18,6 +18,10 @@ pub struct GpuArch {
     pub max_blocks_per_sm: u32,
     /// Maximum resident threads per SM.
     pub max_threads_per_sm: u32,
+    /// Maximum threads in a single block (the hardware launch limit, 1024 on
+    /// every current NVIDIA and AMD part — distinct from the per-SM residency
+    /// limit above).
+    pub max_threads_per_block: u32,
     /// HBM/GDDR bandwidth in bytes per microsecond (i.e. GB/s × 1e3 / 1e6).
     pub mem_bandwidth_bytes_per_us: f64,
     /// Peak dense FP16/BF16 tensor throughput in flops per microsecond.
@@ -39,6 +43,7 @@ impl GpuArch {
             shared_mem_per_sm: 100 * 1024,
             max_blocks_per_sm: 16,
             max_threads_per_sm: 1536,
+            max_threads_per_block: 1024,
             mem_bandwidth_bytes_per_us: 600e3,
             fp16_flops_per_us: 125e6,
             fp32_flops_per_us: 31e6,
@@ -55,6 +60,7 @@ impl GpuArch {
             shared_mem_per_sm: 164 * 1024,
             max_blocks_per_sm: 32,
             max_threads_per_sm: 2048,
+            max_threads_per_block: 1024,
             mem_bandwidth_bytes_per_us: 2039e3,
             fp16_flops_per_us: 312e6,
             fp32_flops_per_us: 19.5e6,
@@ -71,6 +77,7 @@ impl GpuArch {
             shared_mem_per_sm: 228 * 1024,
             max_blocks_per_sm: 32,
             max_threads_per_sm: 2048,
+            max_threads_per_block: 1024,
             mem_bandwidth_bytes_per_us: 3350e3,
             fp16_flops_per_us: 990e6,
             fp32_flops_per_us: 67e6,
@@ -87,6 +94,7 @@ impl GpuArch {
             shared_mem_per_sm: 64 * 1024,
             max_blocks_per_sm: 16,
             max_threads_per_sm: 2048,
+            max_threads_per_block: 1024,
             mem_bandwidth_bytes_per_us: 5300e3,
             fp16_flops_per_us: 330e6,
             fp32_flops_per_us: 41e6,
@@ -115,6 +123,21 @@ impl GpuArch {
             "mi308x" => Some(GpuArch::mi308x()),
             _ => None,
         }
+    }
+
+    /// Whether a kernel launch with the given per-block resources can ever be
+    /// scheduled on this architecture: the block must respect the hardware
+    /// per-block thread limit, the per-SM thread residency limit and the
+    /// per-SM shared-memory capacity.
+    ///
+    /// This is the *static* feasibility predicate: it depends only on the
+    /// launch configuration, not on the kernel's traffic or flops, so the
+    /// auto-tuner can reject a candidate before lowering it to a tile program
+    /// or building a [`crate::KernelProfile`].
+    pub fn launch_feasible(&self, threads_per_block: u32, shared_mem_per_block: u64) -> bool {
+        threads_per_block <= self.max_threads_per_block
+            && threads_per_block <= self.max_threads_per_sm
+            && shared_mem_per_block <= self.shared_mem_per_sm
     }
 
     /// Peak flops for the given precision tag (`"fp16"`, `"fp32"`, `"fp8"`).
@@ -148,6 +171,21 @@ mod tests {
         assert_eq!(GpuArch::by_name("h800").unwrap().name, "NVIDIA H800");
         assert!(GpuArch::by_name("tpu").is_none());
         assert_eq!(GpuArch::all().len(), 4);
+    }
+
+    #[test]
+    fn launch_feasibility_checks_every_static_limit() {
+        let a10 = GpuArch::a10();
+        assert!(a10.launch_feasible(1024, 64 * 1024));
+        // Over the per-block hardware limit even though the SM could hold the
+        // threads (A10 allows 1536 resident threads per SM).
+        assert!(!a10.launch_feasible(1536, 64 * 1024));
+        // Over the shared-memory capacity.
+        assert!(!a10.launch_feasible(256, a10.shared_mem_per_sm + 1));
+        for arch in GpuArch::all() {
+            assert_eq!(arch.max_threads_per_block, 1024);
+            assert!(arch.max_threads_per_block <= arch.max_threads_per_sm);
+        }
     }
 
     #[test]

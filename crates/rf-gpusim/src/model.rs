@@ -64,7 +64,7 @@ impl KernelProfile {
             blocks: program.grid_blocks,
             threads_per_block: program.threads_per_block,
             shared_mem_per_block: cost.shared_mem_per_block,
-            precision: "fp16",
+            precision: program.precision,
             compute_efficiency: 0.6,
             overlap,
             launches: cost.kernel_launches.max(1),
@@ -72,11 +72,11 @@ impl KernelProfile {
     }
 
     /// Whether the kernel can be launched on `arch` at all (shared memory and
-    /// thread limits). Non-incremental kernels with long staged axes fail this
-    /// check, which is the effect measured in §5.4.
+    /// thread limits, see [`GpuArch::launch_feasible`]). Non-incremental
+    /// kernels with long staged axes fail this check, which is the effect
+    /// measured in §5.4.
     pub fn fits(&self, arch: &GpuArch) -> bool {
-        self.shared_mem_per_block <= arch.shared_mem_per_sm
-            && self.threads_per_block <= arch.max_threads_per_sm
+        arch.launch_feasible(self.threads_per_block, self.shared_mem_per_block)
     }
 }
 
@@ -217,6 +217,53 @@ mod tests {
         };
         assert!(!profile.fits(&arch));
         assert!(estimate_latency(&arch, &profile).total_us.is_infinite());
+    }
+
+    #[test]
+    fn oversubscribed_blocks_are_infeasible() {
+        // 1536 threads fit the A10's per-SM residency limit but exceed the
+        // 1024-thread per-block hardware limit; `fits` used to miss this.
+        let arch = GpuArch::a10();
+        assert!(arch.max_threads_per_sm >= 1536);
+        let profile = KernelProfile {
+            threads_per_block: 1536,
+            ..base_profile()
+        };
+        assert!(!profile.fits(&arch));
+        assert!(estimate_latency(&arch, &profile).total_us.is_infinite());
+        let ok = KernelProfile {
+            threads_per_block: 1024,
+            ..base_profile()
+        };
+        assert!(ok.fits(&arch));
+    }
+
+    #[test]
+    fn tile_program_precision_reaches_the_profile() {
+        // FP8 tile programs used to be costed at fp16 throughput because
+        // `from_tile_program` hardcoded the precision tag.
+        let fp8 = rf_tile::TensorizeConfig {
+            element_bytes: 1,
+            ..rf_tile::TensorizeConfig::default()
+        };
+        let program = rf_tile::tensorize_cascade("quant", 2, 4096, 1024, &fp8);
+        let profile = KernelProfile::from_tile_program(&program);
+        assert_eq!(profile.precision, "fp8");
+        // On an FP8-capable part the same work at fp16 rate must be slower
+        // once the kernel is compute-bound.
+        let h800 = GpuArch::h800();
+        let compute_bound = KernelProfile {
+            flops: 1 << 38,
+            ..profile
+        };
+        let fp16_rate = KernelProfile {
+            precision: "fp16",
+            ..compute_bound.clone()
+        };
+        assert!(
+            estimate_latency(&h800, &compute_bound).total_us
+                < estimate_latency(&h800, &fp16_rate).total_us
+        );
     }
 
     #[test]

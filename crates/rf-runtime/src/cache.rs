@@ -22,7 +22,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
-use rf_codegen::{compile_workload_arc, CompiledKernel, PlanKey, Workload};
+use rf_codegen::{
+    compile_workload_with, CompileOptions, CompiledKernel, PlanKey, TuningCache, TuningCacheStats,
+    Workload,
+};
 use rf_gpusim::GpuArch;
 
 /// A snapshot of the cache's counters.
@@ -64,6 +67,10 @@ pub struct PlanCache {
     /// (the fingerprint hashes all ten architecture parameters).
     arch_fingerprint: u64,
     capacity: usize,
+    /// Warm-start memory for the auto-tuner, shared by every compilation this
+    /// cache triggers: a plan-cache miss for a new shape of an already-seen
+    /// workload class starts its search from the class's previous winners.
+    tuning: Arc<TuningCache>,
     clock: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -84,6 +91,7 @@ impl PlanCache {
             arch,
             arch_fingerprint,
             capacity,
+            tuning: Arc::new(TuningCache::new()),
             clock: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -100,6 +108,16 @@ impl PlanCache {
     /// The maximum number of resident plans.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The auto-tuner warm-start cache shared by this plan cache's compiles.
+    pub fn tuning_cache(&self) -> &Arc<TuningCache> {
+        &self.tuning
+    }
+
+    /// Counters of the auto-tuner warm-start cache.
+    pub fn tuning_stats(&self) -> TuningCacheStats {
+        self.tuning.stats()
     }
 
     /// Number of resident plans.
@@ -162,7 +180,11 @@ impl PlanCache {
         let kernel = slot.get_or_init(|| {
             compiled_here = true;
             self.misses.fetch_add(1, Ordering::Relaxed);
-            compile_workload_arc(workload, &self.arch)
+            let opts = CompileOptions {
+                tuning_cache: Some(Arc::clone(&self.tuning)),
+                ..CompileOptions::default()
+            };
+            Arc::new(compile_workload_with(workload, &self.arch, &opts))
         });
         if !compiled_here {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -179,11 +201,17 @@ impl PlanCache {
             return Arc::clone(&entry.slot);
         }
         if entries.len() >= self.capacity {
-            // Evict the least-recently-used entry. Waiters on an evicted slot
-            // keep their own Arc to it, so an in-flight compilation still
-            // completes for them; only the map entry disappears.
+            // Evict the least-recently-used *completed* entry. An in-flight
+            // slot (another thread still compiling it) must stay resident:
+            // evicting it would make the next request for the same key insert
+            // a fresh slot and compile the same plan a second time. Waiters on
+            // an evicted slot keep their own Arc to it, so a completed plan
+            // still serves them; only the map entry disappears. When every
+            // resident entry is in flight the map temporarily exceeds
+            // capacity instead of evicting.
             if let Some(victim) = entries
                 .iter()
+                .filter(|(_, e)| e.slot.get().is_some())
                 .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
                 .map(|(k, _)| k.clone())
             {
@@ -298,5 +326,94 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         PlanCache::new(GpuArch::a10(), 0);
+    }
+
+    #[test]
+    fn in_flight_entries_are_never_evicted() {
+        // Regression: LRU eviction used `min_by_key` over *all* entries, so an
+        // entry whose OnceLock was still being compiled by another thread
+        // could be evicted, forcing a duplicate compilation of its key.
+        let cache = PlanCache::new(GpuArch::a10(), 1);
+        // An uninitialised slot models a compilation in flight on key A.
+        let key_a = cache.key_for(&softmax(32));
+        cache.insert_slot(key_a.clone(), 1);
+        // Filling past capacity must not pick the in-flight entry as victim:
+        // with nothing evictable the map temporarily exceeds capacity.
+        cache.get_or_compile(&softmax(64));
+        assert!(
+            cache
+                .entries
+                .read()
+                .unwrap()
+                .get(&key_a)
+                .is_some_and(|e| e.slot.get().is_none()),
+            "the in-flight slot must survive eviction pressure"
+        );
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.len(), 2, "over capacity rather than evicting");
+        // Once more entries complete, the completed one becomes the victim.
+        cache.get_or_compile(&softmax(96));
+        assert!(cache.entries.read().unwrap().contains_key(&key_a));
+        assert!(!cache.contains(&softmax(64)));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn concurrent_eviction_churn_never_drops_an_in_flight_slot() {
+        // A compilation held in flight for the whole test (an uninitialised
+        // slot whose OnceLock we fill at the end) while concurrent threads
+        // churn the rest of an over-subscribed cache. The old `min_by_key`
+        // over all entries would evict the in-flight slot under this
+        // pressure, forcing a duplicate compile of its key; with the fix it
+        // must survive arbitrary interleavings.
+        let cache = Arc::new(PlanCache::new(GpuArch::a10(), 2));
+        let in_flight = softmax(8);
+        let key = cache.key_for(&in_flight);
+        let slot = cache.insert_slot(key.clone(), 1);
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let cache = Arc::clone(&cache);
+                thread::spawn(move || cache.get_or_compile(&softmax(32 * (i % 4 + 1))))
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert!(
+            cache
+                .entries
+                .read()
+                .unwrap()
+                .get(&key)
+                .is_some_and(|e| Arc::ptr_eq(&e.slot, &slot)),
+            "the in-flight slot must survive concurrent eviction churn"
+        );
+        // The in-flight compile finally completes; later requests for its key
+        // must join the surviving slot instead of recompiling.
+        let plan = Arc::new(rf_codegen::compile_workload(&in_flight, cache.arch()));
+        assert!(slot.set(Arc::clone(&plan)).is_ok(), "slot still empty");
+        let misses_before = cache.stats().misses;
+        let (served, hit) = cache.get_or_compile_traced(&in_flight);
+        assert!(hit);
+        assert!(Arc::ptr_eq(&served, &plan));
+        assert_eq!(cache.stats().misses, misses_before);
+    }
+
+    #[test]
+    fn plan_cache_shares_one_tuning_cache_across_compiles() {
+        let cache = PlanCache::new(GpuArch::a10(), 8);
+        cache.get_or_compile(&softmax(64));
+        let after_first = cache.tuning_stats();
+        assert_eq!(after_first.lookups, 1);
+        assert_eq!(after_first.insertions, 1);
+        assert_eq!(after_first.seeded, 0);
+        // A different shape of the same class warm-starts from the winner.
+        cache.get_or_compile(&softmax(128));
+        let after_second = cache.tuning_stats();
+        assert_eq!(after_second.seeded, 1);
+        assert_eq!(after_second.entries, 1);
+        // A warm hit does not touch the tuner at all.
+        cache.get_or_compile(&softmax(64));
+        assert_eq!(cache.tuning_stats().lookups, 2);
     }
 }

@@ -153,9 +153,11 @@ impl Engine {
     /// A point-in-time metrics snapshot (latency percentiles, batch sizes,
     /// queue depth, cache effectiveness).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared
-            .metrics
-            .snapshot(self.queue_depth(), self.shared.cache.stats())
+        self.shared.metrics.snapshot(
+            self.queue_depth(),
+            self.shared.cache.stats(),
+            self.shared.cache.tuning_stats(),
+        )
     }
 }
 

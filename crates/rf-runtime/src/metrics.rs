@@ -8,6 +8,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use rf_codegen::TuningCacheStats;
+
 use crate::cache::CacheStats;
 
 /// Number of most-recent latency samples kept for the percentile estimates.
@@ -60,14 +62,20 @@ pub struct MetricsSnapshot {
     pub mean_us: f64,
     /// Plan-cache counters.
     pub cache: CacheStats,
+    /// Auto-tuner warm-start cache counters (the searches behind plan-cache
+    /// misses).
+    pub tuning: TuningCacheStats,
 }
 
 /// Linear-interpolation percentile of an unsorted sample set, `p` in `[0, 100]`.
 ///
-/// Returns `0.0` for an empty sample set.
+/// Non-finite samples (the infinite latency of an infeasible kernel, or a NaN
+/// from downstream arithmetic on one) are ignored rather than allowed to
+/// poison the ordering: the metrics path must never panic on a pathological
+/// sample. Returns `0.0` when no finite samples remain.
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+    sorted.sort_by(f64::total_cmp);
     percentile_sorted(&sorted, p)
 }
 
@@ -106,11 +114,19 @@ impl RuntimeMetrics {
 
     /// Records one executed batch of `size` requests, each experiencing the
     /// batch's simulated latency `latency_us`.
+    ///
+    /// Non-finite latencies (an infeasible kernel's infinite estimate) still
+    /// count as completed requests but are excluded from the latency
+    /// distribution — a single infinite sample would otherwise poison the
+    /// lifetime mean forever.
     pub fn record_batch(&self, size: usize, latency_us: f64) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests
             .fetch_add(size as u64, Ordering::Relaxed);
         self.completed.fetch_add(size as u64, Ordering::Relaxed);
+        if !latency_us.is_finite() {
+            return;
+        }
         let mut track = self.latencies_us.lock().expect("metrics lock poisoned");
         track.total_us += latency_us * size as f64;
         track.count += size as u64;
@@ -122,10 +138,16 @@ impl RuntimeMetrics {
         }
     }
 
-    /// Builds a snapshot; the caller supplies the current queue depth and
-    /// cache counters (owned by the engine). The latency window is copied out
-    /// under the lock and sorted once outside it.
-    pub fn snapshot(&self, queue_depth: usize, cache: CacheStats) -> MetricsSnapshot {
+    /// Builds a snapshot; the caller supplies the current queue depth plus the
+    /// plan-cache and tuning-cache counters (owned by the engine). The latency
+    /// window is copied out under the lock (dropping non-finite samples, see
+    /// [`percentile`]) and sorted once outside it.
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        cache: CacheStats,
+        tuning: TuningCacheStats,
+    ) -> MetricsSnapshot {
         let (mut window, mean_us) = {
             let track = self.latencies_us.lock().expect("metrics lock poisoned");
             let mean = if track.count == 0 {
@@ -133,9 +155,12 @@ impl RuntimeMetrics {
             } else {
                 track.total_us / track.count as f64
             };
-            (Vec::from_iter(track.window.iter().copied()), mean)
+            (
+                Vec::from_iter(track.window.iter().copied().filter(|v| v.is_finite())),
+                mean,
+            )
         };
-        window.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        window.sort_by(f64::total_cmp);
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_requests.load(Ordering::Relaxed);
         MetricsSnapshot {
@@ -152,6 +177,7 @@ impl RuntimeMetrics {
             p99_us: percentile_sorted(&window, 99.0),
             mean_us,
             cache,
+            tuning,
         }
     }
 }
@@ -188,6 +214,10 @@ impl MetricsSnapshot {
             "  cache entries        {:>12} ({} evictions)\n",
             self.cache.entries, self.cache.evictions
         ));
+        out.push_str(&format!(
+            "  tuner warm starts    {:>6} / {:<6} ({} classes)\n",
+            self.tuning.seeded, self.tuning.lookups, self.tuning.entries
+        ));
         out
     }
 }
@@ -205,6 +235,10 @@ mod tests {
         }
     }
 
+    fn empty_tuning_stats() -> TuningCacheStats {
+        TuningCacheStats::default()
+    }
+
     #[test]
     fn percentile_interpolates() {
         let samples = vec![4.0, 1.0, 3.0, 2.0];
@@ -216,6 +250,37 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_samples_do_not_panic_the_metrics_path() {
+        // Regression: sorting with `partial_cmp(...).expect(...)` panicked the
+        // metrics path as soon as an infeasible kernel's infinite (or NaN)
+        // latency reached a sample. Non-finite samples are now ignored.
+        let samples = vec![
+            4.0,
+            f64::INFINITY,
+            1.0,
+            f64::NAN,
+            3.0,
+            f64::NEG_INFINITY,
+            2.0,
+        ];
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 100.0), 4.0);
+        assert!((percentile(&samples, 50.0) - 2.5).abs() < 1e-12);
+        assert_eq!(percentile(&[f64::NAN, f64::INFINITY], 50.0), 0.0);
+
+        // The snapshot path filters the window the same way.
+        let metrics = RuntimeMetrics::new();
+        metrics.record_batch(2, 10.0);
+        metrics.record_batch(1, f64::INFINITY);
+        metrics.record_batch(1, f64::NAN);
+        let snap = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
+        assert_eq!(snap.p50_us, 10.0);
+        assert_eq!(snap.p99_us, 10.0);
+        assert_eq!(snap.completed, 4);
+        assert_eq!(snap.mean_us, 10.0, "the lifetime mean must stay finite");
+    }
+
+    #[test]
     fn batches_update_counters_and_latency_distribution() {
         let metrics = RuntimeMetrics::new();
         for _ in 0..4 {
@@ -223,7 +288,7 @@ mod tests {
         }
         metrics.record_batch(3, 10.0);
         metrics.record_batch(1, 50.0);
-        let snap = metrics.snapshot(0, empty_cache_stats());
+        let snap = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
         assert_eq!(snap.submitted, 4);
         assert_eq!(snap.completed, 4);
         assert_eq!(snap.batches, 2);
@@ -241,7 +306,7 @@ mod tests {
         metrics.record_batch(LATENCY_WINDOW, 1.0);
         metrics.record_batch(LATENCY_WINDOW, 9.0);
         metrics.record_batch(LATENCY_WINDOW, 9.0);
-        let snap = metrics.snapshot(0, empty_cache_stats());
+        let snap = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
         assert_eq!(snap.completed as usize, 3 * LATENCY_WINDOW);
         assert_eq!(snap.p50_us, 9.0, "window holds only the latest samples");
         let track = metrics.latencies_us.lock().unwrap();
@@ -264,11 +329,19 @@ mod tests {
                     evictions: 0,
                     entries: 1,
                 },
+                TuningCacheStats {
+                    lookups: 2,
+                    seeded: 1,
+                    insertions: 2,
+                    entries: 1,
+                },
             )
             .report();
         assert!(report.contains("requests completed"));
         assert!(report.contains("p99 latency"));
         assert!(report.contains("90.0% hit rate"));
         assert!(report.contains("queue depth"));
+        assert!(report.contains("tuner warm starts"));
+        assert!(report.contains("1 / 2"));
     }
 }

@@ -20,7 +20,7 @@ pub mod ops;
 pub mod tensorize;
 
 pub use cost::{CostSummary, MemoryScope};
-pub use ops::{StageLoop, TileBuffer, TileOp, TileProgram};
+pub use ops::{precision_for_element_bytes, StageLoop, TileBuffer, TileOp, TileProgram};
 pub use tensorize::{parallelize, tensorize_cascade, TensorizeConfig};
 
 #[cfg(test)]

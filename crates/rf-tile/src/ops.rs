@@ -47,6 +47,16 @@ impl TileBuffer {
     }
 }
 
+/// Precision tag implied by an input element width: 1 byte → `"fp8"`,
+/// 4 bytes → `"fp32"`, anything else (2-byte FP16/BF16) → `"fp16"`.
+pub fn precision_for_element_bytes(element_bytes: u32) -> &'static str {
+    match element_bytes {
+        1 => "fp8",
+        4 => "fp32",
+        _ => "fp16",
+    }
+}
+
 /// One tile-level operation (the grammar of Figure 10).
 #[derive(Debug, Clone, PartialEq)]
 pub enum TileOp {
@@ -147,6 +157,10 @@ pub struct TileProgram {
     pub threads_per_block: u32,
     /// Software-pipeline depth (1 = no pipelining).
     pub pipeline_depth: u32,
+    /// Dominant compute precision of the kernel's inner loops (`"fp8"`,
+    /// `"fp16"` or `"fp32"`), used by the GPU model to pick the peak
+    /// throughput the kernel is rated against.
+    pub precision: &'static str,
     /// All tile buffers used by one block.
     pub buffers: Vec<TileBuffer>,
     /// Ops executed once per block before the main loop.
@@ -167,6 +181,7 @@ impl TileProgram {
             grid_blocks,
             threads_per_block,
             pipeline_depth: 1,
+            precision: "fp16",
             buffers: Vec::new(),
             prologue: Vec::new(),
             main_loop: StageLoop::default(),

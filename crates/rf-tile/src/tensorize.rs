@@ -77,6 +77,7 @@ pub fn tensorize_cascade(
 
     let mut program = TileProgram::new(format!("fused_{name}"), grid_blocks, cfg.threads_per_block);
     program.pipeline_depth = cfg.pipeline_depth;
+    program.precision = crate::ops::precision_for_element_bytes(cfg.element_bytes);
 
     // Input tile staged per iteration; in non-incremental mode the whole axis
     // must be resident before the reductions can run.
@@ -248,6 +249,22 @@ mod tests {
         // the §5.4 observation that non-incremental wins at equal parallelism.
         assert_eq!(inc.cost().global_bytes, non.cost().global_bytes);
         assert!(non.cost().flops < inc.cost().flops);
+    }
+
+    #[test]
+    fn element_width_sets_the_program_precision() {
+        let base = TensorizeConfig::default();
+        assert_eq!(tensorize_cascade("s", 1, 64, 64, &base).precision, "fp16");
+        let fp8 = TensorizeConfig {
+            element_bytes: 1,
+            ..base
+        };
+        assert_eq!(tensorize_cascade("q", 1, 64, 64, &fp8).precision, "fp8");
+        let fp32 = TensorizeConfig {
+            element_bytes: 4,
+            ..base
+        };
+        assert_eq!(tensorize_cascade("v", 1, 64, 64, &fp32).precision, "fp32");
     }
 
     #[test]

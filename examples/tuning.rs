@@ -1,0 +1,65 @@
+//! The staged auto-tuner: guided search vs the exhaustive oracle, plus the
+//! warm-start tuning cache.
+//!
+//! Run with `cargo run --release --example tuning`.
+
+use std::sync::Arc;
+
+use redfuser::codegen::{compile_workload_with, CompileOptions, SearchMode, TuningCache, Workload};
+use redfuser::gpusim::GpuArch;
+
+pub fn main() {
+    let arch = GpuArch::h800();
+    let workload = Workload::Softmax {
+        rows: 4096,
+        len: 8192,
+    };
+
+    // The exhaustive oracle scans every (deduplicated, statically feasible)
+    // candidate; the guided mode seeds a coarse lattice and refines by
+    // coordinate descent. Both must agree on the chosen configuration.
+    let oracle = compile_workload_with(
+        &workload,
+        &arch,
+        &CompileOptions {
+            mode: SearchMode::Exhaustive,
+            ..CompileOptions::default()
+        },
+    );
+    let guided = compile_workload_with(&workload, &arch, &CompileOptions::default());
+    println!(
+        "exhaustive: {:?} -> {:.2} us ({} of {} raw points evaluated)",
+        oracle.tuning.point, oracle.latency_us, oracle.tuning.evaluated, oracle.tuning.space_size
+    );
+    println!(
+        "guided:     {:?} -> {:.2} us ({} evaluated, {:.1}x fewer)",
+        guided.tuning.point,
+        guided.latency_us,
+        guided.tuning.evaluated,
+        oracle.tuning.evaluated as f64 / guided.tuning.evaluated as f64
+    );
+    assert!(guided.latency_us <= oracle.latency_us * 1.05);
+
+    // A shared TuningCache warm-starts later searches of the same workload
+    // class: the second compile seeds its descent from the first's winner.
+    let cache = Arc::new(TuningCache::new());
+    let opts = CompileOptions {
+        tuning_cache: Some(Arc::clone(&cache)),
+        ..CompileOptions::default()
+    };
+    let cold = compile_workload_with(&workload, &arch, &opts);
+    let warm = compile_workload_with(
+        &Workload::Softmax {
+            rows: 2048,
+            len: 8192,
+        },
+        &arch,
+        &opts,
+    );
+    let stats = cache.stats();
+    println!(
+        "tuning cache: cold {} evals, warm {} evals ({} lookups, {} seeded, {} entries)",
+        cold.tuning.evaluated, warm.tuning.evaluated, stats.lookups, stats.seeded, stats.entries
+    );
+    assert_eq!(stats.seeded, 1);
+}

@@ -18,6 +18,8 @@ mod quant_gemm;
 mod quickstart;
 #[path = "../examples/serving.rs"]
 mod serving;
+#[path = "../examples/tuning.rs"]
+mod tuning;
 
 #[test]
 fn quickstart_runs() {
@@ -47,4 +49,9 @@ fn quant_gemm_runs() {
 #[test]
 fn serving_runs() {
     serving::main();
+}
+
+#[test]
+fn tuning_runs() {
+    tuning::main();
 }
