@@ -3,6 +3,7 @@
 use std::sync::Arc;
 
 use rf_gpusim::{estimate_latency, GpuArch, KernelProfile};
+use rf_tile::exec::{ExecBinding, ExecError, ExecInput, ExecOutput, Semantics};
 use rf_tile::{TensorizeConfig, TileProgram};
 use rf_workloads::{
     InertiaConfig, MhaConfig, MlaConfig, MoeConfig, Precision, QuantGemmConfig, VarianceConfig,
@@ -140,8 +141,9 @@ pub fn arch_fingerprint(arch: &GpuArch) -> u64 {
 pub struct CompiledKernel {
     /// Workload name.
     pub name: String,
-    /// The tile program, when the lowering produces one (attention and
-    /// softmax); traffic-model-only workloads omit it.
+    /// The fully-bound tile program. Every workload family lowers to one; it
+    /// carries the [`ExecBinding`] the `rf_tile::exec` VM interprets, so the
+    /// compiled artifact is executable, not just costable.
     pub program: Option<TileProgram>,
     /// The kernel profile handed to the GPU model.
     pub profile: KernelProfile,
@@ -149,6 +151,151 @@ pub struct CompiledKernel {
     pub latency_us: f64,
     /// The auto-tuning choice that produced the kernel.
     pub tuning: TuningChoice,
+}
+
+impl CompiledKernel {
+    /// Executes the compiled kernel over real tensors by interpreting its
+    /// tile program on the `rf_tile::exec` VM. The execution honours exactly
+    /// the tuned tile sizes and segment strategy the auto-tuner chose — this
+    /// is the path the `rf-runtime` engine serves.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::NotExecutable`] if the kernel carries no program, and the
+    /// VM's input/shape mismatch errors for tensors that do not feed the
+    /// program's binding.
+    pub fn run(&self, input: &ExecInput<'_>) -> Result<ExecOutput, ExecError> {
+        let program = self
+            .program
+            .as_ref()
+            .ok_or_else(|| ExecError::NotExecutable {
+                program: self.name.clone(),
+            })?;
+        rf_tile::exec::execute(program, input)
+    }
+}
+
+/// Clamps an attention tuning point to the shape, exactly as the tuner's
+/// canonicalization hook does, and builds the lowering tiling for it.
+fn attention_tiling_for(shape: &AttentionShape, point: &TuningPoint) -> AttentionTiling {
+    AttentionTiling {
+        block_q: point.block_rows.min(shape.q_len).max(1),
+        block_kv: point.block_axis.min(shape.kv_len).max(1),
+        threads: point.threads,
+        pipeline_depth: point.pipeline_depth,
+    }
+}
+
+/// Lowers an attention shape at one tuning point to a fully-bound program:
+/// the Figure 12b/13b tile structure plus the [`ExecBinding`] the VM needs.
+fn bound_attention_program(
+    shape: &AttentionShape,
+    point: &TuningPoint,
+    qk_dim: usize,
+    head_dim: usize,
+) -> TileProgram {
+    let tiling = attention_tiling_for(shape, point);
+    let mut program = attention_program(shape, &tiling, point.strategy());
+    program.binding = Some(ExecBinding {
+        semantics: Semantics::Attention { qk_dim, head_dim },
+        rows: shape.q_len,
+        axis_len: shape.kv_len,
+        block_rows: tiling.block_q,
+        block_axis: tiling.block_kv,
+        segments: (point.segments.max(1) as usize).min(shape.kv_len.max(1)),
+    });
+    program
+}
+
+/// Lowers a row-parallel cascade at one tuning point to a fully-bound program
+/// (the tensorization pass plus the [`ExecBinding`]).
+fn bound_cascade_program(
+    name: &str,
+    num_reductions: usize,
+    rows: usize,
+    axis_len: usize,
+    element_bytes: u32,
+    semantics: Semantics,
+    point: &TuningPoint,
+) -> TileProgram {
+    let cfg = TensorizeConfig {
+        block_rows: point.block_rows,
+        block_axis: point.block_axis,
+        threads_per_block: point.threads,
+        pipeline_depth: point.pipeline_depth,
+        element_bytes,
+        incremental: true,
+    };
+    let segments = (point.segments.max(1) as usize).min(axis_len.max(1));
+    let mut program = cascade_program(
+        name,
+        num_reductions,
+        rows,
+        axis_len,
+        Mode::Incremental,
+        point.strategy(),
+        &cfg,
+    );
+    program.binding = Some(ExecBinding {
+        semantics,
+        rows,
+        axis_len,
+        block_rows: point.block_rows.min(rows).max(1),
+        block_axis: point.block_axis.min(axis_len.div_ceil(segments)).max(1),
+        segments,
+    });
+    program
+}
+
+/// The fully-bound executable tile program for `workload` at an arbitrary
+/// tuning point — the artifact [`compile_workload`] attaches for the winning
+/// point, exposed so verification harnesses can pin the point themselves and
+/// prove that tuning choices change cost, never results.
+pub fn executable_program(workload: &Workload, point: &TuningPoint) -> TileProgram {
+    let name = workload.name();
+    match workload {
+        Workload::Mha(c) => {
+            let shape = AttentionShape::from_mha(c);
+            bound_attention_program(&shape, point, shape.qk_dim, shape.head_dim)
+        }
+        Workload::Mla(c) => {
+            let shape = AttentionShape::from_mla(c);
+            bound_attention_program(&shape, point, shape.qk_dim, shape.head_dim)
+        }
+        Workload::Softmax { rows, len } => {
+            bound_cascade_program(&name, 2, *rows, *len, 2, Semantics::Softmax, point)
+        }
+        Workload::Variance(c) => {
+            bound_cascade_program(&name, 2, c.bs, c.l, 4, Semantics::Variance, point)
+        }
+        Workload::Moe(c) => bound_cascade_program(
+            &name,
+            3,
+            c.s,
+            c.en,
+            2,
+            Semantics::Routing { topk: c.topk },
+            point,
+        ),
+        Workload::Quant(c) => bound_cascade_program(
+            &name,
+            2,
+            c.m,
+            c.k,
+            1,
+            Semantics::QuantGemm { n: c.n },
+            point,
+        ),
+        Workload::Inertia(c) => bound_cascade_program(
+            &name,
+            3,
+            c.bs,
+            c.n,
+            4,
+            Semantics::Inertia { dim: c.dim },
+            point,
+        ),
+    }
 }
 
 fn tuner_for(arch: &GpuArch, class: &'static str, opts: &CompileOptions) -> AutoTuner {
@@ -188,13 +335,7 @@ fn tuned_attention(
                 + p.block_axis * shape.head_dim) as u64,
     };
     let build = |p: &TuningPoint| {
-        let tiling = AttentionTiling {
-            block_q: p.block_rows,
-            block_kv: p.block_axis,
-            threads: p.threads,
-            pipeline_depth: p.pipeline_depth,
-        };
-        let program = attention_program(&shape, &tiling, p.strategy());
+        let program = bound_attention_program(&shape, p, shape.qk_dim, shape.head_dim);
         let mut profile = KernelProfile::from_tile_program(&program);
         // Hardware-aware implementation selection (§4.4): MMA/WGMMA mapping
         // and cp.async/TMA copies lift the fused kernel close to peak.
@@ -208,14 +349,8 @@ fn tuned_attention(
             footprint: Some(&footprint),
         },
     );
-    // Rebuild the winning program so callers can inspect / dump it.
-    let tiling = AttentionTiling {
-        block_q: choice.point.block_rows,
-        block_kv: choice.point.block_axis,
-        threads: choice.point.threads,
-        pipeline_depth: choice.point.pipeline_depth,
-    };
-    let program = attention_program(&shape, &tiling, choice.point.strategy());
+    // Rebuild the winning program so callers can inspect, dump and execute it.
+    let program = bound_attention_program(&shape, &choice.point, shape.qk_dim, shape.head_dim);
     CompiledKernel {
         name: name.to_string(),
         program: Some(program),
@@ -225,11 +360,13 @@ fn tuned_attention(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn tuned_cascade(
     name: &str,
     num_reductions: usize,
     rows: usize,
     axis_len: usize,
+    semantics: Semantics,
     arch: &GpuArch,
     class: &'static str,
     opts: &CompileOptions,
@@ -258,23 +395,15 @@ fn tuned_cascade(
         threads_per_block: p.threads,
         shared_mem_per_block: (p.block_rows * p.block_axis) as u64 * ELEMENT_BYTES as u64,
     };
-    let cfg_for = |p: &TuningPoint| TensorizeConfig {
-        block_rows: p.block_rows,
-        block_axis: p.block_axis,
-        threads_per_block: p.threads,
-        pipeline_depth: p.pipeline_depth,
-        element_bytes: ELEMENT_BYTES,
-        incremental: true,
-    };
     let build = |p: &TuningPoint| {
-        let program = cascade_program(
+        let program = bound_cascade_program(
             name,
             num_reductions,
             rows,
             axis_len,
-            Mode::Incremental,
-            p.strategy(),
-            &cfg_for(p),
+            ELEMENT_BYTES,
+            semantics,
+            p,
         );
         KernelProfile::from_tile_program(&program)
     };
@@ -285,14 +414,14 @@ fn tuned_cascade(
             footprint: Some(&footprint),
         },
     );
-    let program = cascade_program(
+    let program = bound_cascade_program(
         name,
         num_reductions,
         rows,
         axis_len,
-        Mode::Incremental,
-        choice.point.strategy(),
-        &cfg_for(&choice.point),
+        ELEMENT_BYTES,
+        semantics,
+        &choice.point,
     );
     CompiledKernel {
         name: name.to_string(),
@@ -365,7 +494,7 @@ pub fn compile_workload_with(
     opts: &CompileOptions,
 ) -> CompiledKernel {
     let class = workload.class();
-    match workload {
+    let mut kernel = match workload {
         Workload::Mha(c) => tuned_attention(
             AttentionShape::from_mha(c),
             arch,
@@ -380,9 +509,16 @@ pub fn compile_workload_with(
             class,
             opts,
         ),
-        Workload::Softmax { rows, len } => {
-            tuned_cascade(&workload.name(), 2, *rows, *len, arch, class, opts)
-        }
+        Workload::Softmax { rows, len } => tuned_cascade(
+            &workload.name(),
+            2,
+            *rows,
+            *len,
+            Semantics::Softmax,
+            arch,
+            class,
+            opts,
+        ),
         Workload::Moe(c) => {
             // Scoring GEMM + softmax + top-k fused into one pass over experts.
             let correction_flops = 6 * (c.s * c.en) as u64;
@@ -422,7 +558,14 @@ pub fn compile_workload_with(
             "fp32",
             arch,
         ),
+    };
+    // Every compiled kernel ships an executable program: the GEMM-dominated
+    // workloads keep their traffic-accounting cost profile but are lowered at
+    // the chosen point so the runtime can interpret them like everything else.
+    if kernel.program.is_none() {
+        kernel.program = Some(executable_program(workload, &kernel.tuning.point));
     }
+    kernel
 }
 
 /// Compiles a workload and wraps the result in an [`Arc`] so it can be shared

@@ -25,27 +25,9 @@
 
 use rf_workloads::{Matrix, QuantGemmConfig};
 
-/// Maximum representable magnitude of FP8 E4M3.
-pub const FP8_MAX: f64 = 448.0;
-
-/// Rounds a value to the simulated FP8 E4M3 grid: clamp to ±448 and keep a
-/// 3-bit mantissa. Zero, sub-minimal and non-finite values map to zero.
-pub fn fp8_round(x: f64) -> f64 {
-    if !x.is_finite() || x == 0.0 {
-        return 0.0;
-    }
-    let clamped = x.clamp(-FP8_MAX, FP8_MAX);
-    let magnitude = clamped.abs();
-    // E4M3 minimum normal is 2^-6; treat anything below the smallest subnormal
-    // (2^-9) as zero.
-    if magnitude < 2f64.powi(-9) {
-        return 0.0;
-    }
-    let exponent = magnitude.log2().floor();
-    let scale = 2f64.powf(exponent - 3.0);
-    let rounded = (magnitude / scale).round() * scale;
-    rounded.copysign(clamped)
-}
+// The E4M3 grid is defined once in `rf_workloads::quant` and shared with the
+// tile-program VM, so every execution path performs identical roundings.
+pub use rf_workloads::{fp8_round, FP8_MAX};
 
 /// Per-row quantization scales: `m_i / MAX` where `m_i` is the row abs-max.
 pub fn row_scales(a: &Matrix) -> Vec<f64> {

@@ -11,6 +11,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use rf_gpusim::{estimate_latency, GpuArch, KernelProfile};
 
@@ -87,6 +88,49 @@ impl Ticket {
                 "ticket result was already taken via try_take"
             );
             slot = self.state.ready.wait(slot).expect("ticket lock poisoned");
+        }
+    }
+
+    /// Blocks for at most `timeout` waiting for the request to complete.
+    ///
+    /// Returns `None` when the deadline passes without a delivery — the
+    /// ticket stays live and can be waited on again, so callers can bound
+    /// their exposure to a wedged worker instead of blocking forever the way
+    /// [`Ticket::wait`] would. Returns `Some(result)` (consuming the
+    /// delivery, like `wait`) as soon as the worker fulfils the request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result was already consumed by [`Ticket::try_take`] —
+    /// the delivery is one-shot, so waiting again can never succeed.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<RequestResult, RuntimeError>> {
+        // `Instant + Duration` panics on overflow (e.g. `Duration::MAX`, the
+        // idiomatic "effectively no timeout"); an unrepresentable deadline
+        // degrades to an unbounded wait instead.
+        let deadline = Instant::now().checked_add(timeout);
+        let mut slot = self.state.slot.lock().expect("ticket lock poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return Some(result);
+            }
+            assert!(
+                !self.state.delivered.load(Ordering::Acquire),
+                "ticket result was already taken via try_take"
+            );
+            slot = match deadline {
+                None => self.state.ready.wait(slot).expect("ticket lock poisoned"),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return None;
+                    }
+                    self.state
+                        .ready
+                        .wait_timeout(slot, deadline - now)
+                        .expect("ticket lock poisoned")
+                        .0
+                }
+            };
         }
     }
 }
@@ -408,10 +452,41 @@ mod tests {
     }
 
     #[test]
+    fn wait_timeout_returns_none_until_delivery_and_some_after() {
+        let (req, ticket) = softmax_request(21, 16);
+        // Nothing delivered yet: the bounded wait must return, not hang.
+        let start = Instant::now();
+        assert!(ticket.wait_timeout(Duration::from_millis(30)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(30));
+        // The ticket stays live: a later delivery is observed by both the
+        // bounded and the blocking wait paths.
+        let worker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            req.fulfil(Err(RuntimeError::ShuttingDown));
+        });
+        // Duration::MAX must degrade to an unbounded wait, not panic on
+        // deadline overflow.
+        let result = ticket
+            .wait_timeout(Duration::MAX)
+            .expect("delivery arrives well before the timeout");
+        assert_eq!(result.unwrap_err(), RuntimeError::ShuttingDown);
+        worker.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "already taken via try_take")]
+    fn wait_timeout_after_try_take_panics_instead_of_spinning() {
+        let (req, ticket) = softmax_request(22, 16);
+        req.fulfil(Err(RuntimeError::ShuttingDown));
+        assert!(ticket.try_take().is_some());
+        let _ = ticket.wait_timeout(Duration::from_millis(10));
+    }
+
+    #[test]
     fn tickets_deliver_results_once() {
         let (req, ticket) = softmax_request(3, 8);
         assert!(ticket.try_take().is_none());
-        let output = crate::request::execute_fused(&req.request.workload, &req.request.input);
+        let output = crate::request::execute_reference(&req.request.workload, &req.request.input);
         let result = RequestResult {
             id: 3,
             workload: req.request.workload.name(),

@@ -23,7 +23,7 @@ use rf_gpusim::GpuArch;
 use crate::batch::{batch_latency_us, BatchScheduler, QueuedRequest, RequestResult, Ticket};
 use crate::cache::{CacheStats, PlanCache};
 use crate::metrics::{MetricsSnapshot, RuntimeMetrics};
-use crate::request::{execute_fused, Request, RuntimeError};
+use crate::request::{execute_plan, Request, RuntimeError};
 
 /// Tunables of one [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,10 +61,10 @@ struct EngineShared {
 ///
 /// `submit` validates and enqueues a request and returns a [`Ticket`]; a pool
 /// of worker threads groups shape-compatible requests into batches, compiles
-/// (or re-uses) the fused plan via the [`PlanCache`], executes the batch with
-/// the fused CPU kernels and costs it on the analytical GPU model. Dropping
-/// the engine shuts the pool down; still-queued requests fail with
-/// [`RuntimeError::ShuttingDown`].
+/// (or re-uses) the fused plan via the [`PlanCache`], executes the batch by
+/// interpreting the plan's tile program on the `rf_tile::exec` VM and costs
+/// it on the analytical GPU model. Dropping the engine shuts the pool down;
+/// still-queued requests fail with [`RuntimeError::ShuttingDown`].
 pub struct Engine {
     shared: Arc<EngineShared>,
     workers: Vec<JoinHandle<()>>,
@@ -192,26 +192,35 @@ fn worker_loop(shared: &EngineShared) {
     }
 }
 
-/// Executes one shape-compatible batch. No scheduler or cache lock is held
-/// here: the plan is an `Arc` snapshot and the kernels run on local tensors.
+/// Executes one shape-compatible batch by interpreting the cached plan's tile
+/// program — a cache hit reuses both the tuning and the executable. No
+/// scheduler or cache lock is held here: the plan is an `Arc` snapshot and
+/// the VM runs on borrowed views of the queued tensors.
 fn run_batch(shared: &EngineShared, batch: Vec<QueuedRequest>) {
     let workload = batch[0].request.workload.clone();
+    let class = workload.class();
     let (plan, cache_hit) = shared.cache.get_or_compile_traced(&workload);
     let batch_size = batch.len();
     let simulated_us = batch_latency_us(&shared.arch, &plan.profile, batch_size);
+    let (mut executed, mut failed) = (0usize, 0usize);
     for queued in batch {
-        let output = execute_fused(&queued.request.workload, &queued.request.input);
-        let result = RequestResult {
+        let result = execute_plan(&plan, &queued.request).map(|output| RequestResult {
             id: queued.id,
             workload: queued.request.workload.name(),
             output,
             simulated_us,
             batch_size,
             cache_hit,
-        };
-        queued.fulfil(Ok(result));
+        });
+        match &result {
+            Ok(_) => executed += 1,
+            Err(_) => failed += 1,
+        }
+        queued.fulfil(result);
     }
-    shared.metrics.record_batch(batch_size, simulated_us);
+    shared
+        .metrics
+        .record_batch(class, executed, failed, simulated_us, cache_hit);
 }
 
 #[cfg(test)]
@@ -288,6 +297,82 @@ mod tests {
                 Err(err) => assert_eq!(err, RuntimeError::ShuttingDown),
             }
         }
+    }
+
+    #[test]
+    fn failed_executions_are_counted_as_failures_not_completions() {
+        use rf_workloads::inertia_tiny;
+        // A massless inertia system passes shape validation but is rejected
+        // by the VM at execution time: the ticket must receive the error and
+        // the metrics must report a failure, not a served request.
+        let engine = tiny_engine(1);
+        let inertia = inertia_tiny();
+        let ticket = engine
+            .submit(
+                Request::new(
+                    Workload::Inertia(inertia.clone()),
+                    RequestInput::Inertia {
+                        masses: vec![0.0; 8],
+                        positions: random_matrix(8, inertia.dim, 1, -1.0, 1.0),
+                    },
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        engine.run_until_drained();
+        assert!(matches!(
+            ticket.wait(),
+            Err(RuntimeError::ExecutionFailed { .. })
+        ));
+        let metrics = engine.metrics();
+        assert_eq!(metrics.submitted, 1);
+        assert_eq!(metrics.completed, 0);
+        assert_eq!(metrics.failed, 1);
+        assert_eq!(metrics.p50_us, 0.0, "failures contribute no latency");
+        let class = &metrics.classes[0];
+        assert_eq!(
+            (class.class, class.completed, class.failed),
+            ("inertia", 0, 1)
+        );
+        assert_eq!(class.p99_us, 0.0);
+        assert!(metrics.report().contains("requests failed"));
+    }
+
+    #[test]
+    fn metrics_break_down_per_workload_class() {
+        use rf_workloads::variance_tiny;
+        let engine = tiny_engine(2);
+        let var = variance_tiny();
+        for seed in 0..4 {
+            engine
+                .submit(Request::softmax(random_matrix(2, 32, seed, -1.0, 1.0)))
+                .unwrap();
+            engine
+                .submit(
+                    Request::new(
+                        Workload::Variance(var.clone()),
+                        RequestInput::Rows(random_matrix(3, var.l, seed + 50, -2.0, 2.0)),
+                    )
+                    .unwrap(),
+                )
+                .unwrap();
+        }
+        engine.run_until_drained();
+        let metrics = engine.metrics();
+        assert_eq!(metrics.completed, 8);
+        let classes: Vec<&str> = metrics.classes.iter().map(|c| c.class).collect();
+        assert_eq!(classes, ["softmax", "variance"]);
+        for class in &metrics.classes {
+            assert_eq!(class.completed, 4);
+            assert!(class.batches >= 1);
+            assert!(class.p99_us >= class.p50_us);
+            assert!(class.p50_us > 0.0);
+        }
+        let total_class_batches: u64 = metrics.classes.iter().map(|c| c.batches).sum();
+        assert_eq!(total_class_batches, metrics.batches);
+        let report = metrics.report();
+        assert!(report.contains("per-class breakdown"));
+        assert!(report.contains("variance"));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod request;
 pub use batch::{BatchScheduler, QueuedRequest, RequestResult, Ticket};
 pub use cache::{CacheStats, PlanCache};
 pub use engine::{Engine, RuntimeConfig};
-pub use metrics::{MetricsSnapshot, RuntimeMetrics};
+pub use metrics::{ClassSnapshot, MetricsSnapshot, RuntimeMetrics};
 pub use request::{
-    execute_fused, execute_reference, Request, RequestId, RequestInput, RequestOutput, RuntimeError,
+    execute_plan, execute_reference, Request, RequestId, RequestInput, RequestOutput, RuntimeError,
 };

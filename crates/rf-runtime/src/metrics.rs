@@ -5,6 +5,7 @@
 //! GPU model (`rf-gpusim`) — the quantity the paper's evaluation reasons
 //! about — not wall-clock CPU time of the reference interpreters.
 
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
@@ -17,12 +18,28 @@ use crate::cache::CacheStats;
 /// serves; the mean is maintained over the full lifetime separately.
 pub const LATENCY_WINDOW: usize = 8192;
 
+/// Per-workload-class latency window size. Classes are few (one per workload
+/// family), so a smaller window per class keeps the total bound comparable to
+/// the global one.
+pub const CLASS_LATENCY_WINDOW: usize = 2048;
+
 /// A sliding window of latency samples plus lifetime totals.
 #[derive(Debug, Default)]
 struct LatencyTrack {
-    window: std::collections::VecDeque<f64>,
+    window: VecDeque<f64>,
     total_us: f64,
     count: u64,
+}
+
+/// Accumulators for one [`rf_codegen::Workload::class`]: request/batch
+/// counters, plan-cache effectiveness and a bounded latency window.
+#[derive(Debug, Default)]
+struct ClassTrack {
+    completed: u64,
+    failed: u64,
+    batches: u64,
+    cache_hits: u64,
+    window: VecDeque<f64>,
 }
 
 /// Thread-safe metric accumulators, owned by the engine and updated by the
@@ -31,11 +48,46 @@ struct LatencyTrack {
 pub struct RuntimeMetrics {
     submitted: AtomicU64,
     completed: AtomicU64,
+    failed: AtomicU64,
     batches: AtomicU64,
     /// Simulated per-request latencies, in microseconds.
     latencies_us: Mutex<LatencyTrack>,
+    /// Per-workload-class accumulators, keyed by `Workload::class()`.
+    classes: Mutex<HashMap<&'static str, ClassTrack>>,
     /// Sum of batch sizes, for the mean batch size.
     batched_requests: AtomicU64,
+}
+
+/// A point-in-time view of one workload class's serving health.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSnapshot {
+    /// The workload class name (e.g. `"softmax"`, `"mha"`).
+    pub class: &'static str,
+    /// Requests of this class fully executed.
+    pub completed: u64,
+    /// Requests of this class whose execution failed (the ticket received an
+    /// error instead of a result).
+    pub failed: u64,
+    /// Batches of this class executed.
+    pub batches: u64,
+    /// Batches of this class served from an already-compiled plan.
+    pub cache_hits: u64,
+    /// Median simulated latency over the class's recent window, in µs.
+    pub p50_us: f64,
+    /// 99th-percentile simulated latency over the class's recent window, µs.
+    pub p99_us: f64,
+}
+
+impl ClassSnapshot {
+    /// Fraction of this class's batches served from the plan cache, in
+    /// `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.batches as f64
+        }
+    }
 }
 
 /// A point-in-time view of the runtime's health.
@@ -45,6 +97,8 @@ pub struct MetricsSnapshot {
     pub submitted: u64,
     /// Requests fully executed.
     pub completed: u64,
+    /// Requests whose execution failed (delivered an error, not a result).
+    pub failed: u64,
     /// Batches executed.
     pub batches: u64,
     /// Requests waiting or executing right now.
@@ -65,6 +119,9 @@ pub struct MetricsSnapshot {
     /// Auto-tuner warm-start cache counters (the searches behind plan-cache
     /// misses).
     pub tuning: TuningCacheStats,
+    /// Per-workload-class breakdown (requests, latency percentiles, cache
+    /// effectiveness), sorted by class name.
+    pub classes: Vec<ClassSnapshot>,
 }
 
 /// Linear-interpolation percentile of an unsorted sample set, `p` in `[0, 100]`.
@@ -112,25 +169,55 @@ impl RuntimeMetrics {
         self.submitted.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// Records one executed batch of `size` requests, each experiencing the
-    /// batch's simulated latency `latency_us`.
+    /// Records one batch of workload class `class`: `executed` requests were
+    /// served successfully (each experiencing the batch's simulated latency
+    /// `latency_us`) and `failed` requests were delivered an execution error.
+    /// `cache_hit` says whether the batch's plan came from the cache.
     ///
-    /// Non-finite latencies (an infeasible kernel's infinite estimate) still
-    /// count as completed requests but are excluded from the latency
-    /// distribution — a single infinite sample would otherwise poison the
-    /// lifetime mean forever.
-    pub fn record_batch(&self, size: usize, latency_us: f64) {
+    /// Failed requests are never counted as completed and contribute no
+    /// latency samples. Non-finite latencies (an infeasible kernel's infinite
+    /// estimate) still count their requests as completed but are excluded
+    /// from the latency distributions — a single infinite sample would
+    /// otherwise poison the lifetime mean forever.
+    pub fn record_batch(
+        &self,
+        class: &'static str,
+        executed: usize,
+        failed: usize,
+        latency_us: f64,
+        cache_hit: bool,
+    ) {
+        let size = executed + failed;
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_requests
             .fetch_add(size as u64, Ordering::Relaxed);
-        self.completed.fetch_add(size as u64, Ordering::Relaxed);
+        self.completed.fetch_add(executed as u64, Ordering::Relaxed);
+        self.failed.fetch_add(failed as u64, Ordering::Relaxed);
+        {
+            let mut classes = self.classes.lock().expect("metrics lock poisoned");
+            let track = classes.entry(class).or_default();
+            track.completed += executed as u64;
+            track.failed += failed as u64;
+            track.batches += 1;
+            if cache_hit {
+                track.cache_hits += 1;
+            }
+            if latency_us.is_finite() {
+                for _ in 0..executed {
+                    if track.window.len() == CLASS_LATENCY_WINDOW {
+                        track.window.pop_front();
+                    }
+                    track.window.push_back(latency_us);
+                }
+            }
+        }
         if !latency_us.is_finite() {
             return;
         }
         let mut track = self.latencies_us.lock().expect("metrics lock poisoned");
-        track.total_us += latency_us * size as f64;
-        track.count += size as u64;
-        for _ in 0..size {
+        track.total_us += latency_us * executed as f64;
+        track.count += executed as u64;
+        for _ in 0..executed {
             if track.window.len() == LATENCY_WINDOW {
                 track.window.pop_front();
             }
@@ -161,11 +248,34 @@ impl RuntimeMetrics {
             )
         };
         window.sort_by(f64::total_cmp);
+        let mut classes: Vec<ClassSnapshot> = {
+            let tracks = self.classes.lock().expect("metrics lock poisoned");
+            tracks
+                .iter()
+                .map(|(&class, track)| {
+                    // `record_batch` only admits finite samples, so the
+                    // window can be sorted as-is.
+                    let mut class_window: Vec<f64> = track.window.iter().copied().collect();
+                    class_window.sort_by(f64::total_cmp);
+                    ClassSnapshot {
+                        class,
+                        completed: track.completed,
+                        failed: track.failed,
+                        batches: track.batches,
+                        cache_hits: track.cache_hits,
+                        p50_us: percentile_sorted(&class_window, 50.0),
+                        p99_us: percentile_sorted(&class_window, 99.0),
+                    }
+                })
+                .collect()
+        };
+        classes.sort_by_key(|c| c.class);
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_requests.load(Ordering::Relaxed);
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
             batches,
             queue_depth,
             mean_batch_size: if batches == 0 {
@@ -178,6 +288,7 @@ impl RuntimeMetrics {
             mean_us,
             cache,
             tuning,
+            classes,
         }
     }
 }
@@ -189,6 +300,7 @@ impl MetricsSnapshot {
         out.push_str("runtime metrics\n");
         out.push_str(&format!("  requests submitted   {:>12}\n", self.submitted));
         out.push_str(&format!("  requests completed   {:>12}\n", self.completed));
+        out.push_str(&format!("  requests failed      {:>12}\n", self.failed));
         out.push_str(&format!("  batches executed     {:>12}\n", self.batches));
         out.push_str(&format!(
             "  mean batch size      {:>12.2}\n",
@@ -218,6 +330,19 @@ impl MetricsSnapshot {
             "  tuner warm starts    {:>6} / {:<6} ({} classes)\n",
             self.tuning.seeded, self.tuning.lookups, self.tuning.entries
         ));
+        if !self.classes.is_empty() {
+            out.push_str("  per-class breakdown\n");
+            for class in &self.classes {
+                out.push_str(&format!(
+                    "    {:<10} reqs {:>8}  p50 {:>9.2} us  p99 {:>9.2} us  cache {:>5.1}%\n",
+                    class.class,
+                    class.completed,
+                    class.p50_us,
+                    class.p99_us,
+                    class.cache_hit_rate() * 100.0
+                ));
+            }
+        }
         out
     }
 }
@@ -270,9 +395,9 @@ mod tests {
 
         // The snapshot path filters the window the same way.
         let metrics = RuntimeMetrics::new();
-        metrics.record_batch(2, 10.0);
-        metrics.record_batch(1, f64::INFINITY);
-        metrics.record_batch(1, f64::NAN);
+        metrics.record_batch("softmax", 2, 0, 10.0, false);
+        metrics.record_batch("softmax", 1, 0, f64::INFINITY, true);
+        metrics.record_batch("softmax", 1, 0, f64::NAN, true);
         let snap = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
         assert_eq!(snap.p50_us, 10.0);
         assert_eq!(snap.p99_us, 10.0);
@@ -286,8 +411,8 @@ mod tests {
         for _ in 0..4 {
             metrics.record_submit();
         }
-        metrics.record_batch(3, 10.0);
-        metrics.record_batch(1, 50.0);
+        metrics.record_batch("softmax", 3, 0, 10.0, false);
+        metrics.record_batch("mha", 1, 0, 50.0, true);
         let snap = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
         assert_eq!(snap.submitted, 4);
         assert_eq!(snap.completed, 4);
@@ -303,9 +428,9 @@ mod tests {
         let metrics = RuntimeMetrics::new();
         // Overfill the window: the old 1.0us samples must be displaced by the
         // later 9.0us ones for the percentiles, while the mean still sees all.
-        metrics.record_batch(LATENCY_WINDOW, 1.0);
-        metrics.record_batch(LATENCY_WINDOW, 9.0);
-        metrics.record_batch(LATENCY_WINDOW, 9.0);
+        metrics.record_batch("softmax", LATENCY_WINDOW, 0, 1.0, false);
+        metrics.record_batch("softmax", LATENCY_WINDOW, 0, 9.0, true);
+        metrics.record_batch("softmax", LATENCY_WINDOW, 0, 9.0, true);
         let snap = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
         assert_eq!(snap.completed as usize, 3 * LATENCY_WINDOW);
         assert_eq!(snap.p50_us, 9.0, "window holds only the latest samples");
@@ -319,7 +444,7 @@ mod tests {
     fn report_mentions_every_headline_number() {
         let metrics = RuntimeMetrics::new();
         metrics.record_submit();
-        metrics.record_batch(1, 12.5);
+        metrics.record_batch("softmax", 1, 0, 12.5, false);
         let report = metrics
             .snapshot(
                 3,
@@ -343,5 +468,55 @@ mod tests {
         assert!(report.contains("queue depth"));
         assert!(report.contains("tuner warm starts"));
         assert!(report.contains("1 / 2"));
+        assert!(report.contains("per-class breakdown"));
+        assert!(report.contains("softmax"));
+    }
+
+    #[test]
+    fn per_class_breakdown_tracks_each_class_separately() {
+        let metrics = RuntimeMetrics::new();
+        // softmax: 3 batches (2 cache hits), fast; mha: 1 batch (miss), slow.
+        metrics.record_batch("softmax", 2, 0, 10.0, false);
+        metrics.record_batch("softmax", 4, 0, 12.0, true);
+        metrics.record_batch("softmax", 2, 0, 14.0, true);
+        metrics.record_batch("mha", 1, 0, 200.0, false);
+        let snap = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
+        assert_eq!(snap.classes.len(), 2);
+        // Sorted by class name: mha before softmax.
+        let mha = &snap.classes[0];
+        let softmax = &snap.classes[1];
+        assert_eq!(mha.class, "mha");
+        assert_eq!((mha.completed, mha.batches, mha.cache_hits), (1, 1, 0));
+        assert_eq!(mha.cache_hit_rate(), 0.0);
+        assert_eq!(mha.p50_us, 200.0);
+        assert_eq!(softmax.class, "softmax");
+        assert_eq!(
+            (softmax.completed, softmax.batches, softmax.cache_hits),
+            (8, 3, 2)
+        );
+        assert!((softmax.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(softmax.p50_us, 12.0);
+        assert!(softmax.p99_us <= 14.0 && softmax.p99_us > 12.0);
+        // Class percentiles are independent of the global distribution.
+        assert!(snap.p99_us > softmax.p99_us);
+        // Non-finite latencies count requests but never enter the window.
+        metrics.record_batch("mha", 1, 0, f64::INFINITY, true);
+        let snap = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
+        let mha = &snap.classes[0];
+        assert_eq!((mha.completed, mha.batches, mha.cache_hits), (2, 2, 1));
+        assert_eq!(mha.p99_us, 200.0);
+    }
+
+    #[test]
+    fn class_windows_are_bounded() {
+        let metrics = RuntimeMetrics::new();
+        metrics.record_batch("quant", CLASS_LATENCY_WINDOW, 0, 1.0, false);
+        metrics.record_batch("quant", CLASS_LATENCY_WINDOW, 0, 9.0, true);
+        let snap = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
+        let quant = &snap.classes[0];
+        assert_eq!(quant.completed as usize, 2 * CLASS_LATENCY_WINDOW);
+        assert_eq!(quant.p50_us, 9.0, "old samples displaced");
+        let tracks = metrics.classes.lock().unwrap();
+        assert_eq!(tracks["quant"].window.len(), CLASS_LATENCY_WINDOW);
     }
 }

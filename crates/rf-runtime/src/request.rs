@@ -4,17 +4,21 @@
 //! understands, and the cache key) with a [`RequestInput`] (the concrete
 //! tensors to run the fused kernel over). Two execution paths are provided:
 //!
-//! * [`execute_fused`] — the kernels RedFuser generates (single-pass online
-//!   softmax, FlashAttention-style tiling, fused routing, fused quant+GEMM),
-//!   used by the [`crate::engine::Engine`] worker pool;
-//! * [`execute_reference`] — the unfused naive kernels, used by tests as the
-//!   correctness oracle for everything the runtime serves.
+//! * [`execute_plan`] — interprets a compiled plan's tile program on the
+//!   `rf_tile::exec` VM, honouring the auto-tuner's tile sizes and segment
+//!   strategy. This is the path the [`crate::engine::Engine`] worker pool
+//!   serves: the cached [`CompiledKernel`] *is* the executable, there is no
+//!   parallel hand-rolled kernel dispatch;
+//! * [`execute_reference`] — the unfused naive kernels from `rf-kernels`,
+//!   used by tests as the correctness oracle for everything the runtime
+//!   serves.
 
 use std::fmt;
 
-use rf_codegen::Workload;
+use rf_codegen::{CompiledKernel, Workload};
 use rf_kernels::moe::RoutingDecision;
 use rf_kernels::{attention, moe, nonml, quant, softmax};
+use rf_tile::exec::{ExecInput, ExecOutput};
 use rf_workloads::Matrix;
 
 /// Monotonically increasing identifier assigned to each submitted request.
@@ -124,6 +128,20 @@ impl RequestInput {
             RequestInput::Inertia { .. } => "inertia (masses/positions)",
         }
     }
+
+    /// A borrowed VM view of the tensors — the form
+    /// [`CompiledKernel::run`](rf_codegen::CompiledKernel::run) consumes. No
+    /// tensor is copied; the serving hot path hands the VM references into
+    /// the queued request.
+    pub fn as_exec(&self) -> ExecInput<'_> {
+        match self {
+            RequestInput::Rows(m) => ExecInput::Rows(m),
+            RequestInput::Attention { q, k, v } => ExecInput::Attention { q, k, v },
+            RequestInput::Routing { x, w } => ExecInput::Routing { x, w },
+            RequestInput::QuantGemm { a, w } => ExecInput::QuantGemm { a, w },
+            RequestInput::Inertia { masses, positions } => ExecInput::Inertia { masses, positions },
+        }
+    }
 }
 
 /// The output of one served request.
@@ -139,6 +157,24 @@ pub enum RequestOutput {
 }
 
 impl RequestOutput {
+    /// Converts a VM output into a request output (the routing decision
+    /// types map field-for-field).
+    pub fn from_exec(output: ExecOutput) -> RequestOutput {
+        match output {
+            ExecOutput::Matrix(m) => RequestOutput::Matrix(m),
+            ExecOutput::Values(v) => RequestOutput::Values(v),
+            ExecOutput::TopK(decisions) => RequestOutput::Routing(
+                decisions
+                    .into_iter()
+                    .map(|d| RoutingDecision {
+                        experts: d.experts,
+                        probs: d.probs,
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
     /// Whether two outputs agree element-wise within a relative tolerance.
     pub fn approx_eq(&self, other: &RequestOutput, tolerance: f64) -> bool {
         match (self, other) {
@@ -402,53 +438,36 @@ pub fn validate(workload: &Workload, input: &RequestInput) -> Result<(), Runtime
     }
 }
 
-/// Block size used by the fused attention and quant kernels; small enough to
-/// exercise the block-merge path on the tiny test configurations.
-const EXEC_BLOCK: usize = 16;
-
 fn attention_scale(qk_dim: usize) -> f64 {
     1.0 / (qk_dim.max(1) as f64).sqrt()
 }
 
-/// Executes a validated request with the **fused** kernels (the execution path
-/// the runtime serves).
-pub fn execute_fused(workload: &Workload, input: &RequestInput) -> RequestOutput {
-    match (workload, input) {
-        (Workload::Softmax { .. }, RequestInput::Rows(m)) => {
-            let mut out = Matrix::zeros(m.rows(), m.cols());
-            for r in 0..m.rows() {
-                out.row_mut(r)
-                    .copy_from_slice(&softmax::softmax_online(m.row(r)));
-            }
-            RequestOutput::Matrix(out)
-        }
-        (Workload::Variance(_), RequestInput::Rows(m)) => {
-            RequestOutput::Values(nonml::variance_rows(m, nonml::variance_fused))
-        }
-        (Workload::Mha(_) | Workload::Mla(_), RequestInput::Attention { q, k, v }) => {
-            RequestOutput::Matrix(attention::flash_attention(
-                q,
-                k,
-                v,
-                attention_scale(q.cols()),
-                EXEC_BLOCK,
-            ))
-        }
-        (Workload::Moe(c), RequestInput::Routing { x, w }) => {
-            RequestOutput::Routing(moe::route_fused(x, w, c.topk))
-        }
-        (Workload::Quant(_), RequestInput::QuantGemm { a, w }) => {
-            RequestOutput::Matrix(quant::quant_gemm_fused(a, w, EXEC_BLOCK))
-        }
-        (Workload::Inertia(_), RequestInput::Inertia { masses, positions }) => {
-            RequestOutput::Values(vec![nonml::inertia_fused(masses, positions)])
-        }
-        _ => unreachable!("requests are validated before execution"),
-    }
+/// Executes a validated request by interpreting `plan`'s tile program on the
+/// `rf_tile::exec` VM — the execution path the runtime serves. The plan is
+/// the cached [`CompiledKernel`], so a cache hit reuses both the tuning *and*
+/// the executable; there is no workload-matching kernel dispatch here.
+///
+/// # Errors
+///
+/// Returns [`RuntimeError::ExecutionFailed`] when the plan carries no
+/// executable program or the VM rejects the tensors. Front-door validation
+/// catches kind and shape mismatches for engine-submitted requests, but
+/// value-dependent rejections (e.g. an inertia system whose total mass is
+/// not positive) surface here; the engine delivers them to the ticket and
+/// counts them in the `failed` metrics instead of panicking the worker.
+pub fn execute_plan(
+    plan: &CompiledKernel,
+    request: &Request,
+) -> Result<RequestOutput, RuntimeError> {
+    plan.run(&request.input.as_exec())
+        .map(RequestOutput::from_exec)
+        .map_err(|_| RuntimeError::ExecutionFailed {
+            workload: request.workload.name(),
+        })
 }
 
 /// Executes a validated request with the **unfused** reference kernels (the
-/// correctness oracle for [`execute_fused`]).
+/// correctness oracle for [`execute_plan`]).
 pub fn execute_reference(workload: &Workload, input: &RequestInput) -> RequestOutput {
     match (workload, input) {
         (Workload::Softmax { .. }, RequestInput::Rows(m)) => {
@@ -481,6 +500,7 @@ pub fn execute_reference(workload: &Workload, input: &RequestInput) -> RequestOu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rf_gpusim::GpuArch;
     use rf_workloads::{
         inertia_tiny, mha_tiny, mla_tiny, moe_tiny, quant_tiny, random_matrix, random_vec,
         variance_tiny,
@@ -550,15 +570,46 @@ mod tests {
             )
             .unwrap(),
         ];
+        let arch = GpuArch::a10();
         for req in requests {
-            let fused = execute_fused(&req.workload, &req.input);
+            let plan = rf_codegen::compile_workload(&req.workload, &arch);
+            assert!(
+                plan.program.as_ref().is_some_and(|p| p.binding.is_some()),
+                "{}: compiled kernels must carry an executable program",
+                req.workload.name()
+            );
+            let served = execute_plan(&plan, &req).expect("plan executes");
             let reference = execute_reference(&req.workload, &req.input);
             assert!(
-                fused.approx_eq(&reference, TOL),
-                "{}: fused and reference disagree",
+                served.approx_eq(&reference, TOL),
+                "{}: interpreted plan and reference disagree",
                 req.workload.name()
             );
         }
+    }
+
+    #[test]
+    fn plans_without_programs_fail_cleanly() {
+        let req = Request::softmax(random_matrix(2, 8, 1, -1.0, 1.0));
+        let mut plan = rf_codegen::compile_workload(&req.workload, &GpuArch::a10());
+        plan.program = None;
+        let err = execute_plan(&plan, &req).unwrap_err();
+        assert!(matches!(err, RuntimeError::ExecutionFailed { .. }));
+    }
+
+    #[test]
+    fn mismatched_plan_and_input_fail_cleanly() {
+        // A plan compiled for one family must reject another family's
+        // tensors instead of panicking the worker.
+        let softmax = Request::softmax(random_matrix(2, 8, 1, -1.0, 1.0));
+        let plan =
+            rf_codegen::compile_workload(&Workload::Variance(variance_tiny()), &GpuArch::a10());
+        // Variance also consumes row-matrices, so cross-feed attention input.
+        let mha = mha_request();
+        let err = execute_plan(&plan, &mha).unwrap_err();
+        assert!(matches!(err, RuntimeError::ExecutionFailed { .. }));
+        // Same-kind input is accepted (the VM reads shapes from the tensors).
+        assert!(execute_plan(&plan, &softmax).is_ok());
     }
 
     #[test]

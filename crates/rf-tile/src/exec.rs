@@ -1,0 +1,1168 @@
+//! A deterministic CPU virtual machine for [`TileProgram`]s.
+//!
+//! The rest of this crate builds tile programs for *costing*: the GPU model
+//! only needs op counts and buffer footprints. This module makes the same
+//! programs *executable*, closing the loop the paper's §4 pipeline promises —
+//! the kernel the tuner chose is the kernel that produces the numbers.
+//!
+//! # Execution model
+//!
+//! A program is executable when it carries an [`ExecBinding`]: the reduction
+//! semantics of its cascade plus the **clamped** loop extents the lowering
+//! baked in (rows per block tile, reduction-axis elements per main-loop
+//! iteration, number of axis segments from the Multi-Segment strategy). The VM
+//! mirrors the launch structure of the generated kernel exactly:
+//!
+//! * **grid** — independent output rows are processed in block tiles of
+//!   [`ExecBinding::block_rows`] rows (one simulated thread block each);
+//! * **segments** — the shared reduction axis is split into
+//!   [`ExecBinding::segments`] contiguous ranges. Each segment produces a
+//!   partial reduction state, exactly like the Multi-Segment strategy's
+//!   independent CTAs; with one segment no partials exist (Single-Segment);
+//! * **main loop** — within a segment the axis is consumed in tiles of
+//!   [`ExecBinding::block_axis`] elements. Every tile goes through the
+//!   paper's three-step fused reduction template: **store** the previous
+//!   running state, **correct** the dependent accumulators for the state
+//!   change, **reduce** the new tile into the running state;
+//! * **combine kernel** — when segments > 1 the per-segment partials are
+//!   merged with the level-`k` fused combine expression (Eq. 31 for softmax
+//!   statistics, plain addition for group-like reductions, a rescaling merge
+//!   for the FP8 accumulators);
+//! * **epilogue** — the finalisation that the generated kernel's epilogue
+//!   performs (normalisation, variance/inertia closed forms, de-quantisation,
+//!   top-k probability extraction).
+//!
+//! The VM is deterministic: for a fixed program and input it performs the same
+//! floating-point operations in the same order on every run. Different tuning
+//! points change the association order of the reductions (that is exactly what
+//! tiling does on hardware), so outputs across tuning points agree to rounding
+//! error — never more. The one intentional exception is FP8 quant + GEMM,
+//! where early tiles are quantised under a provisional scale (Eq. 21–22);
+//! there the tile size moves results within the quantisation noise floor, the
+//! same behaviour the hand-written fused kernel and the real generated kernel
+//! exhibit.
+//!
+//! Inputs are borrowed views ([`ExecInput`]) so the serving hot path never
+//! copies a tensor; outputs ([`ExecOutput`]) are owned.
+
+use std::fmt;
+
+use rf_algebra::BinaryOp;
+use rf_workloads::Matrix;
+
+use crate::ops::TileProgram;
+
+// The simulated FP8 E4M3 grid is defined once in `rf_workloads::quant` and
+// shared with the hand-written kernels, so the VM and the oracles perform
+// bit-identical roundings.
+pub use rf_workloads::{fp8_round, FP8_MAX};
+
+/// The reduction semantics of an executable cascade: what the store → correct
+/// → reduce template computes per tile and how the epilogue finalises it.
+///
+/// Workload-shape parameters that the input tensors cannot carry themselves
+/// (the GEMM output width, the top-k count, the attention head split) live
+/// here; everything else — row counts, axis lengths — is read from the live
+/// input, clamped exactly the way the lowering clamps tile sizes to shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Semantics {
+    /// Row-wise safe softmax: max reduction → corrected sum of exponentials →
+    /// normalisation epilogue. Consumes [`ExecInput::Rows`], produces
+    /// [`ExecOutput::Matrix`] of probabilities.
+    Softmax,
+    /// Row-wise population variance via the sum / sum-of-squares sufficient
+    /// statistics. Consumes [`ExecInput::Rows`], produces one value per row.
+    Variance,
+    /// Fused attention over one `(batch, head)` slice: the FlashAttention
+    /// online-softmax loop over KV tiles, with FlashDecoding partials and the
+    /// combine merge when the program is Multi-Segment. Consumes
+    /// [`ExecInput::Attention`], produces the `[q_len, head_dim]` output.
+    Attention {
+        /// Query/key dimension (sets the `1/sqrt(qk_dim)` score scale).
+        qk_dim: usize,
+        /// Value/output head dimension.
+        head_dim: usize,
+    },
+    /// MoE routing: scoring GEMM + streaming softmax statistics + streaming
+    /// top-k over the expert axis. Consumes [`ExecInput::Routing`], produces
+    /// [`ExecOutput::TopK`].
+    Routing {
+        /// Experts selected per token.
+        topk: usize,
+    },
+    /// FP8 per-token quantization + GEMM: running abs-max with accumulator
+    /// rescaling (Eq. 21–22), de-quantisation in the epilogue. Consumes
+    /// [`ExecInput::QuantGemm`], produces the `[m, n]` output matrix.
+    QuantGemm {
+        /// GEMM output width (columns of the weight matrix).
+        n: usize,
+    },
+    /// Moment of inertia about the center of mass via the parallel-axis
+    /// sufficient statistics `(Σm, Σm·x, Σm·‖x‖²)`. Consumes
+    /// [`ExecInput::Inertia`], produces a single value.
+    Inertia {
+        /// Spatial dimension of the particle positions.
+        dim: usize,
+    },
+}
+
+impl Semantics {
+    /// Short display name of the cascade family.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Semantics::Softmax => "softmax",
+            Semantics::Variance => "variance",
+            Semantics::Attention { .. } => "attention",
+            Semantics::Routing { .. } => "routing",
+            Semantics::QuantGemm { .. } => "quant-gemm",
+            Semantics::Inertia { .. } => "inertia",
+        }
+    }
+}
+
+/// Everything the VM needs to run a [`TileProgram`]: the cascade semantics
+/// plus the clamped loop extents of the tuned launch configuration.
+///
+/// The extents are the *compiled* shape; at execution time each is re-clamped
+/// to the live input (`block_rows` to the actual row count, `block_axis` to
+/// the per-segment axis length, `segments` to the axis length), mirroring the
+/// clamps `rf-codegen` applies when it lowers a raw tuning point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecBinding {
+    /// The reduction template the program instantiates.
+    pub semantics: Semantics,
+    /// Independent reduction rows of the compiled shape.
+    pub rows: usize,
+    /// Length of the shared reduction axis of the compiled shape.
+    pub axis_len: usize,
+    /// Rows per block tile (the tuned `block_rows`, already clamped).
+    pub block_rows: usize,
+    /// Axis elements per main-loop iteration (the tuned `block_axis`, already
+    /// clamped to the per-segment extent).
+    pub block_axis: usize,
+    /// Number of axis segments (1 = Single-Segment; > 1 adds the combine
+    /// step, exactly when the program carries a combine kernel).
+    pub segments: usize,
+}
+
+/// Borrowed input tensors for one program execution. Each variant feeds one
+/// [`Semantics`] family; the VM rejects mismatches with
+/// [`ExecError::InputMismatch`].
+#[derive(Debug, Clone, Copy)]
+pub enum ExecInput<'a> {
+    /// Independent rows reduced along the row axis (softmax, variance).
+    Rows(&'a Matrix),
+    /// One attention slice: `q` is `[q_len, qk_dim]`, `k` is
+    /// `[kv_len, qk_dim]`, `v` is `[kv_len, head_dim]`.
+    Attention {
+        /// Query matrix.
+        q: &'a Matrix,
+        /// Key matrix.
+        k: &'a Matrix,
+        /// Value matrix.
+        v: &'a Matrix,
+    },
+    /// MoE routing: token activations `[tokens, hd]`, router weights
+    /// `[hd, experts]`.
+    Routing {
+        /// Token activations.
+        x: &'a Matrix,
+        /// Routing weight matrix.
+        w: &'a Matrix,
+    },
+    /// FP8 quant + GEMM: activations `[m, k]`, weights `[k, n]`.
+    QuantGemm {
+        /// Activation matrix.
+        a: &'a Matrix,
+        /// Weight matrix.
+        w: &'a Matrix,
+    },
+    /// Moment of inertia: per-particle masses and positions `[n, dim]`.
+    Inertia {
+        /// Particle masses.
+        masses: &'a [f64],
+        /// Particle positions.
+        positions: &'a Matrix,
+    },
+}
+
+impl ExecInput<'_> {
+    /// Short name of the input kind, used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ExecInput::Rows(_) => "row-matrix",
+            ExecInput::Attention { .. } => "attention (q/k/v)",
+            ExecInput::Routing { .. } => "routing (x/w)",
+            ExecInput::QuantGemm { .. } => "quant-gemm (a/w)",
+            ExecInput::Inertia { .. } => "inertia (masses/positions)",
+        }
+    }
+}
+
+/// One token's routing decision: selected experts in decreasing probability
+/// order with their normalised probabilities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKDecision {
+    /// Indices of the selected experts.
+    pub experts: Vec<usize>,
+    /// Normalised probabilities of the selected experts.
+    pub probs: Vec<f64>,
+}
+
+/// Owned result of one program execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutput {
+    /// A dense matrix (softmax probabilities, attention output, GEMM result).
+    Matrix(Matrix),
+    /// One scalar per row/system (variance, moment of inertia).
+    Values(Vec<f64>),
+    /// Per-token expert selections (MoE routing).
+    TopK(Vec<TopKDecision>),
+}
+
+/// Errors reported by the VM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The program carries no [`ExecBinding`] and therefore cannot be run.
+    NotExecutable {
+        /// Name of the program.
+        program: String,
+    },
+    /// The input variant does not feed the program's semantics.
+    InputMismatch {
+        /// Name of the program.
+        program: String,
+        /// The input kind the semantics require.
+        expected: &'static str,
+        /// The input kind that was provided.
+        got: &'static str,
+    },
+    /// The input tensor shapes disagree with the binding.
+    ShapeMismatch {
+        /// Name of the program.
+        program: String,
+        /// Human-readable description of the disagreement.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::NotExecutable { program } => {
+                write!(f, "program `{program}` carries no execution binding")
+            }
+            ExecError::InputMismatch {
+                program,
+                expected,
+                got,
+            } => write!(
+                f,
+                "program `{program}` requires {expected} input, got {got}"
+            ),
+            ExecError::ShapeMismatch { program, detail } => {
+                write!(f, "program `{program}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Executes `program` over `input` on the deterministic CPU VM.
+///
+/// The program must carry an [`ExecBinding`] (programs emitted by
+/// `rf-codegen`'s lowering always do). Loop extents honour the tuned tile
+/// sizes and segment counts, clamped to the live input shape the same way the
+/// lowering clamps them to the compiled shape.
+///
+/// # Errors
+///
+/// [`ExecError::NotExecutable`] for unbound programs,
+/// [`ExecError::InputMismatch`] / [`ExecError::ShapeMismatch`] when the input
+/// cannot feed the binding.
+pub fn execute(program: &TileProgram, input: &ExecInput<'_>) -> Result<ExecOutput, ExecError> {
+    let binding = program
+        .binding
+        .as_ref()
+        .ok_or_else(|| ExecError::NotExecutable {
+            program: program.name.clone(),
+        })?;
+    let name = &program.name;
+    match (&binding.semantics, input) {
+        (Semantics::Softmax, ExecInput::Rows(m)) => exec_softmax(name, binding, m),
+        (Semantics::Variance, ExecInput::Rows(m)) => exec_variance(name, binding, m),
+        (Semantics::Attention { qk_dim, head_dim }, ExecInput::Attention { q, k, v }) => {
+            exec_attention(name, binding, *qk_dim, *head_dim, q, k, v)
+        }
+        (Semantics::Routing { topk }, ExecInput::Routing { x, w }) => {
+            exec_routing(name, binding, *topk, x, w)
+        }
+        (Semantics::QuantGemm { n }, ExecInput::QuantGemm { a, w }) => {
+            exec_quant_gemm(name, binding, *n, a, w)
+        }
+        (Semantics::Inertia { dim }, ExecInput::Inertia { masses, positions }) => {
+            exec_inertia(name, binding, *dim, masses, positions)
+        }
+        (semantics, other) => Err(ExecError::InputMismatch {
+            program: name.clone(),
+            expected: expected_kind(semantics),
+            got: other.kind(),
+        }),
+    }
+}
+
+fn expected_kind(semantics: &Semantics) -> &'static str {
+    match semantics {
+        Semantics::Softmax | Semantics::Variance => "row-matrix",
+        Semantics::Attention { .. } => "attention (q/k/v)",
+        Semantics::Routing { .. } => "routing (x/w)",
+        Semantics::QuantGemm { .. } => "quant-gemm (a/w)",
+        Semantics::Inertia { .. } => "inertia (masses/positions)",
+    }
+}
+
+fn shape_err(program: &str, detail: impl Into<String>) -> ExecError {
+    ExecError::ShapeMismatch {
+        program: program.to_string(),
+        detail: detail.into(),
+    }
+}
+
+/// The contiguous `[start, end)` axis ranges of the Multi-Segment split:
+/// `ceil(axis_len / segments)` elements per segment, empty trailing segments
+/// dropped (the lowering launches no blocks for them either).
+fn segment_ranges(axis_len: usize, segments: usize) -> Vec<(usize, usize)> {
+    let segments = segments.clamp(1, axis_len.max(1));
+    let per_segment = axis_len.div_ceil(segments);
+    (0..segments)
+        .filter_map(|s| {
+            let start = s * per_segment;
+            let end = ((s + 1) * per_segment).min(axis_len);
+            (start < end).then_some((start, end))
+        })
+        .collect()
+}
+
+/// The main-loop tile ranges of one segment.
+fn tile_ranges(start: usize, end: usize, block_axis: usize) -> Vec<(usize, usize)> {
+    let block = block_axis.max(1);
+    (start..end)
+        .step_by(block)
+        .map(|tile_start| (tile_start, (tile_start + block).min(end)))
+        .collect()
+}
+
+/// Row-block tiles of the simulated grid (one per thread block).
+fn row_blocks(rows: usize, block_rows: usize) -> Vec<(usize, usize)> {
+    tile_ranges(0, rows, block_rows)
+}
+
+/// Running online-softmax statistics: the fused max / rescaled-sum pair.
+#[derive(Debug, Clone, Copy)]
+struct OnlineStats {
+    max: f64,
+    sum: f64,
+}
+
+impl OnlineStats {
+    fn identity() -> Self {
+        OnlineStats {
+            max: BinaryOp::Max.identity(),
+            sum: BinaryOp::Add.identity(),
+        }
+    }
+
+    /// The level-`k` fused combine of two disjoint segments (Eq. 31).
+    fn merge(self, other: OnlineStats) -> OnlineStats {
+        let max = BinaryOp::Max.apply(self.max, other.max);
+        let rescale = |s: OnlineStats| {
+            if s.sum == 0.0 {
+                0.0
+            } else {
+                s.sum * (s.max - max).exp()
+            }
+        };
+        OnlineStats {
+            max,
+            sum: rescale(self) + rescale(other),
+        }
+    }
+}
+
+/// Softmax statistics of one row over `[start, end)`, consumed tile by tile
+/// with the store → correct → reduce template.
+fn softmax_segment_stats(
+    row: &[f64],
+    (start, end): (usize, usize),
+    block_axis: usize,
+) -> OnlineStats {
+    let mut stats = OnlineStats::identity();
+    for (tile_start, tile_end) in tile_ranges(start, end, block_axis) {
+        // Store: snapshot the previous running maximum.
+        let prev_max = stats.max;
+        let tile = &row[tile_start..tile_end];
+        let tile_max = tile
+            .iter()
+            .copied()
+            .fold(BinaryOp::Max.identity(), f64::max);
+        let new_max = BinaryOp::Max.apply(prev_max, tile_max);
+        // Correct: rescale the dependent sum for the moved maximum.
+        if stats.sum != 0.0 {
+            stats.sum *= (prev_max - new_max).exp();
+        }
+        // Reduce: fold the tile under the updated maximum.
+        for &v in tile {
+            stats.sum += (v - new_max).exp();
+        }
+        stats.max = new_max;
+    }
+    stats
+}
+
+fn exec_softmax(name: &str, binding: &ExecBinding, m: &Matrix) -> Result<ExecOutput, ExecError> {
+    let (rows, len) = (m.rows(), m.cols());
+    if rows == 0 || len == 0 {
+        return Err(shape_err(name, "softmax input must be non-empty"));
+    }
+    let block_rows = binding.block_rows.clamp(1, rows);
+    let segments = segment_ranges(len, binding.segments);
+    let mut out = Matrix::zeros(rows, len);
+    for (r0, r1) in row_blocks(rows, block_rows) {
+        for r in r0..r1 {
+            let row = m.row(r);
+            let stats = segments
+                .iter()
+                .map(|&range| softmax_segment_stats(row, range, binding.block_axis))
+                .fold(OnlineStats::identity(), OnlineStats::merge);
+            let out_row = out.row_mut(r);
+            for (j, &v) in row.iter().enumerate() {
+                out_row[j] = (v - stats.max).exp() / stats.sum;
+            }
+        }
+    }
+    Ok(ExecOutput::Matrix(out))
+}
+
+fn exec_variance(name: &str, binding: &ExecBinding, m: &Matrix) -> Result<ExecOutput, ExecError> {
+    let (rows, len) = (m.rows(), m.cols());
+    if rows == 0 || len == 0 {
+        return Err(shape_err(name, "variance input must be non-empty"));
+    }
+    let block_rows = binding.block_rows.clamp(1, rows);
+    let segments = segment_ranges(len, binding.segments);
+    let mut out = Vec::with_capacity(rows);
+    for (r0, r1) in row_blocks(rows, block_rows) {
+        for r in r0..r1 {
+            let row = m.row(r);
+            // Both reductions are group-like (plain sums): corrections are the
+            // identity and segment partials combine by addition.
+            let (mut sum, mut sum_sq) = (0.0f64, 0.0f64);
+            for &(start, end) in &segments {
+                let (mut seg_sum, mut seg_sq) = (0.0f64, 0.0f64);
+                for (tile_start, tile_end) in tile_ranges(start, end, binding.block_axis) {
+                    for &v in &row[tile_start..tile_end] {
+                        seg_sum += v;
+                        seg_sq += v * v;
+                    }
+                }
+                sum = BinaryOp::Add.apply(sum, seg_sum);
+                sum_sq = BinaryOp::Add.apply(sum_sq, seg_sq);
+            }
+            let n = len as f64;
+            let mean = sum / n;
+            out.push((sum_sq / n - mean * mean).max(0.0));
+        }
+    }
+    Ok(ExecOutput::Values(out))
+}
+
+/// Per-(row, segment) attention partial: max-shifted unnormalised output plus
+/// the running softmax statistics (the FlashDecoding split state).
+struct AttentionPartial {
+    stats: OnlineStats,
+    acc: Vec<f64>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn attention_row_segment(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    row: usize,
+    scale: f64,
+    (start, end): (usize, usize),
+    block_axis: usize,
+    head_dim: usize,
+) -> AttentionPartial {
+    let mut stats = OnlineStats::identity();
+    let mut acc = vec![0.0f64; head_dim];
+    let qk_dim = q.cols();
+    let mut scores = Vec::with_capacity(block_axis.max(1));
+    for (tile_start, tile_end) in tile_ranges(start, end, block_axis) {
+        // Reduce (reduction 1): the scoring GEMM tile Q·Kᵀ.
+        scores.clear();
+        let mut tile_max = BinaryOp::Max.identity();
+        for j in tile_start..tile_end {
+            let mut dot = 0.0;
+            for t in 0..qk_dim {
+                dot += q.get(row, t) * k.get(j, t);
+            }
+            let s = dot * scale;
+            tile_max = tile_max.max(s);
+            scores.push(s);
+        }
+        // Store: snapshot the previous maximum; correct: rescale the running
+        // sum and the output accumulator for the moved maximum.
+        let prev_max = stats.max;
+        let new_max = BinaryOp::Max.apply(prev_max, tile_max);
+        let correction = if prev_max == f64::NEG_INFINITY {
+            0.0
+        } else {
+            (prev_max - new_max).exp()
+        };
+        stats.sum *= correction;
+        for slot in acc.iter_mut() {
+            *slot *= correction;
+        }
+        // Reduce (reductions 2–4): accumulate the tile's probabilities and
+        // value contributions under the updated maximum.
+        for (offset, &s) in scores.iter().enumerate() {
+            let p = (s - new_max).exp();
+            stats.sum += p;
+            let j = tile_start + offset;
+            for (t, slot) in acc.iter_mut().enumerate() {
+                *slot += p * v.get(j, t);
+            }
+        }
+        stats.max = new_max;
+    }
+    AttentionPartial { stats, acc }
+}
+
+fn exec_attention(
+    name: &str,
+    binding: &ExecBinding,
+    qk_dim: usize,
+    head_dim: usize,
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+) -> Result<ExecOutput, ExecError> {
+    if q.cols() != qk_dim || k.cols() != qk_dim {
+        return Err(shape_err(
+            name,
+            format!(
+                "q/k width must be {qk_dim}, got q [{}x{}], k [{}x{}]",
+                q.rows(),
+                q.cols(),
+                k.rows(),
+                k.cols()
+            ),
+        ));
+    }
+    if v.cols() != head_dim || v.rows() != k.rows() {
+        return Err(shape_err(
+            name,
+            format!(
+                "v must be [{}x{head_dim}], got [{}x{}]",
+                k.rows(),
+                v.rows(),
+                v.cols()
+            ),
+        ));
+    }
+    let (q_rows, kv_len) = (q.rows(), k.rows());
+    if q_rows == 0 || kv_len == 0 {
+        return Err(shape_err(name, "attention input must be non-empty"));
+    }
+    let scale = 1.0 / (qk_dim.max(1) as f64).sqrt();
+    let block_q = binding.block_rows.clamp(1, q_rows);
+    let segments = segment_ranges(kv_len, binding.segments);
+    let mut out = Matrix::zeros(q_rows, head_dim);
+    for (r0, r1) in row_blocks(q_rows, block_q) {
+        for row in r0..r1 {
+            let partials: Vec<AttentionPartial> = segments
+                .iter()
+                .map(|&range| {
+                    attention_row_segment(q, k, v, row, scale, range, binding.block_axis, head_dim)
+                })
+                .collect();
+            // Combine kernel: merge the segment partials under the global
+            // maximum, then normalise (with one segment this degenerates to
+            // the plain FlashAttention epilogue).
+            let global = partials
+                .iter()
+                .map(|p| p.stats)
+                .fold(OnlineStats::identity(), OnlineStats::merge);
+            let out_row = out.row_mut(row);
+            for partial in &partials {
+                let rescale = (partial.stats.max - global.max).exp();
+                if rescale == 0.0 {
+                    continue;
+                }
+                for (t, slot) in out_row.iter_mut().enumerate() {
+                    *slot += partial.acc[t] * rescale;
+                }
+            }
+            for slot in out_row.iter_mut() {
+                *slot /= global.sum;
+            }
+        }
+    }
+    Ok(ExecOutput::Matrix(out))
+}
+
+/// One streaming top-k candidate.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    index: usize,
+    score: f64,
+}
+
+/// Inserts into a descending-(score, ascending-index) bounded candidate list —
+/// the same comparator for the streaming pass and the segment merge, so the
+/// selected expert *set* is independent of the tiling.
+fn insert_candidate(best: &mut Vec<Candidate>, candidate: Candidate, topk: usize) {
+    let pos = best
+        .iter()
+        .position(|b| {
+            candidate.score > b.score || (candidate.score == b.score && candidate.index < b.index)
+        })
+        .unwrap_or(best.len());
+    best.insert(pos, candidate);
+    if best.len() > topk {
+        best.pop();
+    }
+}
+
+fn exec_routing(
+    name: &str,
+    binding: &ExecBinding,
+    topk: usize,
+    x: &Matrix,
+    w: &Matrix,
+) -> Result<ExecOutput, ExecError> {
+    let (tokens, hidden) = (x.rows(), x.cols());
+    let experts = w.cols();
+    if w.rows() != hidden {
+        return Err(shape_err(
+            name,
+            format!(
+                "activation width {hidden} must match weight height {}",
+                w.rows()
+            ),
+        ));
+    }
+    if topk == 0 || topk > experts {
+        return Err(shape_err(
+            name,
+            format!("topk ({topk}) must be in 1..={experts} (expert count)"),
+        ));
+    }
+    if tokens == 0 || experts == 0 {
+        return Err(shape_err(name, "routing input must be non-empty"));
+    }
+    let block_rows = binding.block_rows.clamp(1, tokens);
+    let segments = segment_ranges(experts, binding.segments);
+    let mut decisions = Vec::with_capacity(tokens);
+    for (t0, t1) in row_blocks(tokens, block_rows) {
+        for token in t0..t1 {
+            let mut merged_stats = OnlineStats::identity();
+            let mut merged_best: Vec<Candidate> = Vec::with_capacity(topk * segments.len());
+            for &(start, end) in &segments {
+                let mut stats = OnlineStats::identity();
+                let mut best: Vec<Candidate> = Vec::with_capacity(topk + 1);
+                for (tile_start, tile_end) in tile_ranges(start, end, binding.block_axis) {
+                    for e in tile_start..tile_end {
+                        // Reduce: the per-(token, expert) scoring dot product
+                        // is the cascade's innermost reduction.
+                        let mut score = 0.0;
+                        for h in 0..hidden {
+                            score += x.get(token, h) * w.get(h, e);
+                        }
+                        // Store + correct + reduce on the softmax statistics.
+                        let prev_max = stats.max;
+                        let new_max = BinaryOp::Max.apply(prev_max, score);
+                        stats.sum =
+                            stats.sum * (prev_max - new_max).exp() + (score - new_max).exp();
+                        stats.max = new_max;
+                        // Streaming top-k over the raw scores (softmax is
+                        // order-preserving, so selection and normalisation
+                        // commute).
+                        insert_candidate(&mut best, Candidate { index: e, score }, topk);
+                    }
+                }
+                // Combine kernel: merge statistics with Eq. 31 and the
+                // candidate lists under the shared comparator.
+                merged_stats = merged_stats.merge(stats);
+                for candidate in best {
+                    insert_candidate(&mut merged_best, candidate, topk);
+                }
+            }
+            decisions.push(TopKDecision {
+                experts: merged_best.iter().map(|c| c.index).collect(),
+                probs: merged_best
+                    .iter()
+                    .map(|c| (c.score - merged_stats.max).exp() / merged_stats.sum)
+                    .collect(),
+            });
+        }
+    }
+    Ok(ExecOutput::TopK(decisions))
+}
+
+/// Per-segment quant state: the running abs-max and the accumulator expressed
+/// in the segment's final quantisation scale.
+struct QuantPartial {
+    amax: f64,
+    acc: Vec<f64>,
+}
+
+fn quant_row_segment(
+    a: &Matrix,
+    w: &Matrix,
+    row: usize,
+    (start, end): (usize, usize),
+    block_axis: usize,
+    n: usize,
+) -> QuantPartial {
+    let mut amax = 0.0f64;
+    let mut acc = vec![0.0f64; n];
+    for (tile_start, tile_end) in tile_ranges(start, end, block_axis) {
+        // Reduce (reduction 1): the tile's abs-max.
+        let mut tile_amax = 0.0f64;
+        for kk in tile_start..tile_end {
+            tile_amax = tile_amax.max(a.get(row, kk).abs());
+        }
+        let new_amax = amax.max(tile_amax);
+        if new_amax == 0.0 {
+            continue;
+        }
+        // Store + correct: rescale the accumulator from the provisional scale
+        // to the updated one (Eq. 21).
+        if amax > 0.0 && new_amax > amax {
+            let correction = amax / new_amax;
+            for slot in acc.iter_mut() {
+                *slot *= correction;
+            }
+        }
+        // Reduce (reduction 2): quantise the tile under the updated scale and
+        // accumulate its GEMM contribution (Eq. 22).
+        let scale = new_amax / FP8_MAX;
+        for kk in tile_start..tile_end {
+            let qv = fp8_round(a.get(row, kk) / scale);
+            if qv == 0.0 {
+                continue;
+            }
+            for (j, slot) in acc.iter_mut().enumerate() {
+                *slot += qv * w.get(kk, j);
+            }
+        }
+        amax = new_amax;
+    }
+    QuantPartial { amax, acc }
+}
+
+fn exec_quant_gemm(
+    name: &str,
+    binding: &ExecBinding,
+    n: usize,
+    a: &Matrix,
+    w: &Matrix,
+) -> Result<ExecOutput, ExecError> {
+    if w.rows() != a.cols() {
+        return Err(shape_err(
+            name,
+            format!(
+                "activation width {} must match weight height {}",
+                a.cols(),
+                w.rows()
+            ),
+        ));
+    }
+    if w.cols() != n {
+        return Err(shape_err(
+            name,
+            format!(
+                "weight width {} must match the bound GEMM width {n}",
+                w.cols()
+            ),
+        ));
+    }
+    let (m, k_len) = (a.rows(), a.cols());
+    if m == 0 || k_len == 0 || n == 0 {
+        return Err(shape_err(name, "quant-gemm input must be non-empty"));
+    }
+    let block_rows = binding.block_rows.clamp(1, m);
+    let segments = segment_ranges(k_len, binding.segments);
+    let mut out = Matrix::zeros(m, n);
+    for (r0, r1) in row_blocks(m, block_rows) {
+        for row in r0..r1 {
+            let partials: Vec<QuantPartial> = segments
+                .iter()
+                .map(|&range| quant_row_segment(a, w, row, range, binding.block_axis, n))
+                .collect();
+            // Combine kernel + epilogue: de-quantise each partial under its
+            // own segment scale and sum — algebraically the rescale-to-global
+            // merge of Eq. 21 followed by the final de-quantisation.
+            let out_row = out.row_mut(row);
+            for partial in &partials {
+                if partial.amax == 0.0 {
+                    continue;
+                }
+                let scale = partial.amax / FP8_MAX;
+                for (j, slot) in out_row.iter_mut().enumerate() {
+                    *slot += partial.acc[j] * scale;
+                }
+            }
+        }
+    }
+    Ok(ExecOutput::Matrix(out))
+}
+
+fn exec_inertia(
+    name: &str,
+    binding: &ExecBinding,
+    dim: usize,
+    masses: &[f64],
+    positions: &Matrix,
+) -> Result<ExecOutput, ExecError> {
+    if masses.len() != positions.rows() {
+        return Err(shape_err(
+            name,
+            format!("{} masses for {} positions", masses.len(), positions.rows()),
+        ));
+    }
+    if positions.cols() != dim {
+        return Err(shape_err(
+            name,
+            format!("positions must be [*x{dim}], got [*x{}]", positions.cols()),
+        ));
+    }
+    let particles = masses.len();
+    if particles == 0 {
+        return Err(shape_err(name, "inertia input must be non-empty"));
+    }
+    // One independent system per request: the cascade's axis is the particle
+    // index; all three sufficient statistics are group-like sums.
+    let segments = segment_ranges(particles, binding.segments);
+    let mut total_mass = 0.0f64;
+    let mut weighted = vec![0.0f64; dim];
+    let mut weighted_sq = 0.0f64;
+    for &(start, end) in &segments {
+        let mut seg_mass = 0.0f64;
+        let mut seg_weighted = vec![0.0f64; dim];
+        let mut seg_weighted_sq = 0.0f64;
+        for (tile_start, tile_end) in tile_ranges(start, end, binding.block_axis) {
+            for (offset, &mass) in masses[tile_start..tile_end].iter().enumerate() {
+                let i = tile_start + offset;
+                seg_mass += mass;
+                let mut norm_sq = 0.0;
+                for (d, slot) in seg_weighted.iter_mut().enumerate() {
+                    let pos = positions.get(i, d);
+                    *slot += mass * pos;
+                    norm_sq += pos * pos;
+                }
+                seg_weighted_sq += mass * norm_sq;
+            }
+        }
+        total_mass += seg_mass;
+        for (d, slot) in weighted.iter_mut().enumerate() {
+            *slot += seg_weighted[d];
+        }
+        weighted_sq += seg_weighted_sq;
+    }
+    if total_mass <= 0.0 {
+        return Err(shape_err(name, "total mass must be positive"));
+    }
+    let center_norm_sq: f64 = weighted.iter().map(|w| w * w).sum::<f64>() / total_mass;
+    Ok(ExecOutput::Values(vec![
+        (weighted_sq - center_norm_sq).max(0.0)
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::TileProgram;
+    use rf_workloads::{random_matrix, random_vec};
+
+    fn bound_program(
+        semantics: Semantics,
+        rows: usize,
+        axis: usize,
+        point: (usize, usize, usize),
+    ) -> TileProgram {
+        let (block_rows, block_axis, segments) = point;
+        let mut p = TileProgram::new("vm-test", 1, 128);
+        p.binding = Some(ExecBinding {
+            semantics,
+            rows,
+            axis_len: axis,
+            block_rows,
+            block_axis,
+            segments,
+        });
+        p
+    }
+
+    fn naive_softmax_row(row: &[f64]) -> Vec<f64> {
+        let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let sum: f64 = row.iter().map(|&v| (v - max).exp()).sum();
+        row.iter().map(|&v| (v - max).exp() / sum).collect()
+    }
+
+    #[test]
+    fn unbound_programs_are_rejected() {
+        let p = TileProgram::new("bare", 1, 128);
+        let m = random_matrix(2, 8, 1, -1.0, 1.0);
+        let err = execute(&p, &ExecInput::Rows(&m)).unwrap_err();
+        assert!(matches!(err, ExecError::NotExecutable { .. }));
+        assert!(err.to_string().contains("bare"));
+    }
+
+    #[test]
+    fn input_kind_mismatch_is_rejected() {
+        let p = bound_program(Semantics::Softmax, 2, 8, (2, 4, 1));
+        let m = random_matrix(2, 8, 1, -1.0, 1.0);
+        let err = execute(
+            &p,
+            &ExecInput::Inertia {
+                masses: &[1.0],
+                positions: &m,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::InputMismatch { .. }));
+        assert!(err.to_string().contains("row-matrix"));
+    }
+
+    #[test]
+    fn softmax_matches_naive_for_every_tiling() {
+        let m = random_matrix(5, 37, 3, -4.0, 4.0);
+        for point in [(1, 1, 1), (2, 5, 1), (128, 16, 3), (5, 37, 7), (3, 4, 37)] {
+            let p = bound_program(Semantics::Softmax, 5, 37, point);
+            let ExecOutput::Matrix(out) = execute(&p, &ExecInput::Rows(&m)).unwrap() else {
+                panic!("softmax returns a matrix");
+            };
+            for r in 0..m.rows() {
+                let expected = naive_softmax_row(m.row(r));
+                for (a, e) in out.row(r).iter().zip(&expected) {
+                    assert!((a - e).abs() < 1e-12, "point {point:?}: {a} vs {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn variance_matches_definition_for_every_tiling() {
+        let m = random_matrix(4, 53, 9, -3.0, 3.0);
+        let expected: Vec<f64> = (0..m.rows())
+            .map(|r| {
+                let row = m.row(r);
+                let mean = row.iter().sum::<f64>() / row.len() as f64;
+                row.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / row.len() as f64
+            })
+            .collect();
+        for point in [(1, 53, 1), (4, 7, 2), (2, 1, 5)] {
+            let p = bound_program(Semantics::Variance, 4, 53, point);
+            let ExecOutput::Values(out) = execute(&p, &ExecInput::Rows(&m)).unwrap() else {
+                panic!("variance returns values");
+            };
+            for (a, e) in out.iter().zip(&expected) {
+                assert!((a - e).abs() < 1e-9 * (1.0 + e), "point {point:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn attention_segments_merge_to_the_single_segment_result() {
+        let q = random_matrix(6, 8, 1, -1.0, 1.0);
+        let k = random_matrix(33, 8, 2, -1.0, 1.0);
+        let v = random_matrix(33, 5, 3, -1.0, 1.0);
+        let single = bound_program(
+            Semantics::Attention {
+                qk_dim: 8,
+                head_dim: 5,
+            },
+            6,
+            33,
+            (128, 128, 1),
+        );
+        let input = ExecInput::Attention {
+            q: &q,
+            k: &k,
+            v: &v,
+        };
+        let ExecOutput::Matrix(reference) = execute(&single, &input).unwrap() else {
+            panic!()
+        };
+        for point in [(1, 7, 4), (2, 3, 2), (6, 1, 33)] {
+            let p = bound_program(
+                Semantics::Attention {
+                    qk_dim: 8,
+                    head_dim: 5,
+                },
+                6,
+                33,
+                point,
+            );
+            let ExecOutput::Matrix(out) = execute(&p, &input).unwrap() else {
+                panic!()
+            };
+            assert!(
+                reference.max_abs_diff(&out) < 1e-9,
+                "point {point:?} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_expert_sets_are_tiling_invariant() {
+        let x = random_matrix(7, 12, 4, -1.0, 1.0);
+        let w = random_matrix(12, 20, 5, -1.0, 1.0);
+        let input = ExecInput::Routing { x: &x, w: &w };
+        let reference = {
+            let p = bound_program(Semantics::Routing { topk: 4 }, 7, 20, (128, 128, 1));
+            let ExecOutput::TopK(d) = execute(&p, &input).unwrap() else {
+                panic!()
+            };
+            d
+        };
+        for point in [(1, 3, 5), (3, 20, 2), (7, 1, 1)] {
+            let p = bound_program(Semantics::Routing { topk: 4 }, 7, 20, point);
+            let ExecOutput::TopK(out) = execute(&p, &input).unwrap() else {
+                panic!()
+            };
+            for (a, b) in out.iter().zip(&reference) {
+                assert_eq!(a.experts, b.experts, "point {point:?}");
+                for (p1, p2) in a.probs.iter().zip(&b.probs) {
+                    assert!((p1 - p2).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quant_gemm_single_tile_matches_exact_quantization() {
+        let a = random_matrix(3, 24, 6, -2.0, 2.0);
+        let w = random_matrix(24, 5, 7, -1.0, 1.0);
+        // Reference: quantize the whole row under its final scale, then GEMM.
+        let mut expected = Matrix::zeros(3, 5);
+        for i in 0..3 {
+            let amax = a.row(i).iter().fold(0.0f64, |acc, v| acc.max(v.abs()));
+            let scale = amax / FP8_MAX;
+            for j in 0..5 {
+                let mut acc = 0.0;
+                for kk in 0..24 {
+                    acc += fp8_round(a.get(i, kk) / scale) * w.get(kk, j);
+                }
+                expected.set(i, j, acc * scale);
+            }
+        }
+        let p = bound_program(Semantics::QuantGemm { n: 5 }, 3, 24, (128, 128, 1));
+        let ExecOutput::Matrix(out) = execute(&p, &ExecInput::QuantGemm { a: &a, w: &w }).unwrap()
+        else {
+            panic!()
+        };
+        assert!(expected.max_abs_diff(&out) < 1e-12);
+        // Blocked execution stays within the provisional-scale noise floor.
+        let blocked = bound_program(Semantics::QuantGemm { n: 5 }, 3, 24, (1, 4, 3));
+        let ExecOutput::Matrix(out) =
+            execute(&blocked, &ExecInput::QuantGemm { a: &a, w: &w }).unwrap()
+        else {
+            panic!()
+        };
+        let peak = expected
+            .as_slice()
+            .iter()
+            .fold(0.0f64, |acc, v| acc.max(v.abs()));
+        assert!(expected.max_abs_diff(&out) <= 0.05 * peak + 1e-9);
+    }
+
+    #[test]
+    fn inertia_matches_parallel_axis_formula() {
+        let masses = random_vec(40, 8, 0.1, 2.0);
+        let positions = random_matrix(40, 3, 9, -2.0, 2.0);
+        let expected = {
+            let total: f64 = masses.iter().sum();
+            let mut center = [0.0; 3];
+            for (i, &mass) in masses.iter().enumerate() {
+                for (d, c) in center.iter_mut().enumerate() {
+                    *c += mass * positions.get(i, d);
+                }
+            }
+            for c in center.iter_mut() {
+                *c /= total;
+            }
+            masses
+                .iter()
+                .enumerate()
+                .map(|(i, &mass)| {
+                    (0..3)
+                        .map(|d| {
+                            let delta = positions.get(i, d) - center[d];
+                            mass * delta * delta
+                        })
+                        .sum::<f64>()
+                })
+                .sum::<f64>()
+        };
+        for point in [(1, 40, 1), (1, 7, 3), (1, 1, 8)] {
+            let p = bound_program(Semantics::Inertia { dim: 3 }, 1, 40, point);
+            let ExecOutput::Values(out) = execute(
+                &p,
+                &ExecInput::Inertia {
+                    masses: &masses,
+                    positions: &positions,
+                },
+            )
+            .unwrap() else {
+                panic!()
+            };
+            assert_eq!(out.len(), 1);
+            assert!((out[0] - expected).abs() < 1e-7 * (1.0 + expected));
+        }
+    }
+
+    #[test]
+    fn massless_systems_are_rejected_not_panicking() {
+        let positions = Matrix::zeros(2, 3);
+        let p = bound_program(Semantics::Inertia { dim: 3 }, 1, 2, (1, 2, 1));
+        let err = execute(
+            &p,
+            &ExecInput::Inertia {
+                masses: &[0.0, 0.0],
+                positions: &positions,
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("total mass"));
+    }
+
+    #[test]
+    fn segment_ranges_cover_the_axis_without_overlap() {
+        for (axis, segments) in [(10, 3), (1, 8), (64, 64), (7, 1), (5, 9)] {
+            let ranges = segment_ranges(axis, segments);
+            let mut covered = 0;
+            let mut prev_end = 0;
+            for &(start, end) in &ranges {
+                assert_eq!(start, prev_end, "contiguous");
+                assert!(end > start, "non-empty");
+                covered += end - start;
+                prev_end = end;
+            }
+            assert_eq!(covered, axis);
+        }
+    }
+
+    #[test]
+    fn oversized_topk_is_rejected() {
+        let x = random_matrix(2, 4, 1, -1.0, 1.0);
+        let w = random_matrix(4, 3, 2, -1.0, 1.0);
+        let p = bound_program(Semantics::Routing { topk: 5 }, 2, 3, (1, 1, 1));
+        let err = execute(&p, &ExecInput::Routing { x: &x, w: &w }).unwrap_err();
+        assert!(err.to_string().contains("topk"));
+    }
+}

@@ -13,13 +13,18 @@
 //!   pass from scalar reduction parameters to a tile program, and the
 //!   Parallelization pass that binds block tiles to block indices;
 //! * [`cost`] — traffic and flop accounting per tile program, the interface
-//!   consumed by the analytical GPU model in `rf-gpusim`.
+//!   consumed by the analytical GPU model in `rf-gpusim`;
+//! * [`exec`] — a deterministic CPU virtual machine that runs a fully-bound
+//!   tile program over real tensors, honouring the tuned tile sizes, segment
+//!   counts and the store → correct → reduce template.
 
 pub mod cost;
+pub mod exec;
 pub mod ops;
 pub mod tensorize;
 
 pub use cost::{CostSummary, MemoryScope};
+pub use exec::{ExecBinding, ExecError, ExecInput, ExecOutput, Semantics, TopKDecision};
 pub use ops::{precision_for_element_bytes, StageLoop, TileBuffer, TileOp, TileProgram};
 pub use tensorize::{parallelize, tensorize_cascade, TensorizeConfig};
 

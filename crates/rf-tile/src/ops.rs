@@ -5,6 +5,7 @@ use std::fmt;
 use rf_algebra::BinaryOp;
 
 use crate::cost::{CostSummary, MemoryScope};
+use crate::exec::ExecBinding;
 
 /// A tile buffer: a named on-chip or global region with a shape, a memory
 /// scope and an element width.
@@ -171,6 +172,11 @@ pub struct TileProgram {
     pub epilogue: Vec<TileOp>,
     /// Optional separate combine kernel (e.g. the FlashDecoding merge).
     pub combine_kernel: Option<Box<TileProgram>>,
+    /// Execution binding: the reduction semantics and clamped loop extents the
+    /// [`crate::exec`] virtual machine needs to run the program over real
+    /// tensors. `None` for cost-model-only programs (they can be displayed and
+    /// costed but not executed).
+    pub binding: Option<ExecBinding>,
 }
 
 impl TileProgram {
@@ -187,6 +193,7 @@ impl TileProgram {
             main_loop: StageLoop::default(),
             epilogue: Vec::new(),
             combine_kernel: None,
+            binding: None,
         }
     }
 

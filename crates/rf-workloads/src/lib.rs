@@ -27,7 +27,7 @@ pub use moe::{moe_configs, moe_tiny, MoeConfig};
 pub use nonml::{
     inertia_configs, inertia_tiny, variance_configs, variance_tiny, InertiaConfig, VarianceConfig,
 };
-pub use quant::{quant_configs, quant_tiny, QuantGemmConfig};
+pub use quant::{fp8_round, quant_configs, quant_tiny, QuantGemmConfig, FP8_MAX};
 
 /// Bytes per element for the storage precisions used in the paper's workloads.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,10 +1,38 @@
-//! FP8 PerToken Quant + GEMM configurations (Table 2d of the paper).
+//! FP8 PerToken Quant + GEMM configurations (Table 2d of the paper), plus the
+//! simulated FP8 E4M3 grid shared by every execution path of the workload.
 //!
 //! The workload quantizes an activation matrix `[M, K]` to FP8 with per-token
 //! (per-row) dynamic scaling factors derived from an abs-max reduction, then
 //! multiplies with a weight matrix `[K, N]`.
 
 use crate::Precision;
+
+/// Maximum representable magnitude of the simulated FP8 E4M3 grid.
+pub const FP8_MAX: f64 = 448.0;
+
+/// Rounds a value to the simulated FP8 E4M3 grid: clamp to ±448, keep a 3-bit
+/// mantissa, flush sub-subnormal and non-finite values to zero.
+///
+/// This is the single definition of the rounding model; the hand-written
+/// kernels (`rf-kernels`) and the tile-program VM (`rf_tile::exec`) both
+/// re-export it, so fused, unfused and interpreted executions perform
+/// bit-identical roundings.
+pub fn fp8_round(x: f64) -> f64 {
+    if !x.is_finite() || x == 0.0 {
+        return 0.0;
+    }
+    let clamped = x.clamp(-FP8_MAX, FP8_MAX);
+    let magnitude = clamped.abs();
+    // E4M3 minimum normal is 2^-6; treat anything below the smallest subnormal
+    // (2^-9) as zero.
+    if magnitude < 2f64.powi(-9) {
+        return 0.0;
+    }
+    let exponent = magnitude.log2().floor();
+    let scale = 2f64.powf(exponent - 3.0);
+    let rounded = (magnitude / scale).round() * scale;
+    rounded.copysign(clamped)
+}
 
 /// One Quant + GEMM configuration (a row of Table 2d).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]

@@ -1,0 +1,409 @@
+//! Differential correctness harness for the tile-program VM.
+//!
+//! The central claim of the compile-and-execute pipeline: **tuning choices
+//! change cost, never results**. For every workload family and any feasible
+//! [`TuningPoint`], interpreting the fully-bound tile program on the
+//! `rf_tile::exec` VM must agree with the unfused reference kernels — and
+//! with itself across tuning points — within the family's numeric tolerance.
+//!
+//! Three layers of evidence:
+//!
+//! 1. a deterministic sweep of hand-picked tuning points (degenerate tiles,
+//!    odd sizes, heavy segmenting) per family, checked against
+//!    [`execute_reference`];
+//! 2. a proptest sampling arbitrary feasible points, asserting both
+//!    reference agreement and invariance against a canonical point's output;
+//! 3. an `rf-tir` cross-check: the scalar loop-nest interpreter executes the
+//!    unfused softmax/variance IR and must reproduce the VM's numbers.
+//!
+//! Tolerances are per family. Everything except quant is tight (`1e-9`
+//! damped-relative): tiling only re-associates exact `f64` reductions. FP8
+//! quant + GEMM quantises early tiles under a provisional scale (Eq. 21–22),
+//! so across tile sizes its results move within the quantisation noise floor
+//! — the same behaviour the hand-written fused kernel exhibits — and are
+//! compared against an absolute bound of 5% of the output peak.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use redfuser::codegen::{compile_workload, executable_program, TuningPoint, Workload};
+use redfuser::gpusim::{GpuArch, KernelProfile};
+use redfuser::runtime::{execute_reference, Request, RequestInput, RequestOutput};
+use redfuser::tile::exec;
+use redfuser::workloads::{
+    inertia_tiny, mha_tiny, mla_tiny, moe_tiny, quant_tiny, random_matrix, random_vec,
+    variance_tiny,
+};
+
+/// Damped-relative tolerance for the exactly-reassociative families.
+const TIGHT_TOL: f64 = 1e-9;
+
+/// Absolute noise floor for FP8 quant + GEMM, as a fraction of the reference
+/// output's peak magnitude.
+const QUANT_NOISE: f64 = 0.05;
+
+fn point(block_rows: usize, block_axis: usize, segments: u32) -> TuningPoint {
+    TuningPoint {
+        block_rows,
+        block_axis,
+        threads: 128,
+        pipeline_depth: 2,
+        segments,
+    }
+}
+
+/// Hand-picked tuning points covering the degenerate corners: unit tiles,
+/// non-power-of-two tiles, tile sizes past the shape (clamped), one segment
+/// per element.
+fn sweep_points() -> Vec<TuningPoint> {
+    vec![
+        point(1, 1, 1),
+        point(3, 5, 2),
+        point(16, 32, 4),
+        point(128, 128, 1),
+        point(64, 7, 8),
+        point(2, 256, 16),
+    ]
+}
+
+/// One request per workload family, with deterministic tensors.
+fn family_requests() -> Vec<Request> {
+    let mha = mha_tiny();
+    let mla = mla_tiny();
+    let moe = moe_tiny();
+    let quant = quant_tiny();
+    let var = variance_tiny();
+    let inertia = inertia_tiny();
+    vec![
+        Request::softmax(random_matrix(6, 96, 1, -4.0, 4.0)),
+        Request::new(
+            Workload::Mha(mha.clone()),
+            RequestInput::Attention {
+                q: random_matrix(mha.q, mha.hd, 2, -1.0, 1.0),
+                k: random_matrix(mha.kv, mha.hd, 3, -1.0, 1.0),
+                v: random_matrix(mha.kv, mha.hd, 4, -1.0, 1.0),
+            },
+        )
+        .unwrap(),
+        Request::new(
+            Workload::Mla(mla.clone()),
+            RequestInput::Attention {
+                q: random_matrix(1, mla.qk_dim(), 5, -1.0, 1.0),
+                k: random_matrix(mla.kv, mla.qk_dim(), 6, -1.0, 1.0),
+                v: random_matrix(mla.kv, mla.hd, 7, -1.0, 1.0),
+            },
+        )
+        .unwrap(),
+        Request::new(
+            Workload::Moe(moe.clone()),
+            RequestInput::Routing {
+                x: random_matrix(9, moe.hd, 8, -1.0, 1.0),
+                w: random_matrix(moe.hd, moe.en, 9, -1.0, 1.0),
+            },
+        )
+        .unwrap(),
+        Request::new(
+            Workload::Quant(quant.clone()),
+            RequestInput::QuantGemm {
+                a: random_matrix(5, quant.k, 10, -2.0, 2.0),
+                w: random_matrix(quant.k, quant.n, 11, -1.0, 1.0),
+            },
+        )
+        .unwrap(),
+        Request::new(
+            Workload::Variance(var.clone()),
+            RequestInput::Rows(random_matrix(4, var.l, 12, -3.0, 3.0)),
+        )
+        .unwrap(),
+        Request::new(
+            Workload::Inertia(inertia.clone()),
+            RequestInput::Inertia {
+                masses: random_vec(64, 13, 0.1, 2.0),
+                positions: random_matrix(64, inertia.dim, 14, -2.0, 2.0),
+            },
+        )
+        .unwrap(),
+    ]
+}
+
+/// Interprets the bound program for `workload` at `point` over the request's
+/// tensors, asserting the point launches feasibly on the given architecture.
+fn run_at_point(request: &Request, tuning: &TuningPoint, arch: &GpuArch) -> RequestOutput {
+    let program = executable_program(&request.workload, tuning);
+    let profile = KernelProfile::from_tile_program(&program);
+    assert!(
+        profile.fits(arch),
+        "{} at {tuning:?} must be launch-feasible on {}",
+        request.workload.name(),
+        arch.name
+    );
+    let output = exec::execute(&program, &request.input.as_exec())
+        .expect("bound program executes over validated tensors");
+    RequestOutput::from_exec(output)
+}
+
+/// Family-aware comparison: tight damped-relative everywhere except quant,
+/// which is held to the FP8 provisional-scale noise floor.
+fn assert_family_close(workload: &Workload, actual: &RequestOutput, expected: &RequestOutput) {
+    match workload {
+        Workload::Quant(_) => {
+            let (RequestOutput::Matrix(a), RequestOutput::Matrix(e)) = (actual, expected) else {
+                panic!("quant outputs are matrices");
+            };
+            let peak = e.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            let diff = a.max_abs_diff(e);
+            assert!(
+                diff <= QUANT_NOISE * peak + 1e-9,
+                "quant diff {diff} exceeds the noise floor ({peak} peak)"
+            );
+        }
+        _ => {
+            assert!(
+                actual.approx_eq(expected, TIGHT_TOL),
+                "{}: VM output diverged from reference",
+                workload.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn vm_matches_reference_for_every_family_across_tuning_points() {
+    let arch = GpuArch::a10();
+    for request in family_requests() {
+        let reference = execute_reference(&request.workload, &request.input);
+        let mut distinct_points = 0;
+        for tuning in sweep_points() {
+            let served = run_at_point(&request, &tuning, &arch);
+            assert_family_close(&request.workload, &served, &reference);
+            distinct_points += 1;
+        }
+        assert!(
+            distinct_points >= 3,
+            "each family must be proven on at least 3 tuning points"
+        );
+    }
+}
+
+#[test]
+fn compiled_kernels_run_and_match_reference_on_every_arch() {
+    // The end-to-end path the engine serves: compile (auto-tuned point),
+    // interpret the kernel's own program, compare to the oracle.
+    for arch in [GpuArch::a10(), GpuArch::h800()] {
+        for request in family_requests() {
+            let kernel = compile_workload(&request.workload, &arch);
+            let program = kernel.program.as_ref().expect("every kernel has a program");
+            assert!(
+                program.binding.is_some(),
+                "{}: program must be fully bound",
+                kernel.name
+            );
+            let served = RequestOutput::from_exec(
+                kernel
+                    .run(&request.input.as_exec())
+                    .expect("compiled kernel executes"),
+            );
+            let reference = execute_reference(&request.workload, &request.input);
+            assert_family_close(&request.workload, &served, &reference);
+        }
+    }
+}
+
+#[test]
+fn tir_interpreter_cross_checks_the_scalar_workloads() {
+    // Softmax: the scalar loop-nest IR interpreted by rf-tir must reproduce
+    // the VM's probabilities row by row.
+    let rows = random_matrix(4, 48, 21, -3.0, 3.0);
+    let workload = Workload::Softmax { rows: 4, len: 48 };
+    let program = executable_program(&workload, &point(2, 7, 3));
+    let exec::ExecOutput::Matrix(vm_probs) =
+        exec::execute(&program, &exec::ExecInput::Rows(&rows)).unwrap()
+    else {
+        panic!("softmax returns a matrix");
+    };
+    let tir_softmax = redfuser::tir::builder::unfused_softmax(48);
+    let interp = redfuser::tir::Interpreter::new();
+    for r in 0..rows.rows() {
+        let inputs = HashMap::from([("x".to_string(), rows.row(r).to_vec())]);
+        let out = interp.run(&tir_softmax, &inputs).expect("tir softmax runs");
+        let (max, sum) = (out["m"][0], out["t"][0]);
+        for (j, &x) in rows.row(r).iter().enumerate() {
+            let tir_prob = (x - max).exp() / sum;
+            let vm_prob = vm_probs.get(r, j);
+            assert!(
+                (tir_prob - vm_prob).abs() <= TIGHT_TOL * (1.0 + tir_prob.abs()),
+                "row {r} col {j}: tir {tir_prob} vs vm {vm_prob}"
+            );
+        }
+    }
+
+    // Variance: a two-reduction sum / sum-of-squares loop nest in the same
+    // scalar IR, finalised with the closed form the VM's epilogue uses.
+    use redfuser::algebra::BinaryOp;
+    use redfuser::tir::{BufferDecl, Stmt, TirExpr, TirFunction};
+    let len = 40;
+    let batch = random_matrix(3, len, 22, -2.0, 2.0);
+    let x = || TirExpr::load1("x", "l");
+    let sum_loop = |buffer: &str, value: TirExpr| Stmt::For {
+        var: "l".into(),
+        start: 0,
+        extent: len,
+        body: vec![Stmt::Update {
+            buffer: buffer.into(),
+            indices: vec![],
+            op: BinaryOp::Add,
+            value,
+        }],
+    };
+    let tir_variance = TirFunction {
+        name: "unfused_variance".into(),
+        buffers: vec![
+            BufferDecl::input("x", vec![len]),
+            BufferDecl::output("s", vec![], 0.0),
+            BufferDecl::output("ss", vec![], 0.0),
+        ],
+        body: vec![
+            sum_loop("s", x()),
+            sum_loop(
+                "ss",
+                TirExpr::Binary(BinaryOp::Mul, Box::new(x()), Box::new(x())),
+            ),
+        ],
+    };
+    let workload = Workload::Variance(redfuser::workloads::VarianceConfig {
+        name: "xcheck",
+        bs: 3,
+        l: len,
+    });
+    let program = executable_program(&workload, &point(1, 9, 2));
+    let exec::ExecOutput::Values(vm_vars) =
+        exec::execute(&program, &exec::ExecInput::Rows(&batch)).unwrap()
+    else {
+        panic!("variance returns values");
+    };
+    for (r, &vm_var) in vm_vars.iter().enumerate() {
+        let inputs = HashMap::from([("x".to_string(), batch.row(r).to_vec())]);
+        let out = interp
+            .run(&tir_variance, &inputs)
+            .expect("tir variance runs");
+        let n = len as f64;
+        let mean = out["s"][0] / n;
+        let tir_var = (out["ss"][0] / n - mean * mean).max(0.0);
+        assert!(
+            (tir_var - vm_var).abs() <= TIGHT_TOL * (1.0 + tir_var),
+            "row {r}: tir {tir_var} vs vm {vm_var}"
+        );
+    }
+}
+
+/// Strategy over raw tuning points; clamping inside `executable_program`
+/// makes every sampled point lowerable, and the harness additionally asserts
+/// launch feasibility on the A10 before trusting a sample.
+fn any_point() -> impl Strategy<Value = TuningPoint> {
+    (
+        1usize..=160,
+        1usize..=300,
+        prop::sample::select(vec![128u32, 256]),
+        1u32..=3,
+        1u32..=16,
+    )
+        .prop_map(
+            |(block_rows, block_axis, threads, pipeline_depth, segments)| TuningPoint {
+                block_rows,
+                block_axis,
+                threads,
+                pipeline_depth,
+                segments,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For each tiny workload config, `CompiledKernel::run`-equivalent
+    /// execution is invariant across arbitrary feasible tuning points: the
+    /// sampled point's output matches both the unfused reference and the
+    /// canonical point's output within the family tolerance.
+    #[test]
+    fn prop_vm_output_is_invariant_across_feasible_points(tuning in any_point(), seed in 0u64..64) {
+        let arch = GpuArch::a10();
+        let canonical = point(128, 128, 1);
+        let moe = moe_tiny();
+        let var = variance_tiny();
+        let requests = vec![
+            Request::softmax(random_matrix(3, 64, seed, -3.0, 3.0)),
+            Request::new(
+                Workload::Moe(moe.clone()),
+                RequestInput::Routing {
+                    x: random_matrix(4, moe.hd, seed + 1, -1.0, 1.0),
+                    w: random_matrix(moe.hd, moe.en, seed + 2, -1.0, 1.0),
+                },
+            )
+            .unwrap(),
+            Request::new(
+                Workload::Variance(var.clone()),
+                RequestInput::Rows(random_matrix(2, var.l, seed + 3, -2.0, 2.0)),
+            )
+            .unwrap(),
+        ];
+        for request in requests {
+            let sampled = run_at_point(&request, &tuning, &arch);
+            let reference = execute_reference(&request.workload, &request.input);
+            assert_family_close(&request.workload, &sampled, &reference);
+            let baseline = run_at_point(&request, &canonical, &arch);
+            prop_assert!(
+                sampled.approx_eq(&baseline, TIGHT_TOL),
+                "{}: output moved between tuning points {tuning:?} and {canonical:?}",
+                request.workload.name()
+            );
+        }
+    }
+
+    /// Attention specifically: arbitrary point vs the flash/naive oracles.
+    #[test]
+    fn prop_attention_vm_is_invariant(tuning in any_point(), seed in 0u64..64) {
+        let arch = GpuArch::a10();
+        let mha = mha_tiny();
+        let request = Request::new(
+            Workload::Mha(mha.clone()),
+            RequestInput::Attention {
+                q: random_matrix(mha.q, mha.hd, seed, -1.0, 1.0),
+                k: random_matrix(mha.kv, mha.hd, seed + 1, -1.0, 1.0),
+                v: random_matrix(mha.kv, mha.hd, seed + 2, -1.0, 1.0),
+            },
+        )
+        .unwrap();
+        let sampled = run_at_point(&request, &tuning, &arch);
+        let reference = execute_reference(&request.workload, &request.input);
+        prop_assert!(sampled.approx_eq(&reference, TIGHT_TOL));
+    }
+
+    /// Quant specifically: arbitrary point stays within the FP8 noise floor
+    /// of the reference, and single-tile points match it exactly.
+    #[test]
+    fn prop_quant_vm_stays_within_the_noise_floor(tuning in any_point(), seed in 0u64..64) {
+        let arch = GpuArch::a10();
+        let quant = quant_tiny();
+        let request = Request::new(
+            Workload::Quant(quant.clone()),
+            RequestInput::QuantGemm {
+                a: random_matrix(3, quant.k, seed, -2.0, 2.0),
+                w: random_matrix(quant.k, quant.n, seed + 1, -1.0, 1.0),
+            },
+        )
+        .unwrap();
+        let sampled = run_at_point(&request, &tuning, &arch);
+        let reference = execute_reference(&request.workload, &request.input);
+        assert_family_close(&request.workload, &sampled, &reference);
+        if tuning.block_axis >= quant.k && tuning.segments <= 1 {
+            // Whole row in one tile: the VM performs the identical roundings
+            // as the unfused oracle and must match bit-for-bit.
+            let (RequestOutput::Matrix(a), RequestOutput::Matrix(e)) = (&sampled, &reference)
+            else {
+                panic!("quant outputs are matrices")
+            };
+            prop_assert!(a.max_abs_diff(e) == 0.0);
+        }
+    }
+}

@@ -15,7 +15,10 @@ use std::thread;
 use redfuser::codegen::Workload;
 use redfuser::gpusim::GpuArch;
 use redfuser::runtime::{execute_reference, Engine, Request, RequestInput, RuntimeConfig, Ticket};
-use redfuser::workloads::{mha_tiny, moe_tiny, random_matrix};
+use redfuser::workloads::{
+    inertia_tiny, mha_tiny, mla_tiny, moe_tiny, quant_tiny, random_matrix, random_vec,
+    variance_tiny,
+};
 
 /// The mixed request set one submitter thread sends: two softmax shapes, an
 /// MHA slice and an MoE routing call, each with thread-specific data.
@@ -115,6 +118,114 @@ fn concurrent_mixed_workloads_complete_and_compile_once_per_shape() {
     // The cache is consulted once per batch: every lookup beyond the four
     // compiling ones must hit.
     assert_eq!(stats.hits, metrics.batches - distinct.len() as u64);
+}
+
+#[test]
+fn engine_serves_every_workload_family_from_interpreted_plans() {
+    // All six families flow through one path: the cached `CompiledKernel`'s
+    // tile program interpreted on the VM. Each family's served output must
+    // match the unfused reference, each distinct workload compiles exactly
+    // once, and the metrics report a breakdown for every class.
+    let mha = mha_tiny();
+    let mla = mla_tiny();
+    let moe = moe_tiny();
+    let quant = quant_tiny();
+    let var = variance_tiny();
+    let inertia = inertia_tiny();
+    let requests: Vec<Request> = vec![
+        Request::softmax(random_matrix(4, 64, 30, -2.0, 2.0)),
+        Request::new(
+            Workload::Mha(mha.clone()),
+            RequestInput::Attention {
+                q: random_matrix(mha.q, mha.hd, 31, -1.0, 1.0),
+                k: random_matrix(mha.kv, mha.hd, 32, -1.0, 1.0),
+                v: random_matrix(mha.kv, mha.hd, 33, -1.0, 1.0),
+            },
+        )
+        .unwrap(),
+        Request::new(
+            Workload::Mla(mla.clone()),
+            RequestInput::Attention {
+                q: random_matrix(1, mla.qk_dim(), 34, -1.0, 1.0),
+                k: random_matrix(mla.kv, mla.qk_dim(), 35, -1.0, 1.0),
+                v: random_matrix(mla.kv, mla.hd, 36, -1.0, 1.0),
+            },
+        )
+        .unwrap(),
+        Request::new(
+            Workload::Moe(moe.clone()),
+            RequestInput::Routing {
+                x: random_matrix(6, moe.hd, 37, -1.0, 1.0),
+                w: random_matrix(moe.hd, moe.en, 38, -1.0, 1.0),
+            },
+        )
+        .unwrap(),
+        Request::new(
+            Workload::Quant(quant.clone()),
+            RequestInput::QuantGemm {
+                a: random_matrix(4, quant.k, 39, -2.0, 2.0),
+                w: random_matrix(quant.k, quant.n, 40, -1.0, 1.0),
+            },
+        )
+        .unwrap(),
+        Request::new(
+            Workload::Variance(var.clone()),
+            RequestInput::Rows(random_matrix(3, var.l, 41, -2.0, 2.0)),
+        )
+        .unwrap(),
+        Request::new(
+            Workload::Inertia(inertia.clone()),
+            RequestInput::Inertia {
+                masses: random_vec(48, 42, 0.1, 2.0),
+                positions: random_matrix(48, inertia.dim, 43, -1.0, 1.0),
+            },
+        )
+        .unwrap(),
+    ];
+    let engine = Engine::with_config(
+        GpuArch::a10(),
+        RuntimeConfig {
+            workers: 3,
+            max_batch: 4,
+            cache_capacity: 16,
+        },
+    );
+    let tickets: Vec<Ticket> = requests
+        .iter()
+        .map(|r| engine.submit(r.clone()).unwrap())
+        .collect();
+    engine.run_until_drained();
+    for (request, ticket) in requests.iter().zip(tickets) {
+        let result = ticket.wait().expect("request completes");
+        let oracle = execute_reference(&request.workload, &request.input);
+        if let Workload::Quant(_) = request.workload {
+            // FP8 quantisation under provisional tile scales is only
+            // noise-floor-close to the unfused oracle (see
+            // tests/differential.rs); don't couple this test to the tuner
+            // happening to pick a whole-row tile.
+            use redfuser::runtime::RequestOutput;
+            let (RequestOutput::Matrix(a), RequestOutput::Matrix(e)) = (&result.output, &oracle)
+            else {
+                panic!("quant outputs are matrices");
+            };
+            let peak = e.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+            assert!(a.max_abs_diff(e) <= 0.05 * peak + 1e-9);
+        } else {
+            assert!(
+                result.output.approx_eq(&oracle, 1e-9),
+                "{}: interpreted plan diverged from reference",
+                request.workload.name()
+            );
+        }
+    }
+    assert_eq!(engine.cache_stats().misses, 7, "one compile per workload");
+    let metrics = engine.metrics();
+    let classes: Vec<&str> = metrics.classes.iter().map(|c| c.class).collect();
+    assert_eq!(
+        classes,
+        ["inertia", "mha", "mla", "moe", "quant", "softmax", "variance"]
+    );
+    assert!(metrics.classes.iter().all(|c| c.completed >= 1));
 }
 
 #[test]
