@@ -1,0 +1,79 @@
+//! Criterion benchmark: graph-frontend serving — fused graph plan vs the
+//! fully-unfused whole-graph baseline on the analytical GPU model.
+//!
+//! Because the vendored criterion shim does not report statistics, the
+//! benchmark also costs both executions explicitly and asserts the fused
+//! plan's simulated latency beats the unfused baseline on every constructor
+//! graph — the speedup the graph frontend exists for.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rf_codegen::compile_workload;
+use rf_gpusim::{estimate_latency, sequence_latency, GpuArch};
+use rf_graph::partition::{GraphPlan, Step};
+use rf_graph::{builders, glue_profile, partition, unfused_profiles, OpGraph};
+
+/// Simulated latency of executing a fused plan: each region's tuned compiled
+/// kernel plus one unfused launch per glue op.
+fn fused_plan_latency_us(graph: &OpGraph, plan: &GraphPlan, arch: &GpuArch) -> f64 {
+    plan.steps
+        .iter()
+        .map(|step| match step {
+            Step::Region(region) => compile_workload(&region.workload, arch).latency_us,
+            Step::Glue(id) => estimate_latency(arch, &glue_profile(graph, *id)).total_us,
+        })
+        .sum()
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let arch = GpuArch::a10();
+    let graphs: Vec<(&str, OpGraph)> = vec![
+        (
+            "transformer_layer",
+            builders::transformer_decoder_layer(64, 64, 256),
+        ),
+        ("moe_block", builders::moe_block(64, 64, 8)),
+        ("quantized_mlp", builders::quantized_mlp(64, 256, 128, 64)),
+    ];
+
+    let mut group = c.benchmark_group("graph");
+    for (name, graph) in &graphs {
+        let label = format!("partition_{name}");
+        group.bench_function(&label, |b| b.iter(|| partition(black_box(graph))));
+    }
+    let transformer = &graphs[0].1;
+    let plan = partition(transformer);
+    let inputs = builders::transformer_decoder_layer_inputs(64, 64, 256, 1);
+    let cache = rf_runtime::PlanCache::new(arch.clone(), 8);
+    group.bench_function("serve_transformer_layer", |b| {
+        b.iter(|| {
+            rf_runtime::execute_graph_plan(&cache, &arch, None, transformer, &plan, &inputs)
+                .expect("the graph serves")
+                .simulated_us
+        })
+    });
+    group.finish();
+
+    // Explicit measurement of the fusion speedup on the analytical model.
+    println!(
+        "graph serving, fused plan vs unfused baseline ({}):",
+        arch.name
+    );
+    for (name, graph) in &graphs {
+        let plan = partition(graph);
+        assert!(plan.fused_regions() >= 1, "{name}: nothing fused");
+        let fused_us = fused_plan_latency_us(graph, &plan, &arch);
+        let unfused_us = sequence_latency(&arch, &unfused_profiles(graph));
+        println!(
+            "  {name:<18} {} | fused {fused_us:9.2} us | unfused {unfused_us:9.2} us | {:.2}x",
+            plan.summary(),
+            unfused_us / fused_us
+        );
+        assert!(
+            fused_us < unfused_us,
+            "{name}: fused plan ({fused_us} us) must beat the unfused baseline ({unfused_us} us)"
+        );
+    }
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

@@ -85,6 +85,44 @@ impl Workload {
             Workload::Softmax { .. } => "softmax",
         }
     }
+
+    /// The canonical cascaded-reduction specification of this workload's
+    /// class — the **single source of truth** shared by the fusion analysis,
+    /// the lowering and the graph-frontend detector.
+    ///
+    /// The specs themselves are the constructors in `rf_fusion::patterns`;
+    /// this accessor is the one place that maps a compilable workload to its
+    /// cascade. The lowering derives its per-family reduction count from it
+    /// ([`Workload::lowered_reductions`]) and `rf-graph`'s detector matches
+    /// candidate regions against it, so a pattern change propagates to every
+    /// layer instead of having to be repeated in three hand-maintained lists.
+    pub fn cascade_spec(&self) -> rf_fusion::CascadeSpec {
+        use rf_fusion::patterns;
+        match self {
+            // The attention output row: softmax statistics plus the weighted
+            // sum over value components (Appendix A.2.1).
+            Workload::Mha(_) | Workload::Mla(_) => patterns::attention_row(),
+            Workload::Softmax { .. } => patterns::safe_softmax(),
+            // The softmax part of routing; the segmented top-k selection is
+            // an extra lowered pass (see `lowered_reductions`).
+            Workload::Moe(_) => patterns::moe_routing_scores(),
+            Workload::Quant(_) => patterns::fp8_quant_gemm(),
+            Workload::Variance(_) => patterns::variance_sufficient_stats(),
+            Workload::Inertia(_) => patterns::inertia_sufficient_stats(),
+        }
+    }
+
+    /// Number of reduction passes the tile-program lowering materialises for
+    /// this workload: the cascade's reduction count, plus the segmented top-k
+    /// selection pass for MoE routing that `rf_fusion::patterns` documents as
+    /// handled outside the softmax cascade.
+    pub fn lowered_reductions(&self) -> usize {
+        let base = self.cascade_spec().len();
+        match self {
+            Workload::Moe(_) => base + 1,
+            _ => base,
+        }
+    }
 }
 
 /// The canonical cache key for one compilation: the workload shape plus the
@@ -253,6 +291,9 @@ fn bound_cascade_program(
 /// prove that tuning choices change cost, never results.
 pub fn executable_program(workload: &Workload, point: &TuningPoint) -> TileProgram {
     let name = workload.name();
+    // The per-family reduction count comes from the canonical cascade spec
+    // (`Workload::cascade_spec`), not a hand-maintained table.
+    let num = workload.lowered_reductions();
     match workload {
         Workload::Mha(c) => {
             let shape = AttentionShape::from_mha(c);
@@ -263,14 +304,14 @@ pub fn executable_program(workload: &Workload, point: &TuningPoint) -> TileProgr
             bound_attention_program(&shape, point, shape.qk_dim, shape.head_dim)
         }
         Workload::Softmax { rows, len } => {
-            bound_cascade_program(&name, 2, *rows, *len, 2, Semantics::Softmax, point)
+            bound_cascade_program(&name, num, *rows, *len, 2, Semantics::Softmax, point)
         }
         Workload::Variance(c) => {
-            bound_cascade_program(&name, 2, c.bs, c.l, 4, Semantics::Variance, point)
+            bound_cascade_program(&name, num, c.bs, c.l, 4, Semantics::Variance, point)
         }
         Workload::Moe(c) => bound_cascade_program(
             &name,
-            3,
+            num,
             c.s,
             c.en,
             2,
@@ -279,7 +320,7 @@ pub fn executable_program(workload: &Workload, point: &TuningPoint) -> TileProgr
         ),
         Workload::Quant(c) => bound_cascade_program(
             &name,
-            2,
+            num,
             c.m,
             c.k,
             1,
@@ -288,7 +329,7 @@ pub fn executable_program(workload: &Workload, point: &TuningPoint) -> TileProgr
         ),
         Workload::Inertia(c) => bound_cascade_program(
             &name,
-            3,
+            num,
             c.bs,
             c.n,
             4,
@@ -511,7 +552,7 @@ pub fn compile_workload_with(
         ),
         Workload::Softmax { rows, len } => tuned_cascade(
             &workload.name(),
-            2,
+            workload.lowered_reductions(),
             *rows,
             *len,
             Semantics::Softmax,
@@ -671,6 +712,37 @@ mod tests {
         assert!(Workload::Mha(mha_configs()[0].clone())
             .name()
             .contains("H1"));
+    }
+
+    #[test]
+    fn cascade_specs_are_fusable_and_drive_the_lowering_counts() {
+        use rf_workloads::{inertia_tiny, mha_tiny, mla_tiny, moe_tiny, variance_tiny};
+        let workloads = [
+            Workload::Mha(mha_tiny()),
+            Workload::Mla(mla_tiny()),
+            Workload::Moe(moe_tiny()),
+            Workload::Quant(quant_configs()[0].clone()),
+            Workload::Variance(variance_tiny()),
+            Workload::Inertia(inertia_tiny()),
+            Workload::Softmax { rows: 4, len: 8 },
+        ];
+        for w in &workloads {
+            let spec = w.cascade_spec();
+            assert!(
+                rf_fusion::analyze_cascade(&spec).is_ok(),
+                "{}: canonical cascade must be fusable",
+                w.name()
+            );
+            // The lowering count is derived from the spec (plus the documented
+            // top-k selection pass for routing), never hand-maintained.
+            let extra = usize::from(matches!(w, Workload::Moe(_)));
+            assert_eq!(w.lowered_reductions(), spec.len() + extra, "{}", w.name());
+        }
+        // Families sharing a class share one spec.
+        assert_eq!(
+            Workload::Mha(mha_tiny()).cascade_spec().name,
+            Workload::Mla(mla_tiny()).cascade_spec().name
+        );
     }
 
     #[test]

@@ -124,6 +124,61 @@ pub fn sum_sum() -> CascadeSpec {
     .expect("sum + sum is a valid cascade")
 }
 
+/// Single-pass batched variance via the sum / sum-of-squares sufficient
+/// statistics (Appendix A.6): two **independent** reductions fused for
+/// locality rather than for a data dependency.
+///
+/// ```text
+/// s = Σ_l x[l]
+/// q = Σ_l x[l]^2
+/// ```
+///
+/// The epilogue `var = q/L - (s/L)^2` is pure scalar arithmetic on the fused
+/// results. This is the form `rf-kernels::nonml` and the tile-program lowering
+/// execute; the algebraically equivalent *dependent* two-pass form is the
+/// canonical non-fusable pattern ([`non_decomposable_variance`]).
+pub fn variance_sufficient_stats() -> CascadeSpec {
+    let x = Expr::var("x");
+    CascadeSpec::new(
+        "variance_sufficient_stats",
+        vec!["x".to_string()],
+        vec![
+            ReductionSpec::new("s", ReduceOp::Sum, x.clone()),
+            ReductionSpec::new("q", ReduceOp::Sum, x.clone() * x),
+        ],
+    )
+    .expect("variance sufficient statistics form a valid cascade")
+}
+
+/// Single-pass moment of inertia via the parallel-axis sufficient statistics
+/// (Table 3b): total mass, first moment and second moment along one
+/// representative axis.
+///
+/// ```text
+/// mt = Σ_l mass[l]
+/// s  = Σ_l mass[l] * x[l]
+/// q  = Σ_l mass[l] * x[l]^2
+/// ```
+///
+/// All three reductions are independent, so the cascade is trivially fusable;
+/// the per-dimension vectorisation (`Σ m·x_d` for every axis `d`) is handled
+/// by the batched kernels in `rf-kernels::nonml`, exactly as the attention
+/// output row is vectorised over head components.
+pub fn inertia_sufficient_stats() -> CascadeSpec {
+    let mass = Expr::var("mass");
+    let x = Expr::var("x");
+    CascadeSpec::new(
+        "inertia_sufficient_stats",
+        vec!["mass".to_string(), "x".to_string()],
+        vec![
+            ReductionSpec::new("mt", ReduceOp::Sum, mass.clone()),
+            ReductionSpec::new("s", ReduceOp::Sum, mass.clone() * x.clone()),
+            ReductionSpec::new("q", ReduceOp::Sum, mass * x.clone() * x),
+        ],
+    )
+    .expect("inertia sufficient statistics form a valid cascade")
+}
+
 /// A cascade whose second reduction is **not** decomposable as `G(x) ⊗ H(d)`:
 /// the textbook two-pass variance `Σ (x - mean)^2`, kept in its dependent form.
 ///
@@ -154,6 +209,8 @@ pub fn all_fusable() -> Vec<CascadeSpec> {
         fp8_quant_gemm(),
         moe_routing_scores(),
         sum_sum(),
+        variance_sufficient_stats(),
+        inertia_sufficient_stats(),
     ]
 }
 
@@ -196,5 +253,14 @@ mod tests {
     #[test]
     fn fp8_max_constant_matches_e4m3() {
         assert_eq!(FP8_E4M3_MAX, 448.0);
+    }
+
+    #[test]
+    fn sufficient_stats_patterns_are_independent_reductions() {
+        let var = analyze_cascade(&variance_sufficient_stats()).unwrap();
+        assert!(var.reductions.iter().all(|r| r.is_independent()));
+        let inertia = analyze_cascade(&inertia_sufficient_stats()).unwrap();
+        assert_eq!(inertia.len(), 3);
+        assert!(inertia.reductions.iter().all(|r| r.is_independent()));
     }
 }

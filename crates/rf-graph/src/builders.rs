@@ -1,0 +1,227 @@
+//! Ready-made model-subgraph constructors.
+//!
+//! Each constructor builds a deterministic [`OpGraph`] for one of the serving
+//! scenarios the graph frontend opens up: a transformer decoder layer, a
+//! (dense-gated) mixture-of-experts block and an FP8-quantized MLP. The
+//! graphs are written in fully **unfused** form — explicit reductions,
+//! broadcasts and GEMMs — so the detector has to find the cascades and the
+//! partitioner has to carve out the fused regions; nothing is pre-labelled.
+//!
+//! The companion `*_inputs` helpers generate deterministic random input
+//! bindings of the right shapes for tests, examples and benchmarks.
+
+use rf_algebra::ReduceOp;
+use rf_workloads::{random_matrix, Matrix};
+
+use crate::graph::{MapOp, NodeId, OpGraph, ZipOp};
+
+/// Appends the unfused row-wise safe softmax of `src` and returns the
+/// probabilities node: `exp(src - rowmax(src)) / rowsum(exp(src - rowmax))`.
+pub fn append_softmax(graph: &mut OpGraph, src: NodeId) -> NodeId {
+    let m = graph.row_reduce(ReduceOp::Max, src);
+    let sub = graph.zip(ZipOp::Sub, src, m);
+    let e = graph.map(MapOp::Exp, sub);
+    let t = graph.row_reduce(ReduceOp::Sum, e);
+    graph.zip(ZipOp::Div, e, t)
+}
+
+/// Appends an unfused scaled-dot-product attention slice over `q`, `k`, `v`
+/// (all sharing the head dimension) and returns the output node.
+pub fn append_attention(graph: &mut OpGraph, q: NodeId, k: NodeId, v: NodeId) -> NodeId {
+    let qk_dim = graph.node(q).shape.cols;
+    let kt = graph.transpose(k);
+    let scores = graph.matmul(q, kt);
+    let scaled = graph.scale(1.0 / (qk_dim as f64).sqrt(), scores);
+    let probs = append_softmax(graph, scaled);
+    graph.matmul(probs, v)
+}
+
+/// Appends the unfused FP8 per-token quantization + GEMM of activations `a`
+/// with weights `w` and returns the de-quantized output node:
+/// `(fp8(a / s) @ w) * s` with the dynamic row scale `s = rowmax(|a|) / MAX`.
+pub fn append_quant_gemm(graph: &mut OpGraph, a: NodeId, w: NodeId) -> NodeId {
+    let absn = graph.map(MapOp::Abs, a);
+    let amax = graph.row_reduce(ReduceOp::Max, absn);
+    let s = graph.scale(1.0 / rf_workloads::FP8_MAX, amax);
+    let scaled = graph.zip(ZipOp::Div, a, s);
+    let q = graph.map(MapOp::Fp8Round, scaled);
+    let gemm = graph.matmul(q, w);
+    graph.zip(ZipOp::Mul, gemm, s)
+}
+
+/// A single transformer decoder layer over a sequence of `seq` tokens with
+/// model dimension `d` and feed-forward dimension `ff`:
+///
+/// ```text
+/// q, k, v = x Wq, x Wk, x Wv            (glue GEMMs)
+/// y = x + softmax(q kᵀ / sqrt(d)) v Wo  (fused attention region + glue)
+/// out = y + relu(y W1) W2               (glue MLP)
+/// ```
+///
+/// Inputs: `x [seq, d]`, `wq/wk/wv/wo [d, d]`, `w1 [d, ff]`, `w2 [ff, d]`.
+/// The attention core is the only fusable cascade; the projections, residual
+/// adds and the MLP are glue.
+pub fn transformer_decoder_layer(seq: usize, d: usize, ff: usize) -> OpGraph {
+    let mut g = OpGraph::new();
+    let x = g.input("x", seq, d);
+    let wq = g.input("wq", d, d);
+    let wk = g.input("wk", d, d);
+    let wv = g.input("wv", d, d);
+    let wo = g.input("wo", d, d);
+    let w1 = g.input("w1", d, ff);
+    let w2 = g.input("w2", ff, d);
+    let q = g.matmul(x, wq);
+    let k = g.matmul(x, wk);
+    let v = g.matmul(x, wv);
+    let attn = append_attention(&mut g, q, k, v);
+    let proj = g.matmul(attn, wo);
+    let y = g.zip(ZipOp::Add, x, proj);
+    let h = g.matmul(y, w1);
+    let hr = g.map(MapOp::Relu, h);
+    let z = g.matmul(hr, w2);
+    let out = g.zip(ZipOp::Add, y, z);
+    g.mark_output(out);
+    g
+}
+
+/// Deterministic random input bindings for [`transformer_decoder_layer`].
+pub fn transformer_decoder_layer_inputs(
+    seq: usize,
+    d: usize,
+    ff: usize,
+    seed: u64,
+) -> Vec<(&'static str, Matrix)> {
+    vec![
+        ("x", random_matrix(seq, d, seed, -1.0, 1.0)),
+        ("wq", random_matrix(d, d, seed + 1, -0.5, 0.5)),
+        ("wk", random_matrix(d, d, seed + 2, -0.5, 0.5)),
+        ("wv", random_matrix(d, d, seed + 3, -0.5, 0.5)),
+        ("wo", random_matrix(d, d, seed + 4, -0.5, 0.5)),
+        ("w1", random_matrix(d, ff, seed + 5, -0.5, 0.5)),
+        ("w2", random_matrix(ff, d, seed + 6, -0.5, 0.5)),
+    ]
+}
+
+/// A dense-gated two-expert mixture-of-experts block over `tokens` tokens of
+/// dimension `d`, routed across `experts ≥ 2` gate columns:
+///
+/// ```text
+/// p = softmax(x Wg)                       (glue GEMM + fused routing softmax)
+/// out = p[:, 0] ⊙ (x We1) + p[:, 1] ⊙ (x We2)
+/// ```
+///
+/// Inputs: `x [tokens, d]`, `wg [d, experts]`, `we1/we2 [d, d]`. The routing
+/// softmax is the fusable cascade; the gate GEMM, expert GEMMs, column
+/// slices and the weighted combination are glue.
+pub fn moe_block(tokens: usize, d: usize, experts: usize) -> OpGraph {
+    assert!(experts >= 2, "the dense-gated block combines two experts");
+    let mut g = OpGraph::new();
+    let x = g.input("x", tokens, d);
+    let wg = g.input("wg", d, experts);
+    let we1 = g.input("we1", d, d);
+    let we2 = g.input("we2", d, d);
+    let scores = g.matmul(x, wg);
+    let probs = append_softmax(&mut g, scores);
+    let g1 = g.col_slice(probs, 0);
+    let g2 = g.col_slice(probs, 1);
+    let e1 = g.matmul(x, we1);
+    let e2 = g.matmul(x, we2);
+    let c1 = g.zip(ZipOp::Mul, e1, g1);
+    let c2 = g.zip(ZipOp::Mul, e2, g2);
+    let out = g.zip(ZipOp::Add, c1, c2);
+    g.mark_output(out);
+    g
+}
+
+/// Deterministic random input bindings for [`moe_block`].
+pub fn moe_block_inputs(
+    tokens: usize,
+    d: usize,
+    experts: usize,
+    seed: u64,
+) -> Vec<(&'static str, Matrix)> {
+    vec![
+        ("x", random_matrix(tokens, d, seed, -1.0, 1.0)),
+        ("wg", random_matrix(d, experts, seed + 1, -1.0, 1.0)),
+        ("we1", random_matrix(d, d, seed + 2, -0.5, 0.5)),
+        ("we2", random_matrix(d, d, seed + 3, -0.5, 0.5)),
+    ]
+}
+
+/// A two-layer FP8-quantized MLP: `[m, k] -> [m, n] -> [m, p]` with a ReLU
+/// between the layers.
+///
+/// ```text
+/// out = quant_gemm(relu(quant_gemm(a, w1)), w2)
+/// ```
+///
+/// Both layers are written as the unfused abs-max / quantize / GEMM /
+/// de-quantize sequence, each of which the partitioner fuses into one FP8
+/// quant + GEMM workload; the ReLU between them is glue.
+pub fn quantized_mlp(m: usize, k: usize, n: usize, p: usize) -> OpGraph {
+    let mut g = OpGraph::new();
+    let a = g.input("a", m, k);
+    let w1 = g.input("w1", k, n);
+    let w2 = g.input("w2", n, p);
+    let y = append_quant_gemm(&mut g, a, w1);
+    let hr = g.map(MapOp::Relu, y);
+    let out = append_quant_gemm(&mut g, hr, w2);
+    g.mark_output(out);
+    g
+}
+
+/// Deterministic random input bindings for [`quantized_mlp`]. Activations
+/// are bounded away from all-zero rows so the dynamic quantization scale is
+/// always well defined.
+pub fn quantized_mlp_inputs(
+    m: usize,
+    k: usize,
+    n: usize,
+    p: usize,
+    seed: u64,
+) -> Vec<(&'static str, Matrix)> {
+    vec![
+        ("a", random_matrix(m, k, seed, 0.1, 2.0)),
+        ("w1", random_matrix(k, n, seed + 1, -0.5, 0.5)),
+        ("w2", random_matrix(n, p, seed + 2, -0.5, 0.5)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_are_deterministic_and_well_shaped() {
+        let a = transformer_decoder_layer(8, 16, 32);
+        let b = transformer_decoder_layer(8, 16, 32);
+        assert_eq!(a, b, "constructors must be deterministic");
+        assert_eq!(a.outputs().len(), 1);
+        assert_eq!(a.node(a.outputs()[0]).shape.rows, 8);
+        assert_eq!(a.node(a.outputs()[0]).shape.cols, 16);
+
+        let moe = moe_block(6, 16, 4);
+        assert_eq!(moe.node(moe.outputs()[0]).shape.cols, 16);
+
+        let mlp = quantized_mlp(4, 32, 16, 8);
+        assert_eq!(mlp.node(mlp.outputs()[0]).shape.rows, 4);
+        assert_eq!(mlp.node(mlp.outputs()[0]).shape.cols, 8);
+    }
+
+    #[test]
+    fn reference_evaluation_runs_on_every_constructor() {
+        let g = transformer_decoder_layer(4, 8, 16);
+        let out = g
+            .evaluate(&transformer_decoder_layer_inputs(4, 8, 16, 1))
+            .unwrap();
+        assert!(out[0].as_slice().iter().all(|v| v.is_finite()));
+
+        let g = moe_block(3, 8, 4);
+        let out = g.evaluate(&moe_block_inputs(3, 8, 4, 2)).unwrap();
+        assert!(out[0].as_slice().iter().all(|v| v.is_finite()));
+
+        let g = quantized_mlp(3, 16, 8, 4);
+        let out = g.evaluate(&quantized_mlp_inputs(3, 16, 8, 4, 3)).unwrap();
+        assert!(out[0].as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,108 @@
+//! Analytical cost profiles for graph ops.
+//!
+//! Glue ops execute unfused — one kernel launch each, reading their operands
+//! from and writing their result to global memory. This module builds the
+//! [`KernelProfile`]s the serving runtime and the benchmarks feed to the
+//! `rf-gpusim` latency model: for glue steps of a fused
+//! [`GraphPlan`](crate::partition::GraphPlan), and for *every* node of a
+//! graph when costing the fully-unfused baseline a fused plan is compared
+//! against.
+
+use rf_gpusim::KernelProfile;
+
+use crate::graph::{NodeId, Op, OpGraph};
+
+/// Bytes per element of the activation precision glue ops move (fp16).
+const ELEMENT_BYTES: u64 = 2;
+
+/// Elements processed per thread block of a glue kernel.
+const ELEMENTS_PER_BLOCK: u64 = 4096;
+
+/// The launch profile of one graph op executed as an unfused kernel.
+///
+/// # Panics
+///
+/// Panics when called on an [`Op::Input`] node — inputs are bindings, not
+/// kernels.
+pub fn glue_profile(graph: &OpGraph, id: NodeId) -> KernelProfile {
+    let node = graph.node(id);
+    let out_elems = node.shape.len() as u64;
+    let in_elems: u64 = node
+        .args
+        .iter()
+        .map(|&a| graph.node(a).shape.len() as u64)
+        .sum();
+    let flops = match &node.op {
+        Op::Input { .. } => panic!("inputs are bound, not launched"),
+        // [m, k] @ [k, n]: one multiply-add per contraction element.
+        Op::MatMul => {
+            let a = graph.node(node.args[0]).shape;
+            2 * (a.rows * a.cols) as u64 * graph.node(node.args[1]).shape.cols as u64
+        }
+        // Pure data movement.
+        Op::Transpose | Op::Reshape | Op::ColSlice(_) => 0,
+        // Roughly one op per input element (exp/abs/div/compare all count 1
+        // in the model's flop accounting).
+        _ => in_elems.max(out_elems),
+    };
+    KernelProfile {
+        name: format!("glue_{}_{}", node.op.name(), id),
+        flops,
+        hbm_bytes: (in_elems + out_elems) * ELEMENT_BYTES,
+        blocks: out_elems.div_ceil(ELEMENTS_PER_BLOCK).max(1),
+        threads_per_block: 256,
+        shared_mem_per_block: 0,
+        precision: "fp16",
+        // Unfused glue kernels: short, launch-bound, little overlap.
+        compute_efficiency: 0.6,
+        overlap: 0.5,
+        launches: 1,
+    }
+}
+
+/// The fully-unfused execution of a graph: one kernel launch per non-input
+/// node. This is the baseline a fused [`GraphPlan`](crate::partition::GraphPlan) is costed against (feed
+/// it to `rf_gpusim::sequence_latency`).
+pub fn unfused_profiles(graph: &OpGraph) -> Vec<KernelProfile> {
+    (0..graph.len())
+        .filter(|&id| !matches!(graph.node(id).op, Op::Input { .. }))
+        .map(|id| glue_profile(graph, id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+    use rf_gpusim::{estimate_latency, GpuArch};
+
+    #[test]
+    fn profiles_cover_every_non_input_node_and_cost_finitely() {
+        let g = builders::transformer_decoder_layer(8, 16, 32);
+        let profiles = unfused_profiles(&g);
+        let non_inputs = (0..g.len())
+            .filter(|&id| !matches!(g.node(id).op, Op::Input { .. }))
+            .count();
+        assert_eq!(profiles.len(), non_inputs);
+        let arch = GpuArch::a10();
+        for p in &profiles {
+            let us = estimate_latency(&arch, p).total_us;
+            assert!(us.is_finite() && us > 0.0, "{}: {us}", p.name);
+        }
+    }
+
+    #[test]
+    fn matmul_flops_dominate_elementwise_flops() {
+        let mut g = crate::graph::OpGraph::new();
+        let a = g.input("a", 32, 64);
+        let b = g.input("b", 64, 32);
+        let mm = g.matmul(a, b);
+        let r = g.map(crate::graph::MapOp::Relu, mm);
+        g.mark_output(r);
+        let mm_profile = glue_profile(&g, mm);
+        let relu_profile = glue_profile(&g, r);
+        assert_eq!(mm_profile.flops, 2 * 32 * 64 * 32);
+        assert!(mm_profile.flops > relu_profile.flops);
+        assert_eq!(relu_profile.hbm_bytes, 2 * (1024 + 1024));
+    }
+}

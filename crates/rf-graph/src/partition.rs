@@ -1,0 +1,695 @@
+//! The region partitioner: from proved cascade candidates to a servable
+//! [`GraphPlan`].
+//!
+//! The partitioner greedily grows **maximal fusable regions** around the
+//! detector's ACRF-proved chains — largest template first, so an attention
+//! region absorbs its score GEMM, scaling, softmax cascade and output GEMM
+//! rather than fusing the softmax alone — and leaves everything else as
+//! unfused **glue ops**. Each fused region lowers to an existing
+//! [`rf_codegen::Workload`], so the serving runtime compiles it with the
+//! ordinary pipeline (ACRF → lowering → auto-tuning) and caches the result
+//! in its plan cache; each glue op executes with the unfused reference
+//! kernel of [`OpGraph::eval_node`].
+//!
+//! A region is only formed when
+//!
+//! 1. the covering reduction chain was **proved** fusable by ACRF (refuted
+//!    chains — e.g. the dependent two-pass variance — can never be fused),
+//! 2. the graph structure matches the workload's template, and
+//! 3. no interior node escapes: every value produced inside the region is
+//!    consumed inside it, except the single region output.
+
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use rf_algebra::ReduceOp;
+use rf_codegen::Workload;
+use rf_fusion::{analyze_cascade, FusionPlan};
+use rf_workloads::{MhaConfig, QuantGemmConfig, VarianceConfig, FP8_MAX};
+
+use crate::detect::{detect_cascades, CascadeCandidate};
+use crate::graph::{MapOp, NodeId, Op, OpGraph, ZipOp};
+
+/// Relative tolerance when matching compile-time constants (the attention
+/// score scale, the `1/MAX` quantization factor, the `1/L` mean factor).
+const CONST_TOL: f64 = 1e-9;
+
+/// How a fused region's input nodes feed the compiled workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegionKind {
+    /// Row-wise safe softmax over one tensor.
+    Softmax {
+        /// The node whose rows are normalised.
+        src: NodeId,
+    },
+    /// A full attention slice: score GEMM, scaling, softmax and output GEMM.
+    Attention {
+        /// Query node `[q_len, qk_dim]`.
+        q: NodeId,
+        /// Key node `[kv_len, qk_dim]`.
+        k: NodeId,
+        /// Value node `[kv_len, head_dim]`.
+        v: NodeId,
+    },
+    /// FP8 per-token quantization + GEMM.
+    QuantGemm {
+        /// Activation node `[m, k]`.
+        a: NodeId,
+        /// Weight node `[k, n]`.
+        w: NodeId,
+    },
+    /// Row-wise population variance via the sufficient statistics.
+    Variance {
+        /// The node whose row variances are computed.
+        src: NodeId,
+    },
+}
+
+/// One maximal fusable region: a set of graph nodes that lowers to a single
+/// compiled workload.
+#[derive(Debug, Clone)]
+pub struct FusedRegion {
+    /// The workload the region compiles to (and the plan-cache key).
+    pub workload: Workload,
+    /// How the region's inputs feed the workload.
+    pub kind: RegionKind,
+    /// Every graph node the region covers, in topological order.
+    pub nodes: Vec<NodeId>,
+    /// The node whose value the compiled kernel produces.
+    pub output: NodeId,
+    /// The ACRF fusion plan of the region's canonical cascade
+    /// ([`Workload::cascade_spec`]) — the proof that the region is fusable.
+    pub fusion: FusionPlan,
+}
+
+impl FusedRegion {
+    /// The graph-region fingerprint: a stable-within-process hash of the
+    /// workload the region lowers to. Two regions with the same fingerprint
+    /// compile to the same plan, so the serving runtime's plan cache (keyed
+    /// by `(workload, arch)`) shares one compiled kernel between them.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.workload.hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+/// One execution step of a partitioned graph.
+#[derive(Debug, Clone)]
+pub enum Step {
+    /// Execute a fused region through the compiled-workload pipeline. Boxed:
+    /// a region (workload + fusion plan) is two orders of magnitude larger
+    /// than a glue step, and glue steps dominate typical plans.
+    Region(Box<FusedRegion>),
+    /// Execute one glue op with its unfused reference kernel.
+    Glue(NodeId),
+}
+
+/// A topologically-ordered execution plan for one graph: fused region steps
+/// interleaved with unfused glue ops.
+#[derive(Debug, Clone, Default)]
+pub struct GraphPlan {
+    /// The steps, in execution order. Executing them front to back computes
+    /// every non-input node of the graph exactly once.
+    pub steps: Vec<Step>,
+}
+
+impl GraphPlan {
+    /// The fused regions, in execution order.
+    pub fn regions(&self) -> Vec<&FusedRegion> {
+        self.steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Region(r) => Some(r.as_ref()),
+                Step::Glue(_) => None,
+            })
+            .collect()
+    }
+
+    /// Number of fused region steps.
+    pub fn fused_regions(&self) -> usize {
+        self.regions().len()
+    }
+
+    /// Number of graph ops covered by fused regions.
+    pub fn fused_ops(&self) -> usize {
+        self.regions().iter().map(|r| r.nodes.len()).sum()
+    }
+
+    /// Number of unfused glue op steps.
+    pub fn glue_ops(&self) -> usize {
+        self.steps
+            .iter()
+            .filter(|s| matches!(s, Step::Glue(_)))
+            .count()
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let names: Vec<String> = self.regions().iter().map(|r| r.workload.name()).collect();
+        format!(
+            "{} fused region(s) [{}] covering {} op(s), {} glue op(s)",
+            self.fused_regions(),
+            names.join(", "),
+            self.fused_ops(),
+            self.glue_ops()
+        )
+    }
+}
+
+/// Partitions a graph into maximal fusable regions plus glue ops.
+///
+/// Every non-input node ends up in exactly one step: covered by one fused
+/// region, or executed as glue. Steps are emitted in topological order (a
+/// region is emitted at its output node's position), so executing the plan
+/// front to back always finds its operands computed.
+pub fn partition(graph: &OpGraph) -> GraphPlan {
+    let candidates = detect_cascades(graph);
+    let mut claimed: Vec<bool> = vec![false; graph.len()];
+    let mut regions: Vec<FusedRegion> = Vec::new();
+
+    let mut claim = |region: FusedRegion, claimed: &mut Vec<bool>| {
+        if region.nodes.iter().any(|&n| claimed[n]) {
+            return;
+        }
+        for &n in &region.nodes {
+            claimed[n] = true;
+        }
+        regions.push(region);
+    };
+
+    // Dependency-bearing templates first (largest region wins), then the
+    // independent-reduction variance pairing over whatever is left.
+    for cand in candidates.iter().filter(|c| c.is_fusable()) {
+        if let Some(parts) = match_softmax_core(graph, cand) {
+            let region = try_attention(graph, &parts).or_else(|| finish_softmax(graph, &parts));
+            if let Some(region) = region {
+                claim(region, &mut claimed);
+            }
+        } else if let Some(region) = try_quant(graph, cand) {
+            claim(region, &mut claimed);
+        }
+    }
+    let sums: Vec<&CascadeCandidate> = candidates
+        .iter()
+        .filter(|c| {
+            c.is_fusable()
+                && c.reductions.len() == 1
+                && matches!(graph.node(c.reductions[0]).op, Op::RowReduce(ReduceOp::Sum))
+                && !claimed[c.reductions[0]]
+        })
+        .collect();
+    for (i, plain) in sums.iter().enumerate() {
+        for squared in sums.iter().skip(i + 1).chain(sums.iter().take(i)) {
+            if let Some(region) = try_variance(graph, plain, squared) {
+                claim(region, &mut claimed);
+                break;
+            }
+        }
+    }
+
+    let mut steps = Vec::new();
+    for (id, node) in graph.nodes().iter().enumerate() {
+        if matches!(node.op, Op::Input { .. }) {
+            continue;
+        }
+        if claimed[id] {
+            if let Some(pos) = regions.iter().position(|r| r.output == id) {
+                steps.push(Step::Region(Box::new(regions[pos].clone())));
+            }
+        } else {
+            steps.push(Step::Glue(id));
+        }
+    }
+    GraphPlan { steps }
+}
+
+/// The canonical fusion plan of a workload's cascade, recorded on the region
+/// as its proof of fusability.
+fn canonical_fusion(workload: &Workload) -> FusionPlan {
+    analyze_cascade(&workload.cascade_spec()).expect("canonical cascades are fusable")
+}
+
+/// Whether every consumer of `id` lies inside `region`, and `id` is not a
+/// graph output — the condition for an interior region value.
+fn interior(graph: &OpGraph, id: NodeId, region: &HashSet<NodeId>) -> bool {
+    !graph.outputs().contains(&id) && graph.consumers(id).iter().all(|c| region.contains(c))
+}
+
+/// The matched nodes of a softmax cascade core plus its normalisation
+/// finalizer.
+struct SoftmaxParts {
+    src: NodeId,
+    m: NodeId,
+    sub: NodeId,
+    e: NodeId,
+    t: NodeId,
+    probs: NodeId,
+}
+
+/// Matches the structural softmax core around a proved `[max, sum]` chain:
+/// `m = rowmax(src)`, `t = rowsum(exp(src - m))`, `probs = exp(src - m) / t`.
+fn match_softmax_core(graph: &OpGraph, cand: &CascadeCandidate) -> Option<SoftmaxParts> {
+    let [m, t] = cand.reductions[..] else {
+        return None;
+    };
+    if !matches!(graph.node(m).op, Op::RowReduce(ReduceOp::Max))
+        || !matches!(graph.node(t).op, Op::RowReduce(ReduceOp::Sum))
+    {
+        return None;
+    }
+    let src = graph.node(m).args[0];
+    let e = graph.node(t).args[0];
+    if graph.node(e).op != Op::Map(MapOp::Exp) {
+        return None;
+    }
+    let sub = graph.node(e).args[0];
+    if graph.node(sub).op != Op::Zip(ZipOp::Sub) || graph.node(sub).args != vec![src, m] {
+        return None;
+    }
+    // The finalizer: division of the shifted exponentials by their sum.
+    let probs = graph
+        .consumers(e)
+        .into_iter()
+        .find(|&p| graph.node(p).op == Op::Zip(ZipOp::Div) && graph.node(p).args == vec![e, t])?;
+    Some(SoftmaxParts {
+        src,
+        m,
+        sub,
+        e,
+        t,
+        probs,
+    })
+}
+
+/// Finishes a plain softmax region from its matched core, checking interior
+/// exclusivity.
+fn finish_softmax(graph: &OpGraph, parts: &SoftmaxParts) -> Option<FusedRegion> {
+    let nodes = vec![parts.m, parts.sub, parts.e, parts.t, parts.probs];
+    let region: HashSet<NodeId> = nodes.iter().copied().collect();
+    for &n in &[parts.m, parts.sub, parts.e, parts.t] {
+        if !interior(graph, n, &region) {
+            return None;
+        }
+    }
+    let shape = graph.node(parts.src).shape;
+    let workload = Workload::Softmax {
+        rows: shape.rows,
+        len: shape.cols,
+    };
+    Some(FusedRegion {
+        fusion: canonical_fusion(&workload),
+        workload,
+        kind: RegionKind::Softmax { src: parts.src },
+        nodes,
+        output: parts.probs,
+    })
+}
+
+/// Grows a matched softmax core into a full attention region when the
+/// surrounding graph is `softmax(q @ kᵀ / sqrt(d)) @ v` with matching head
+/// dimensions.
+fn try_attention(graph: &OpGraph, parts: &SoftmaxParts) -> Option<FusedRegion> {
+    // The softmax input is the scaled score GEMM.
+    let Op::Scale(factor) = graph.node(parts.src).op else {
+        return None;
+    };
+    let scores = graph.node(parts.src).args[0];
+    if !matches!(graph.node(scores).op, Op::MatMul) {
+        return None;
+    }
+    let [q, kt] = graph.node(scores).args[..] else {
+        return None;
+    };
+    if !matches!(graph.node(kt).op, Op::Transpose) {
+        return None;
+    }
+    let k = graph.node(kt).args[0];
+    // The probabilities feed exactly one output GEMM with the values.
+    let out = match graph.consumers(parts.probs)[..] {
+        [out] => out,
+        _ => return None,
+    };
+    if graph.node(out).op != Op::MatMul || graph.node(out).args[0] != parts.probs {
+        return None;
+    }
+    let v = graph.node(out).args[1];
+    // Shape constraints of the compiled MHA workload: shared qk/head dim,
+    // shared kv length, and the canonical 1/sqrt(d) score scale.
+    let (qs, ks, vs) = (
+        graph.node(q).shape,
+        graph.node(k).shape,
+        graph.node(v).shape,
+    );
+    let qk_dim = qs.cols;
+    if ks.cols != qk_dim || vs.cols != qk_dim || ks.rows != vs.rows {
+        return None;
+    }
+    let expected = 1.0 / (qk_dim as f64).sqrt();
+    if (factor - expected).abs() > CONST_TOL * expected {
+        return None;
+    }
+    let nodes = vec![
+        kt,
+        scores,
+        parts.src,
+        parts.m,
+        parts.sub,
+        parts.e,
+        parts.t,
+        parts.probs,
+        out,
+    ];
+    let region: HashSet<NodeId> = nodes.iter().copied().collect();
+    if nodes[..nodes.len() - 1]
+        .iter()
+        .any(|&n| !interior(graph, n, &region))
+    {
+        return None;
+    }
+    let workload = Workload::Mha(MhaConfig {
+        name: "graph",
+        bs: 1,
+        hn: 1,
+        q: qs.rows,
+        kv: ks.rows,
+        hd: qk_dim,
+        model: "graph",
+    });
+    Some(FusedRegion {
+        fusion: canonical_fusion(&workload),
+        workload,
+        kind: RegionKind::Attention { q, k, v },
+        nodes,
+        output: out,
+    })
+}
+
+/// Matches the FP8 per-token quantization + GEMM region around a proved
+/// abs-max chain: `s = rowmax(|a|) / MAX`, `out = (fp8(a / s) @ w) * s`.
+fn try_quant(graph: &OpGraph, cand: &CascadeCandidate) -> Option<FusedRegion> {
+    let [mx] = cand.reductions[..] else {
+        return None;
+    };
+    if !matches!(graph.node(mx).op, Op::RowReduce(ReduceOp::Max)) {
+        return None;
+    }
+    let absn = graph.node(mx).args[0];
+    if graph.node(absn).op != Op::Map(MapOp::Abs) {
+        return None;
+    }
+    let a = graph.node(absn).args[0];
+    // The dynamic per-row scale `s = amax / MAX`.
+    let s = graph.consumers(mx).into_iter().find(|&s| {
+        matches!(graph.node(s).op, Op::Scale(f) if (f - 1.0 / FP8_MAX).abs() <= CONST_TOL / FP8_MAX)
+    })?;
+    let d = graph
+        .consumers(s)
+        .into_iter()
+        .find(|&d| graph.node(d).op == Op::Zip(ZipOp::Div) && graph.node(d).args == vec![a, s])?;
+    let qm = graph
+        .consumers(d)
+        .into_iter()
+        .find(|&q| graph.node(q).op == Op::Map(MapOp::Fp8Round))?;
+    let gemm = graph
+        .consumers(qm)
+        .into_iter()
+        .find(|&g| graph.node(g).op == Op::MatMul && graph.node(g).args[0] == qm)?;
+    let w = graph.node(gemm).args[1];
+    // The de-quantization: the GEMM result scaled back by `s`.
+    let out = graph.consumers(gemm).into_iter().find(|&o| {
+        graph.node(o).op == Op::Zip(ZipOp::Mul)
+            && (graph.node(o).args == vec![gemm, s] || graph.node(o).args == vec![s, gemm])
+    })?;
+    let nodes = vec![absn, mx, s, d, qm, gemm, out];
+    let region: HashSet<NodeId> = nodes.iter().copied().collect();
+    if nodes[..nodes.len() - 1]
+        .iter()
+        .any(|&n| !interior(graph, n, &region))
+    {
+        return None;
+    }
+    let (ashape, wshape) = (graph.node(a).shape, graph.node(w).shape);
+    let workload = Workload::Quant(QuantGemmConfig {
+        name: "graph",
+        m: ashape.rows,
+        n: wshape.cols,
+        k: ashape.cols,
+        model: "graph",
+    });
+    Some(FusedRegion {
+        fusion: canonical_fusion(&workload),
+        workload,
+        kind: RegionKind::QuantGemm { a, w },
+        nodes,
+        output: out,
+    })
+}
+
+/// Matches the single-pass variance region from two independent sum chains
+/// over the same source: `var = rowsum(x²)/L - (rowsum(x)/L)²`.
+fn try_variance(
+    graph: &OpGraph,
+    plain: &CascadeCandidate,
+    squared: &CascadeCandidate,
+) -> Option<FusedRegion> {
+    let (s1, s2) = (plain.reductions[0], squared.reductions[0]);
+    let src = graph.node(s1).args[0];
+    let sq = graph.node(s2).args[0];
+    let square_of_src = match &graph.node(sq).op {
+        Op::Map(MapOp::Square) => graph.node(sq).args[0] == src,
+        Op::Zip(ZipOp::Mul) => graph.node(sq).args == vec![src, src],
+        _ => false,
+    };
+    if !square_of_src {
+        return None;
+    }
+    let len = graph.node(src).shape.cols;
+    let inv_len = 1.0 / len as f64;
+    let mean_of = |sum: NodeId| {
+        graph.consumers(sum).into_iter().find(|&m| {
+            matches!(graph.node(m).op, Op::Scale(f) if (f - inv_len).abs() <= CONST_TOL * inv_len)
+        })
+    };
+    let m1 = mean_of(s1)?;
+    let m2 = mean_of(s2)?;
+    let m1sq = graph.consumers(m1).into_iter().find(|&n| {
+        graph.node(n).op == Op::Map(MapOp::Square)
+            || (graph.node(n).op == Op::Zip(ZipOp::Mul) && graph.node(n).args == vec![m1, m1])
+    })?;
+    let var = graph.consumers(m2).into_iter().find(|&n| {
+        graph.node(n).op == Op::Zip(ZipOp::Sub) && graph.node(n).args == vec![m2, m1sq]
+    })?;
+    let mut nodes = vec![sq, s1, s2, m1, m2, m1sq, var];
+    nodes.sort_unstable();
+    let region: HashSet<NodeId> = nodes.iter().copied().collect();
+    if nodes
+        .iter()
+        .filter(|&&n| n != var)
+        .any(|&n| !interior(graph, n, &region))
+    {
+        return None;
+    }
+    let shape = graph.node(src).shape;
+    let workload = Workload::Variance(VarianceConfig {
+        name: "graph",
+        bs: shape.rows,
+        l: shape.cols,
+    });
+    Some(FusedRegion {
+        fusion: canonical_fusion(&workload),
+        workload,
+        kind: RegionKind::Variance { src },
+        nodes,
+        output: var,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn standalone_softmax_partitions_into_one_region() {
+        let mut g = OpGraph::new();
+        let x = g.input("x", 4, 32);
+        let m = g.row_reduce(ReduceOp::Max, x);
+        let sub = g.zip(ZipOp::Sub, x, m);
+        let e = g.map(MapOp::Exp, sub);
+        let t = g.row_reduce(ReduceOp::Sum, e);
+        let p = g.zip(ZipOp::Div, e, t);
+        g.mark_output(p);
+        let plan = partition(&g);
+        assert_eq!(plan.fused_regions(), 1);
+        assert_eq!(plan.glue_ops(), 0);
+        let region = &plan.regions()[0];
+        assert_eq!(region.workload, Workload::Softmax { rows: 4, len: 32 });
+        assert_eq!(region.output, p);
+        assert_eq!(region.fusion.cascade_name, "safe_softmax");
+        assert!(plan.summary().contains("softmax_4x32"));
+    }
+
+    #[test]
+    fn escaping_interior_values_block_fusion() {
+        // The sum of exponentials is also a graph output, so the softmax
+        // region would lose it; everything must stay glue.
+        let mut g = OpGraph::new();
+        let x = g.input("x", 4, 32);
+        let m = g.row_reduce(ReduceOp::Max, x);
+        let sub = g.zip(ZipOp::Sub, x, m);
+        let e = g.map(MapOp::Exp, sub);
+        let t = g.row_reduce(ReduceOp::Sum, e);
+        let p = g.zip(ZipOp::Div, e, t);
+        g.mark_output(p);
+        g.mark_output(t);
+        let plan = partition(&g);
+        assert_eq!(plan.fused_regions(), 0);
+        assert_eq!(plan.glue_ops(), 5);
+    }
+
+    #[test]
+    fn transformer_layer_fuses_attention_and_leaves_glue() {
+        let g = builders::transformer_decoder_layer(8, 16, 32);
+        let plan = partition(&g);
+        assert_eq!(plan.fused_regions(), 1);
+        let region = &plan.regions()[0];
+        assert!(matches!(region.kind, RegionKind::Attention { .. }));
+        assert!(
+            matches!(&region.workload, Workload::Mha(c) if c.q == 8 && c.kv == 8 && c.hd == 16)
+        );
+        assert_eq!(region.nodes.len(), 9, "the full attention slice is fused");
+        assert!(plan.glue_ops() >= 6, "projections and MLP stay glue");
+        assert_eq!(region.fusion.cascade_name, "attention_row");
+    }
+
+    #[test]
+    fn wrong_scale_degrades_attention_to_a_softmax_region() {
+        // A non-canonical score scale cannot lower to the MHA workload; the
+        // partitioner must fall back to fusing just the softmax.
+        let mut g = OpGraph::new();
+        let q = g.input("q", 4, 8);
+        let k = g.input("k", 6, 8);
+        let v = g.input("v", 6, 8);
+        let kt = g.transpose(k);
+        let scores = g.matmul(q, kt);
+        let scaled = g.scale(0.5, scores);
+        let m = g.row_reduce(ReduceOp::Max, scaled);
+        let sub = g.zip(ZipOp::Sub, scaled, m);
+        let e = g.map(MapOp::Exp, sub);
+        let t = g.row_reduce(ReduceOp::Sum, e);
+        let p = g.zip(ZipOp::Div, e, t);
+        let out = g.matmul(p, v);
+        g.mark_output(out);
+        let plan = partition(&g);
+        assert_eq!(plan.fused_regions(), 1);
+        let region = &plan.regions()[0];
+        assert!(matches!(
+            region.workload,
+            Workload::Softmax { rows: 4, len: 6 }
+        ));
+        // The GEMMs and the scale stay glue.
+        assert_eq!(plan.glue_ops(), 4);
+    }
+
+    #[test]
+    fn quantized_mlp_fuses_both_quant_regions() {
+        let g = builders::quantized_mlp(4, 32, 16, 8);
+        let plan = partition(&g);
+        assert_eq!(plan.fused_regions(), 2);
+        for region in plan.regions() {
+            assert!(matches!(region.kind, RegionKind::QuantGemm { .. }));
+            assert!(matches!(region.workload, Workload::Quant(_)));
+            assert_eq!(region.fusion.cascade_name, "fp8_quant_gemm");
+        }
+        assert_eq!(plan.glue_ops(), 1, "the relu between the layers is glue");
+    }
+
+    #[test]
+    fn moe_block_fuses_the_routing_softmax() {
+        let g = builders::moe_block(6, 16, 4);
+        let plan = partition(&g);
+        assert_eq!(plan.fused_regions(), 1);
+        assert!(matches!(
+            plan.regions()[0].workload,
+            Workload::Softmax { rows: 6, len: 4 }
+        ));
+        assert!(plan.glue_ops() >= 6);
+    }
+
+    #[test]
+    fn variance_region_is_matched_from_sufficient_statistics() {
+        let mut g = OpGraph::new();
+        let x = g.input("x", 3, 64);
+        let s1 = g.row_reduce(ReduceOp::Sum, x);
+        let sq = g.map(MapOp::Square, x);
+        let s2 = g.row_reduce(ReduceOp::Sum, sq);
+        let m1 = g.scale(1.0 / 64.0, s1);
+        let m2 = g.scale(1.0 / 64.0, s2);
+        let m1sq = g.map(MapOp::Square, m1);
+        let var = g.zip(ZipOp::Sub, m2, m1sq);
+        g.mark_output(var);
+        let plan = partition(&g);
+        assert_eq!(plan.fused_regions(), 1);
+        let region = &plan.regions()[0];
+        assert!(matches!(region.workload, Workload::Variance(ref c) if c.bs == 3 && c.l == 64));
+        assert_eq!(region.output, var);
+        assert_eq!(plan.glue_ops(), 0);
+    }
+
+    #[test]
+    fn refuted_chains_are_never_fused() {
+        let mut g = OpGraph::new();
+        let y = g.input("y", 3, 16);
+        let s1 = g.row_reduce(ReduceOp::Sum, y);
+        let mu = g.scale(1.0 / 16.0, s1);
+        let centered = g.zip(ZipOp::Sub, y, mu);
+        let sq = g.map(MapOp::Square, centered);
+        let v = g.row_reduce(ReduceOp::Sum, sq);
+        let var = g.scale(1.0 / 16.0, v);
+        g.mark_output(var);
+        let plan = partition(&g);
+        assert_eq!(plan.fused_regions(), 0);
+        assert_eq!(plan.glue_ops(), 6);
+    }
+
+    #[test]
+    fn every_non_input_node_is_planned_exactly_once() {
+        for graph in [
+            builders::transformer_decoder_layer(8, 16, 32),
+            builders::moe_block(6, 16, 4),
+            builders::quantized_mlp(4, 32, 16, 8),
+        ] {
+            let plan = partition(&graph);
+            let mut covered: Vec<NodeId> = Vec::new();
+            for step in &plan.steps {
+                match step {
+                    Step::Region(r) => covered.extend(&r.nodes),
+                    Step::Glue(id) => covered.push(*id),
+                }
+            }
+            covered.sort_unstable();
+            let expected: Vec<NodeId> = (0..graph.len())
+                .filter(|&id| !matches!(graph.node(id).op, Op::Input { .. }))
+                .collect();
+            assert_eq!(covered, expected);
+        }
+    }
+
+    #[test]
+    fn fingerprints_follow_the_workload() {
+        let a = builders::quantized_mlp(4, 32, 16, 16);
+        let plan = partition(&a);
+        let regions = plan.regions();
+        assert_eq!(regions.len(), 2);
+        // Same [4,32]x[32,16] vs [4,16]x[16,16] shapes: different workloads,
+        // different fingerprints.
+        assert_ne!(regions[0].fingerprint(), regions[1].fingerprint());
+        // Identical workloads share a fingerprint (and hence a cached plan).
+        let b = builders::quantized_mlp(4, 32, 16, 16);
+        assert_eq!(
+            partition(&b).regions()[0].fingerprint(),
+            regions[0].fingerprint()
+        );
+    }
+}

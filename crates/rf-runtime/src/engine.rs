@@ -140,6 +140,54 @@ impl Engine {
         self.shared.scheduler.wait_drained();
     }
 
+    /// Serves a whole operator graph end-to-end: partitions it into maximal
+    /// fusable regions plus glue ops (`rf-graph`), compiles each region
+    /// through the engine's [`PlanCache`] (so repeated submissions of the
+    /// same graph — or different graphs sharing a region shape — re-use the
+    /// tuned plans), threads intermediate tensors between the steps and
+    /// returns the graph's outputs with the serving counters.
+    ///
+    /// Graph serving is synchronous on the calling thread: the step sequence
+    /// is a dependency chain, so unlike [`Engine::submit`] there is no batch
+    /// to amortise across workers. The per-region compilations still share
+    /// the worker pool's plan cache and are counted in the engine metrics
+    /// (`graphs served`, fused vs. glue ops, per-region cache hit rate).
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::Graph`] when an input binding is missing or misshapen
+    /// or a region rejects its tensors at execution time.
+    pub fn submit_graph(
+        &self,
+        graph: &rf_graph::OpGraph,
+        bindings: &[(&str, rf_workloads::Matrix)],
+    ) -> Result<crate::graph::GraphResponse, RuntimeError> {
+        let plan = rf_graph::partition(graph);
+        self.submit_graph_plan(graph, &plan, bindings)
+    }
+
+    /// Like [`Engine::submit_graph`], with a pre-partitioned [`rf_graph::GraphPlan`]
+    /// (partition once, serve many times).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::submit_graph`].
+    pub fn submit_graph_plan(
+        &self,
+        graph: &rf_graph::OpGraph,
+        plan: &rf_graph::GraphPlan,
+        bindings: &[(&str, rf_workloads::Matrix)],
+    ) -> Result<crate::graph::GraphResponse, RuntimeError> {
+        crate::graph::execute_graph_plan(
+            &self.shared.cache,
+            &self.shared.arch,
+            Some(&self.shared.metrics),
+            graph,
+            plan,
+            bindings,
+        )
+    }
+
     /// Requests currently queued or executing.
     pub fn queue_depth(&self) -> usize {
         self.shared.scheduler.depth()
@@ -373,6 +421,28 @@ mod tests {
         let report = metrics.report();
         assert!(report.contains("per-class breakdown"));
         assert!(report.contains("variance"));
+    }
+
+    #[test]
+    fn graph_serving_shares_the_engine_cache_and_surfaces_metrics() {
+        use rf_graph::builders;
+        let engine = tiny_engine(1);
+        let graph = builders::moe_block(4, 8, 4);
+        let inputs = builders::moe_block_inputs(4, 8, 4, 3);
+        let first = engine.submit_graph(&graph, &inputs).unwrap();
+        let second = engine.submit_graph(&graph, &inputs).unwrap();
+        assert_eq!(first.outputs, second.outputs);
+        assert_eq!(first.region_cache_hits, 0);
+        assert_eq!(second.region_cache_hits, 1, "the region plan is cached");
+        let metrics = engine.metrics();
+        assert_eq!(metrics.graphs_served, 2);
+        assert_eq!(metrics.graph_fused_ops, 2 * first.fused_ops as u64);
+        assert_eq!(metrics.graph_glue_ops, 2 * first.glue_ops as u64);
+        assert_eq!((metrics.region_hits, metrics.region_lookups), (1, 2));
+        assert!(metrics.report().contains("graphs served"));
+        // The routing-softmax region landed in the same plan cache the
+        // request path uses.
+        assert_eq!(engine.cache_stats().misses, 1);
     }
 
     #[test]

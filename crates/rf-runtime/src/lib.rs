@@ -45,12 +45,14 @@
 pub mod batch;
 pub mod cache;
 pub mod engine;
+pub mod graph;
 pub mod metrics;
 pub mod request;
 
 pub use batch::{BatchScheduler, QueuedRequest, RequestResult, Ticket};
 pub use cache::{CacheStats, PlanCache};
 pub use engine::{Engine, RuntimeConfig};
+pub use graph::{execute_graph_plan, GraphResponse};
 pub use metrics::{ClassSnapshot, MetricsSnapshot, RuntimeMetrics};
 pub use request::{
     execute_plan, execute_reference, Request, RequestId, RequestInput, RequestOutput, RuntimeError,

@@ -56,6 +56,16 @@ pub struct RuntimeMetrics {
     classes: Mutex<HashMap<&'static str, ClassTrack>>,
     /// Sum of batch sizes, for the mean batch size.
     batched_requests: AtomicU64,
+    /// Whole graphs served end-to-end via `Engine::submit_graph`.
+    graphs_served: AtomicU64,
+    /// Graph ops executed inside fused regions, over all served graphs.
+    graph_fused_ops: AtomicU64,
+    /// Graph ops executed unfused as glue, over all served graphs.
+    graph_glue_ops: AtomicU64,
+    /// Fused-region plan lookups issued by graph serving.
+    region_lookups: AtomicU64,
+    /// Fused-region plan lookups served from the plan cache.
+    region_hits: AtomicU64,
 }
 
 /// A point-in-time view of one workload class's serving health.
@@ -122,6 +132,28 @@ pub struct MetricsSnapshot {
     /// Per-workload-class breakdown (requests, latency percentiles, cache
     /// effectiveness), sorted by class name.
     pub classes: Vec<ClassSnapshot>,
+    /// Whole graphs served end-to-end (`Engine::submit_graph`).
+    pub graphs_served: u64,
+    /// Graph ops executed inside fused regions, over all served graphs.
+    pub graph_fused_ops: u64,
+    /// Graph ops executed unfused as glue, over all served graphs.
+    pub graph_glue_ops: u64,
+    /// Fused-region plan lookups issued by graph serving.
+    pub region_lookups: u64,
+    /// Fused-region plan lookups served from the plan cache.
+    pub region_hits: u64,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of fused-region plan lookups served from the plan cache, in
+    /// `[0, 1]`.
+    pub fn region_hit_rate(&self) -> f64 {
+        if self.region_lookups == 0 {
+            0.0
+        } else {
+            self.region_hits as f64 / self.region_lookups as f64
+        }
+    }
 }
 
 /// Linear-interpolation percentile of an unsorted sample set, `p` in `[0, 100]`.
@@ -225,6 +257,28 @@ impl RuntimeMetrics {
         }
     }
 
+    /// Records one graph served end-to-end: `fused_ops` graph ops were
+    /// covered by fused regions, `glue_ops` executed unfused, and of the
+    /// `region_lookups` per-region plan-cache lookups `region_hits` found an
+    /// already-compiled plan.
+    pub fn record_graph(
+        &self,
+        fused_ops: usize,
+        glue_ops: usize,
+        region_hits: usize,
+        region_lookups: usize,
+    ) {
+        self.graphs_served.fetch_add(1, Ordering::Relaxed);
+        self.graph_fused_ops
+            .fetch_add(fused_ops as u64, Ordering::Relaxed);
+        self.graph_glue_ops
+            .fetch_add(glue_ops as u64, Ordering::Relaxed);
+        self.region_hits
+            .fetch_add(region_hits as u64, Ordering::Relaxed);
+        self.region_lookups
+            .fetch_add(region_lookups as u64, Ordering::Relaxed);
+    }
+
     /// Builds a snapshot; the caller supplies the current queue depth plus the
     /// plan-cache and tuning-cache counters (owned by the engine). The latency
     /// window is copied out under the lock (dropping non-finite samples, see
@@ -289,6 +343,11 @@ impl RuntimeMetrics {
             cache,
             tuning,
             classes,
+            graphs_served: self.graphs_served.load(Ordering::Relaxed),
+            graph_fused_ops: self.graph_fused_ops.load(Ordering::Relaxed),
+            graph_glue_ops: self.graph_glue_ops.load(Ordering::Relaxed),
+            region_lookups: self.region_lookups.load(Ordering::Relaxed),
+            region_hits: self.region_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -330,6 +389,24 @@ impl MetricsSnapshot {
             "  tuner warm starts    {:>6} / {:<6} ({} classes)\n",
             self.tuning.seeded, self.tuning.lookups, self.tuning.entries
         ));
+        if self.graphs_served > 0 {
+            out.push_str(&format!(
+                "  graphs served        {:>12}\n",
+                self.graphs_served
+            ));
+            out.push_str(&format!(
+                "  graph ops fused      {:>6} / {:<6} ({} glue)\n",
+                self.graph_fused_ops,
+                self.graph_fused_ops + self.graph_glue_ops,
+                self.graph_glue_ops
+            ));
+            out.push_str(&format!(
+                "  region cache hits    {:>6} / {:<6} ({:.1}% hit rate)\n",
+                self.region_hits,
+                self.region_lookups,
+                self.region_hit_rate() * 100.0
+            ));
+        }
         if !self.classes.is_empty() {
             out.push_str("  per-class breakdown\n");
             for class in &self.classes {
@@ -505,6 +582,33 @@ mod tests {
         let mha = &snap.classes[0];
         assert_eq!((mha.completed, mha.batches, mha.cache_hits), (2, 2, 1));
         assert_eq!(mha.p99_us, 200.0);
+    }
+
+    #[test]
+    fn graph_counters_accumulate_and_render() {
+        let metrics = RuntimeMetrics::new();
+        let before = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
+        assert_eq!(before.graphs_served, 0);
+        assert_eq!(before.region_hit_rate(), 0.0);
+        assert!(
+            !before.report().contains("graphs served"),
+            "graph lines are omitted until a graph is served"
+        );
+        // First graph: 2 regions (both compile), 9 fused ops, 8 glue ops.
+        metrics.record_graph(9, 8, 0, 2);
+        // Same graph again: both regions hit the plan cache.
+        metrics.record_graph(9, 8, 2, 2);
+        let snap = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
+        assert_eq!(snap.graphs_served, 2);
+        assert_eq!(snap.graph_fused_ops, 18);
+        assert_eq!(snap.graph_glue_ops, 16);
+        assert_eq!((snap.region_hits, snap.region_lookups), (2, 4));
+        assert!((snap.region_hit_rate() - 0.5).abs() < 1e-12);
+        let report = snap.report();
+        assert!(report.contains("graphs served"));
+        assert!(report.contains("graph ops fused"));
+        assert!(report.contains("region cache hits"));
+        assert!(report.contains("50.0% hit rate"));
     }
 
     #[test]

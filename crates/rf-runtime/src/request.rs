@@ -52,6 +52,12 @@ pub enum RuntimeError {
         /// Name of the workload whose batch failed.
         workload: String,
     },
+    /// A graph submission could not be served (missing or misshapen input
+    /// binding, or a region step whose tensors the VM rejected).
+    Graph {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -72,6 +78,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::ExecutionFailed { workload } => {
                 write!(f, "execution of workload `{workload}` failed")
             }
+            RuntimeError::Graph { detail } => write!(f, "graph execution failed: {detail}"),
         }
     }
 }

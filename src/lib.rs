@@ -22,6 +22,7 @@
 //! | [`algebra`] | `rf-algebra` | binary/reduce operators, monoid and distributivity laws, Table 1 |
 //! | [`expr`] | `rf-expr` | symbolic scalar expression engine |
 //! | [`fusion`] | `rf-fusion` | cascade model, reduction trees, ACRF, fused + incremental evaluators |
+//! | [`graph`] | `rf-graph` | operator-graph frontend: cascade detection and region partitioning |
 //! | [`tir`] | `rf-tir` | scalar loop-nest IR, reduction-pattern detection, fused-IR generation |
 //! | [`tile`] | `rf-tile` | tile-level IR (TileOps), tensorization, parallelization, interpreter |
 //! | [`gpusim`] | `rf-gpusim` | analytical GPU performance model (A10/A100/H800/MI308X) |
@@ -49,6 +50,7 @@ pub use rf_codegen as codegen;
 pub use rf_expr as expr;
 pub use rf_fusion as fusion;
 pub use rf_gpusim as gpusim;
+pub use rf_graph as graph;
 pub use rf_kernels as kernels;
 pub use rf_runtime as runtime;
 pub use rf_tile as tile;

@@ -10,6 +10,8 @@
 mod attention_fusion;
 #[path = "../examples/custom_reduction.rs"]
 mod custom_reduction;
+#[path = "../examples/graph_serving.rs"]
+mod graph_serving;
 #[path = "../examples/moe_routing.rs"]
 mod moe_routing;
 #[path = "../examples/quant_gemm.rs"]
@@ -34,6 +36,11 @@ fn attention_fusion_runs() {
 #[test]
 fn custom_reduction_runs() {
     custom_reduction::main();
+}
+
+#[test]
+fn graph_serving_runs() {
+    graph_serving::main();
 }
 
 #[test]
