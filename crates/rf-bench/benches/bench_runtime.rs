@@ -33,11 +33,12 @@ fn bench_runtime(c: &mut Criterion) {
         b.iter(|| {
             let engine = Engine::with_config(
                 arch.clone(),
-                RuntimeConfig {
-                    workers: 2,
-                    max_batch: 8,
-                    cache_capacity: 8,
-                },
+                RuntimeConfig::builder()
+                    .workers(2)
+                    .max_batch(8)
+                    .cache_capacity(8)
+                    .build()
+                    .expect("valid config"),
             );
             let tickets: Vec<_> = (0..32)
                 .map(|seed| {

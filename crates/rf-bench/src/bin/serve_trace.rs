@@ -1,178 +1,148 @@
-//! Replays a synthetic request trace through the serving runtime and prints
-//! the metrics report — the serving analogue of the figure binaries.
-//!
-//! The trace mixes every workload family with a skewed shape distribution
-//! (softmax-heavy, like decode-time serving traffic), submitted from several
-//! client threads at once.
+//! Serving load harness: drives the continuous-batching engine with a mixed
+//! workload + graph trace in closed- or open-loop mode and writes
+//! `BENCH_serving.json`.
 //!
 //! ```console
-//! $ cargo run --release -p rf-bench --bin serve_trace [arch] [requests]
+//! $ cargo run --release -p rf-bench --bin serve_trace -- \
+//!       arch=h800 requests=512 mode=open rate=2000 burst-period=64 \
+//!       burst-factor=4 out=BENCH_serving.json
 //! ```
 //!
-//! `arch` is one of `a10 | a100 | h800 | mi308x` (default `h800`), `requests`
-//! the total trace length (default 256).
+//! All arguments are optional `key=value` pairs:
+//!
+//! | key | default | meaning |
+//! |---|---|---|
+//! | `arch` | `h800` | `a10 \| a100 \| h800 \| mi308x` |
+//! | `requests` | `256` | total submissions (workloads + graphs) |
+//! | `mode` | `closed` | `closed` (client windows) or `open` (Poisson) |
+//! | `clients` | `4` | closed loop: concurrent client threads |
+//! | `window` | `16` | closed loop: per-client in-flight window |
+//! | `rate` | `1000` | open loop: mean arrivals per second |
+//! | `burst-period` | `64` | open loop: arrivals per burst phase (0 = steady) |
+//! | `burst-factor` | `4` | open loop: rate multiplier in bursty phases |
+//! | `graph-every` | `10` | every Nth slot submits a whole operator graph |
+//! | `seed` | `7` | arrival-process seed |
+//! | `workers` | `4` | engine worker threads |
+//! | `max-batch` | `16` | engine max batch size |
+//! | `max-in-flight` | `1024` | admission-control budget |
+//! | `out` | `BENCH_serving.json` | report path |
+//!
+//! The two historical positional arguments (`serve_trace [arch] [requests]`)
+//! are still accepted.
 
-use std::sync::Arc;
-use std::thread;
+use std::process::ExitCode;
 
-use rf_codegen::Workload;
+use rf_bench::serving::{run_trace, Mode, TraceConfig};
 use rf_gpusim::GpuArch;
-use rf_runtime::{Engine, Request, RequestInput, RuntimeConfig};
-use rf_workloads::{
-    inertia_tiny, mha_tiny, mla_tiny, moe_tiny, quant_tiny, random_matrix, random_vec,
-    variance_tiny,
-};
+use rf_runtime::RuntimeConfig;
 
-/// Builds the `i`-th trace request. The pattern is 10 slots wide and skewed:
-/// four softmax of one shape, two of another, then one of each remaining
-/// family — repeated shapes are what the plan cache and batcher exploit.
-fn trace_request(i: u64) -> Request {
-    let seed = i * 31;
-    match i % 10 {
-        0..=3 => Request::softmax(random_matrix(4, 256, seed, -2.0, 2.0)),
-        4 | 5 => Request::softmax(random_matrix(2, 1024, seed, -2.0, 2.0)),
-        6 => {
-            let c = mha_tiny();
-            Request::new(
-                Workload::Mha(c.clone()),
-                RequestInput::Attention {
-                    q: random_matrix(c.q, c.hd, seed, -1.0, 1.0),
-                    k: random_matrix(c.kv, c.hd, seed + 1, -1.0, 1.0),
-                    v: random_matrix(c.kv, c.hd, seed + 2, -1.0, 1.0),
-                },
-            )
-            .expect("tiny MHA request is valid")
-        }
-        7 => {
-            let c = mla_tiny();
-            Request::new(
-                Workload::Mla(c.clone()),
-                RequestInput::Attention {
-                    q: random_matrix(1, c.qk_dim(), seed, -1.0, 1.0),
-                    k: random_matrix(c.kv, c.qk_dim(), seed + 1, -1.0, 1.0),
-                    v: random_matrix(c.kv, c.hd, seed + 2, -1.0, 1.0),
-                },
-            )
-            .expect("tiny MLA request is valid")
-        }
-        8 => {
-            let c = moe_tiny();
-            Request::new(
-                Workload::Moe(c.clone()),
-                RequestInput::Routing {
-                    x: random_matrix(16, c.hd, seed, -1.0, 1.0),
-                    w: random_matrix(c.hd, c.en, seed + 1, -1.0, 1.0),
-                },
-            )
-            .expect("tiny MoE request is valid")
-        }
-        _ => match i % 3 {
-            0 => {
-                let c = quant_tiny();
-                Request::new(
-                    Workload::Quant(c.clone()),
-                    RequestInput::QuantGemm {
-                        a: random_matrix(8, c.k, seed, -1.0, 1.0),
-                        w: random_matrix(c.k, c.n, seed + 1, -1.0, 1.0),
-                    },
-                )
-                .expect("tiny quant request is valid")
-            }
-            1 => {
-                let c = variance_tiny();
-                Request::new(
-                    Workload::Variance(c.clone()),
-                    RequestInput::Rows(random_matrix(4, c.l, seed, -2.0, 2.0)),
-                )
-                .expect("tiny variance request is valid")
-            }
-            _ => {
-                let c = inertia_tiny();
-                Request::new(
-                    Workload::Inertia(c.clone()),
-                    RequestInput::Inertia {
-                        masses: random_vec(64, seed, 0.1, 2.0),
-                        positions: random_matrix(64, c.dim, seed + 1, -1.0, 1.0),
-                    },
-                )
-                .expect("tiny inertia request is valid")
-            }
-        },
-    }
+struct Args {
+    config: TraceConfig,
+    out: String,
 }
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let arch = args
-        .next()
-        .map(|name| GpuArch::by_name(&name).unwrap_or_else(|| panic!("unknown arch `{name}`")))
-        .unwrap_or_else(GpuArch::h800);
-    let requests: u64 = args
-        .next()
-        .map(|n| n.parse().expect("requests must be an integer"))
-        .unwrap_or(256);
-    const CLIENTS: u64 = 4;
+fn parse_args() -> Result<Args, String> {
+    let mut arch = GpuArch::h800();
+    let mut requests: u64 = 256;
+    let mut mode = "closed".to_string();
+    let mut clients: u64 = 4;
+    let mut window: usize = 16;
+    let mut rate: f64 = 1000.0;
+    let mut burst_period: u64 = 64;
+    let mut burst_factor: f64 = 4.0;
+    let mut graph_every: u64 = 10;
+    let mut seed: u64 = 7;
+    let mut workers: usize = 4;
+    let mut max_batch: usize = 16;
+    let mut max_in_flight: usize = 1024;
+    let mut out = "BENCH_serving.json".to_string();
 
-    println!(
-        "replaying a synthetic trace: {requests} requests, {CLIENTS} clients, arch {}",
-        arch.name
-    );
-    let engine = Arc::new(Engine::with_config(
-        arch,
-        RuntimeConfig {
-            workers: 4,
-            max_batch: 16,
-            cache_capacity: 32,
-        },
-    ));
-
-    let clients: Vec<_> = (0..CLIENTS)
-        .map(|client| {
-            let engine = Arc::clone(&engine);
-            thread::spawn(move || {
-                let mut simulated_us = 0.0;
-                let mut served = 0u64;
-                // Client c replays trace slots c, c+CLIENTS, c+2*CLIENTS, …,
-                // keeping a window of requests in flight so the scheduler can
-                // actually form batches.
-                let slots: Vec<u64> = (client..requests).step_by(CLIENTS as usize).collect();
-                for window in slots.chunks(16) {
-                    let tickets: Vec<_> = window
-                        .iter()
-                        .map(|&i| {
-                            engine
-                                .submit(trace_request(i))
-                                .expect("engine accepts trace requests")
-                        })
-                        .collect();
-                    for ticket in tickets {
-                        let result = ticket.wait().expect("trace request completes");
-                        // Batch members share one launch; count each request's
-                        // amortized share so the total is the simulated GPU
-                        // time actually spent, not batch-size times it.
-                        simulated_us += result.simulated_us / result.batch_size as f64;
-                        served += 1;
-                    }
+    for (position, raw) in std::env::args().skip(1).enumerate() {
+        let (key, value) = match raw.split_once('=') {
+            Some((key, value)) => (key.to_string(), value.to_string()),
+            // Positional back-compat: `serve_trace [arch] [requests]`.
+            None if position == 0 => ("arch".to_string(), raw),
+            None if position == 1 => ("requests".to_string(), raw),
+            None => return Err(format!("unexpected positional argument `{raw}`")),
+        };
+        let parse_err = |what: &str| format!("`{key}={value}`: expected {what}");
+        match key.as_str() {
+            "arch" => {
+                arch = GpuArch::by_name(&value).ok_or(format!(
+                    "unknown arch `{value}` (expected a10|a100|h800|mi308x)"
+                ))?;
+            }
+            "requests" => requests = value.parse().map_err(|_| parse_err("an integer"))?,
+            "mode" => {
+                if value != "closed" && value != "open" {
+                    return Err(format!("unknown mode `{value}` (expected closed|open)"));
                 }
-                (served, simulated_us)
-            })
-        })
-        .collect();
-
-    let mut served = 0u64;
-    let mut simulated_us = 0.0;
-    for client in clients {
-        let (s, us) = client.join().expect("client thread succeeds");
-        served += s;
-        simulated_us += us;
+                mode = value;
+            }
+            "clients" => clients = value.parse().map_err(|_| parse_err("an integer"))?,
+            "window" => window = value.parse().map_err(|_| parse_err("an integer"))?,
+            "rate" => rate = value.parse().map_err(|_| parse_err("a number"))?,
+            "burst-period" => burst_period = value.parse().map_err(|_| parse_err("an integer"))?,
+            "burst-factor" => burst_factor = value.parse().map_err(|_| parse_err("a number"))?,
+            "graph-every" => graph_every = value.parse().map_err(|_| parse_err("an integer"))?,
+            "seed" => seed = value.parse().map_err(|_| parse_err("an integer"))?,
+            "workers" => workers = value.parse().map_err(|_| parse_err("an integer"))?,
+            "max-batch" => max_batch = value.parse().map_err(|_| parse_err("an integer"))?,
+            "max-in-flight" => {
+                max_in_flight = value.parse().map_err(|_| parse_err("an integer"))?
+            }
+            "out" => out = value,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
     }
-    engine.run_until_drained();
 
-    assert_eq!(served, requests);
+    let runtime = RuntimeConfig::builder()
+        .workers(workers)
+        .max_batch(max_batch)
+        .cache_capacity(32)
+        .max_in_flight(max_in_flight)
+        .build()
+        .map_err(|err| format!("invalid engine config: {err}"))?;
+    let mode = if mode == "open" {
+        Mode::Open {
+            rate_rps: rate,
+            burst_period,
+            burst_factor,
+        }
+    } else {
+        Mode::Closed { clients, window }
+    };
+    Ok(Args {
+        config: TraceConfig {
+            arch,
+            requests,
+            mode,
+            graph_every,
+            seed,
+            runtime,
+        },
+        out,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("serve_trace: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
     println!(
-        "total simulated GPU time {:.1} us across {} compiled plans\n",
-        simulated_us,
-        engine.cache_stats().entries
+        "serving trace: {} requests, {:?}, arch {}",
+        args.config.requests, args.config.mode, args.config.arch.name
     );
-    println!("{}", engine.metrics().report());
+    let report = run_trace(&args.config);
+    println!("{}", report.summary());
+    if let Err(err) = std::fs::write(&args.out, report.to_json()) {
+        eprintln!("serve_trace: cannot write {}: {err}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out);
+    ExitCode::SUCCESS
 }

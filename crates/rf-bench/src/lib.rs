@@ -107,3 +107,4 @@ mod tests {
     }
 }
 pub mod eval;
+pub mod serving;

@@ -3,7 +3,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 use std::ops::{Add, Div, Mul, Neg, Sub};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rf_algebra::BinaryOp;
 
@@ -75,22 +75,24 @@ pub enum ExprKind {
 
 /// An immutable, reference-counted symbolic expression.
 ///
-/// `Expr` is a thin wrapper around `Rc<ExprKind>`, so cloning is O(1) and
+/// `Expr` is a thin wrapper around `Arc<ExprKind>` (atomically refcounted so
+/// compiled plans embedding expressions can cross the serving runtime's
+/// worker threads), so cloning is O(1) and
 /// sub-expressions are shared. Expressions are constructed either with the
 /// named constructors ([`Expr::var`], [`Expr::constant`], [`Expr::max`], …) or
 /// with the overloaded arithmetic operators.
 #[derive(Clone, PartialEq)]
-pub struct Expr(pub Rc<ExprKind>);
+pub struct Expr(pub Arc<ExprKind>);
 
 impl Expr {
     /// A named variable.
     pub fn var(name: impl Into<String>) -> Expr {
-        Expr(Rc::new(ExprKind::Var(name.into())))
+        Expr(Arc::new(ExprKind::Var(name.into())))
     }
 
     /// A floating-point constant.
     pub fn constant(value: f64) -> Expr {
-        Expr(Rc::new(ExprKind::Const(value)))
+        Expr(Arc::new(ExprKind::Const(value)))
     }
 
     /// The constant zero.
@@ -105,7 +107,7 @@ impl Expr {
 
     /// Applies a binary combine operator to two expressions.
     pub fn binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr(Rc::new(ExprKind::Binary(op, lhs, rhs)))
+        Expr(Arc::new(ExprKind::Binary(op, lhs, rhs)))
     }
 
     /// `max(self, other)`.
@@ -120,27 +122,27 @@ impl Expr {
 
     /// `exp(self)`.
     pub fn exp(self) -> Expr {
-        Expr(Rc::new(ExprKind::Unary(UnaryFn::Exp, self)))
+        Expr(Arc::new(ExprKind::Unary(UnaryFn::Exp, self)))
     }
 
     /// `ln(self)`.
     pub fn ln(self) -> Expr {
-        Expr(Rc::new(ExprKind::Unary(UnaryFn::Ln, self)))
+        Expr(Arc::new(ExprKind::Unary(UnaryFn::Ln, self)))
     }
 
     /// `abs(self)`.
     pub fn abs(self) -> Expr {
-        Expr(Rc::new(ExprKind::Unary(UnaryFn::Abs, self)))
+        Expr(Arc::new(ExprKind::Unary(UnaryFn::Abs, self)))
     }
 
     /// `sqrt(self)`.
     pub fn sqrt(self) -> Expr {
-        Expr(Rc::new(ExprKind::Unary(UnaryFn::Sqrt, self)))
+        Expr(Arc::new(ExprKind::Unary(UnaryFn::Sqrt, self)))
     }
 
     /// `1 / self`.
     pub fn recip(self) -> Expr {
-        Expr(Rc::new(ExprKind::Unary(UnaryFn::Recip, self)))
+        Expr(Arc::new(ExprKind::Unary(UnaryFn::Recip, self)))
     }
 
     /// The node kind of the root.
@@ -213,20 +215,20 @@ impl Expr {
                     self.clone()
                 }
             }
-            ExprKind::Unary(f, a) => Expr(Rc::new(ExprKind::Unary(
+            ExprKind::Unary(f, a) => Expr(Arc::new(ExprKind::Unary(
                 *f,
                 a.substitute(name, replacement),
             ))),
-            ExprKind::Binary(op, a, b) => Expr(Rc::new(ExprKind::Binary(
+            ExprKind::Binary(op, a, b) => Expr(Arc::new(ExprKind::Binary(
                 *op,
                 a.substitute(name, replacement),
                 b.substitute(name, replacement),
             ))),
-            ExprKind::Sub(a, b) => Expr(Rc::new(ExprKind::Sub(
+            ExprKind::Sub(a, b) => Expr(Arc::new(ExprKind::Sub(
                 a.substitute(name, replacement),
                 b.substitute(name, replacement),
             ))),
-            ExprKind::Div(a, b) => Expr(Rc::new(ExprKind::Div(
+            ExprKind::Div(a, b) => Expr(Arc::new(ExprKind::Div(
                 a.substitute(name, replacement),
                 b.substitute(name, replacement),
             ))),
@@ -291,7 +293,7 @@ impl Add for Expr {
 impl Sub for Expr {
     type Output = Expr;
     fn sub(self, rhs: Expr) -> Expr {
-        Expr(Rc::new(ExprKind::Sub(self, rhs)))
+        Expr(Arc::new(ExprKind::Sub(self, rhs)))
     }
 }
 
@@ -305,14 +307,14 @@ impl Mul for Expr {
 impl Div for Expr {
     type Output = Expr;
     fn div(self, rhs: Expr) -> Expr {
-        Expr(Rc::new(ExprKind::Div(self, rhs)))
+        Expr(Arc::new(ExprKind::Div(self, rhs)))
     }
 }
 
 impl Neg for Expr {
     type Output = Expr;
     fn neg(self) -> Expr {
-        Expr(Rc::new(ExprKind::Unary(UnaryFn::Neg, self)))
+        Expr(Arc::new(ExprKind::Unary(UnaryFn::Neg, self)))
     }
 }
 

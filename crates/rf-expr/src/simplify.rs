@@ -16,7 +16,7 @@
 //! domain; the property test below checks this by evaluating both forms on
 //! random environments.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rf_algebra::BinaryOp;
 
@@ -64,7 +64,7 @@ fn simplify_unary(f: UnaryFn, a: Expr) -> Expr {
         (UnaryFn::Recip, ExprKind::Unary(UnaryFn::Recip, inner)) => inner.clone(),
         (UnaryFn::Exp, ExprKind::Unary(UnaryFn::Ln, inner)) => inner.clone(),
         (UnaryFn::Ln, ExprKind::Unary(UnaryFn::Exp, inner)) => inner.clone(),
-        _ => Expr(Rc::new(ExprKind::Unary(f, a))),
+        _ => Expr(Arc::new(ExprKind::Unary(f, a))),
     }
 }
 
@@ -95,7 +95,7 @@ fn simplify_sub(a: Expr, b: Expr) -> Expr {
     if a == b {
         return Expr::zero();
     }
-    Expr(Rc::new(ExprKind::Sub(a, b)))
+    Expr(Arc::new(ExprKind::Sub(a, b)))
 }
 
 fn simplify_div(a: Expr, b: Expr) -> Expr {
@@ -108,7 +108,7 @@ fn simplify_div(a: Expr, b: Expr) -> Expr {
     if a.as_const() == Some(0.0) && b.as_const().map(|c| c != 0.0).unwrap_or(false) {
         return Expr::zero();
     }
-    Expr(Rc::new(ExprKind::Div(a, b)))
+    Expr(Arc::new(ExprKind::Div(a, b)))
 }
 
 #[cfg(test)]

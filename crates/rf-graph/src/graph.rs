@@ -420,18 +420,24 @@ impl OpGraph {
     }
 
     /// Binds `bindings` to the graph's inputs, checking names and shapes.
+    /// Accepts both borrowed (`&[(&str, Matrix)]`) and owned
+    /// (`&[(String, Matrix)]`) binding name pairs, so a serving queue that
+    /// owns its bindings can bind without re-borrowing.
     ///
     /// # Errors
     ///
     /// [`GraphError::MissingInput`] / [`GraphError::InputShape`] when a
     /// binding is absent or the wrong shape.
-    pub fn bind(&self, bindings: &[(&str, Matrix)]) -> Result<Vec<Option<Matrix>>, GraphError> {
+    pub fn bind<S: AsRef<str>>(
+        &self,
+        bindings: &[(S, Matrix)],
+    ) -> Result<Vec<Option<Matrix>>, GraphError> {
         let mut values: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
         for (id, name) in self.input_names() {
             let shape = self.nodes[id].shape;
             let bound = bindings
                 .iter()
-                .find(|(n, _)| *n == name)
+                .find(|(n, _)| n.as_ref() == name)
                 .map(|(_, m)| m)
                 .ok_or_else(|| GraphError::MissingInput(name.to_string()))?;
             if bound.rows() != shape.rows || bound.cols() != shape.cols {

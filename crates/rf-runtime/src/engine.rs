@@ -1,70 +1,69 @@
-//! The serving engine: front door, worker pool and lifecycle.
+//! The serving engine: the unified submission front door, the
+//! continuous-batching worker pool and the engine lifecycle.
+//!
+//! Everything the engine serves — single workloads, whole operator graphs,
+//! pre-partitioned plans — enters through [`Engine::submit`] as a
+//! [`Submission`] and resolves to a [`Response`] through the
+//! returned [`Ticket`]. Workers serve the open request stream in iterations
+//! (see [`crate::stream`]): a request submitted while a batch is mid-flight
+//! joins a subsequent iteration instead of waiting for a drain.
 //!
 //! ```
 //! use rf_gpusim::GpuArch;
-//! use rf_runtime::{Engine, Request};
+//! use rf_runtime::{Engine, Priority, Request, Submission};
 //! use rf_workloads::random_matrix;
 //!
 //! let engine = Engine::new(GpuArch::a10());
+//! // A bare `Request` converts into a normal-priority submission…
 //! let ticket = engine
 //!     .submit(Request::softmax(random_matrix(4, 64, 1, -2.0, 2.0)))
 //!     .unwrap();
-//! engine.run_until_drained();
+//! // …and the explicit form picks a priority lane.
+//! let urgent = engine
+//!     .submit(
+//!         Submission::workload(Request::softmax(random_matrix(4, 64, 2, -2.0, 2.0)))
+//!             .with_priority(Priority::High),
+//!     )
+//!     .unwrap();
 //! let result = ticket.wait().unwrap();
 //! assert_eq!(result.workload, "softmax_4x64");
+//! assert!(urgent.wait().unwrap().iteration >= 1);
 //! ```
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use rf_gpusim::GpuArch;
 
-use crate::batch::{batch_latency_us, BatchScheduler, QueuedRequest, RequestResult, Ticket};
 use crate::cache::{CacheStats, PlanCache};
+use crate::config::RuntimeConfig;
+use crate::graph::GraphResponse;
 use crate::metrics::{MetricsSnapshot, RuntimeMetrics};
-use crate::request::{execute_plan, Request, RuntimeError};
-
-/// Tunables of one [`Engine`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RuntimeConfig {
-    /// Worker threads executing batches.
-    pub workers: usize,
-    /// Maximum requests grouped into one batch.
-    pub max_batch: usize,
-    /// Maximum resident compiled plans.
-    pub cache_capacity: usize,
-}
-
-impl Default for RuntimeConfig {
-    fn default() -> Self {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .clamp(2, 8);
-        RuntimeConfig {
-            workers,
-            max_batch: 16,
-            cache_capacity: 64,
-        }
-    }
-}
+use crate::request::{execute_plan, RequestOutput, RuntimeError};
+use crate::stream::{batch_latency_us, Iteration, QueuedWork, StreamScheduler, Ticket};
+use crate::submit::{GraphStats, Response, Submission, LANES};
 
 struct EngineShared {
     arch: GpuArch,
     cache: PlanCache,
     metrics: RuntimeMetrics,
-    scheduler: BatchScheduler,
+    scheduler: StreamScheduler,
 }
 
 /// A concurrent serving engine for one GPU architecture.
 ///
-/// `submit` validates and enqueues a request and returns a [`Ticket`]; a pool
-/// of worker threads groups shape-compatible requests into batches, compiles
-/// (or re-uses) the fused plan via the [`PlanCache`], executes the batch by
-/// interpreting the plan's tile program on the `rf_tile::exec` VM and costs
-/// it on the analytical GPU model. Dropping the engine shuts the pool down;
-/// still-queued requests fail with [`RuntimeError::ShuttingDown`].
+/// [`Engine::submit`] validates and enqueues a [`Submission`] onto its
+/// priority lane and returns a [`Ticket`]; a pool of worker threads serves
+/// the stream in iterations, grouping shape-compatible requests into batches
+/// formed at each iteration boundary, compiling (or re-using) fused plans via
+/// the [`PlanCache`], executing on the `rf_tile::exec` VM and costing on the
+/// analytical GPU model. Admission is bounded: past
+/// [`RuntimeConfig::max_in_flight`] the engine sheds with
+/// [`RuntimeError::Overloaded`] instead of queuing without bound. Dropping
+/// the engine shuts the pool down; still-queued submissions fail with
+/// [`RuntimeError::ShuttingDown`].
 pub struct Engine {
     shared: Arc<EngineShared>,
     workers: Vec<JoinHandle<()>>,
@@ -81,14 +80,21 @@ impl Engine {
     ///
     /// # Panics
     ///
-    /// Panics if `config.workers` is zero (the pool could never serve), or if
-    /// `max_batch` / `cache_capacity` are zero.
+    /// Panics if `config` violates its invariants (see
+    /// [`RuntimeConfig::validate`]). Configurations built through
+    /// [`RuntimeConfig::builder`] are already validated.
     pub fn with_config(arch: GpuArch, config: RuntimeConfig) -> Self {
-        assert!(config.workers > 0, "engine needs at least one worker");
+        if let Err(err) = config.validate() {
+            panic!("invalid RuntimeConfig: {err}");
+        }
         let shared = Arc::new(EngineShared {
             cache: PlanCache::new(arch.clone(), config.cache_capacity),
             metrics: RuntimeMetrics::new(),
-            scheduler: BatchScheduler::new(config.max_batch),
+            scheduler: StreamScheduler::new(
+                config.max_batch,
+                config.max_in_flight,
+                config.lane_weights.as_array(),
+            ),
             arch,
         });
         let workers = (0..config.workers)
@@ -112,62 +118,97 @@ impl Engine {
         &self.shared.arch
     }
 
-    /// Validates and enqueues a request, returning the completion ticket.
+    /// Validates and enqueues a submission onto its priority lane, returning
+    /// the completion ticket. Accepts anything convertible into a
+    /// [`Submission`] — in particular a bare [`Request`](crate::Request),
+    /// which submits at [`Priority::Normal`](crate::Priority::Normal).
+    ///
+    /// The request joins the open stream immediately: if a batch is
+    /// executing right now, the request is eligible for the next iteration
+    /// boundary — it never waits for the queue to drain.
     ///
     /// # Errors
     ///
-    /// Returns [`RuntimeError::InputMismatch`] / [`RuntimeError::ShapeMismatch`]
-    /// for invalid requests and [`RuntimeError::ShuttingDown`] once the engine
-    /// is being dropped.
-    pub fn submit(&self, request: Request) -> Result<Ticket, RuntimeError> {
-        crate::request::validate(&request.workload, &request.input)?;
+    /// [`RuntimeError::InputMismatch`] / [`RuntimeError::ShapeMismatch`] for
+    /// invalid workload requests, [`RuntimeError::Overloaded`] (with a retry
+    /// hint) when the bounded in-flight budget is exhausted, and
+    /// [`RuntimeError::ShuttingDown`] once the engine is being dropped.
+    pub fn submit(&self, submission: impl Into<Submission>) -> Result<Ticket, RuntimeError> {
+        let submission = submission.into();
+        if let Submission::Workload { request, .. } = &submission {
+            crate::request::validate(&request.workload, &request.input)?;
+        }
+        let priority = submission.priority();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (queued, ticket) = QueuedRequest::new(id, request);
+        let (queued, ticket) = QueuedWork::new(id, submission);
         // Count before enqueueing so a snapshot can never observe a completed
         // request that was not yet counted as submitted; roll back if the
-        // scheduler rejects the request (shutdown), so rejected requests never
-        // inflate the counter.
-        self.shared.metrics.record_submit();
-        if let Err(err) = self.shared.scheduler.enqueue(queued) {
-            self.shared.metrics.cancel_submit();
+        // scheduler rejects the request (shutdown or shed), so rejected
+        // requests never inflate the counter.
+        self.shared.metrics.record_submit(priority);
+        if let Err(err) = self.shared.scheduler.enqueue(queued, self.retry_hint()) {
+            self.shared.metrics.cancel_submit(priority);
+            if matches!(err, RuntimeError::Overloaded { .. }) {
+                self.shared.metrics.record_shed(priority);
+            }
             return Err(err);
         }
         Ok(ticket)
     }
 
-    /// Blocks until every submitted request has been executed.
+    /// The backoff to suggest alongside an [`RuntimeError::Overloaded`] shed:
+    /// roughly how long until in-flight budget frees up, estimated as the
+    /// mean simulated request latency times the iterations queued ahead.
+    fn retry_hint(&self) -> Duration {
+        let mean_us = self.shared.metrics.mean_us();
+        let depth = self.shared.scheduler.depth() as f64;
+        let iterations_ahead = (depth / self.shared.scheduler.max_batch() as f64).max(1.0);
+        let hint_us = (mean_us.max(10.0) * iterations_ahead).clamp(100.0, 100_000.0);
+        Duration::from_micros(hint_us as u64)
+    }
+
+    /// Blocks until every accepted submission has been executed.
     pub fn run_until_drained(&self) {
         self.shared.scheduler.wait_drained();
     }
 
-    /// Serves a whole operator graph end-to-end: partitions it into maximal
-    /// fusable regions plus glue ops (`rf-graph`), compiles each region
-    /// through the engine's [`PlanCache`] (so repeated submissions of the
-    /// same graph — or different graphs sharing a region shape — re-use the
-    /// tuned plans), threads intermediate tensors between the steps and
-    /// returns the graph's outputs with the serving counters.
+    /// Serves a whole operator graph end-to-end and blocks for the result.
     ///
-    /// Graph serving is synchronous on the calling thread: the step sequence
-    /// is a dependency chain, so unlike [`Engine::submit`] there is no batch
-    /// to amortise across workers. The per-region compilations still share
-    /// the worker pool's plan cache and are counted in the engine metrics
-    /// (`graphs served`, fused vs. glue ops, per-region cache hit rate).
+    /// **Deprecated front door**: this is a compatibility wrapper over
+    /// [`Engine::submit`] with [`Submission::graph`] — it clones the graph
+    /// and bindings, queues them on the open stream at normal priority and
+    /// blocks on the ticket. Prefer the unified API, which shares the
+    /// graph behind an `Arc`, picks a priority lane and does not block:
+    ///
+    /// ```ignore
+    /// let ticket = engine.submit(Submission::graph(graph, bindings))?;
+    /// let response = ticket.wait()?;
+    /// ```
+    ///
+    /// The graph is partitioned into maximal fusable regions plus glue ops
+    /// (`rf-graph`); each region compiles through the engine's [`PlanCache`]
+    /// so repeated submissions of the same graph — or different graphs
+    /// sharing a region shape — re-use the tuned plans.
     ///
     /// # Errors
     ///
     /// [`RuntimeError::Graph`] when an input binding is missing or misshapen
-    /// or a region rejects its tensors at execution time.
+    /// or a region rejects its tensors at execution time; see
+    /// [`Engine::submit`] for admission errors.
     pub fn submit_graph(
         &self,
         graph: &rf_graph::OpGraph,
         bindings: &[(&str, rf_workloads::Matrix)],
-    ) -> Result<crate::graph::GraphResponse, RuntimeError> {
-        let plan = rf_graph::partition(graph);
-        self.submit_graph_plan(graph, &plan, bindings)
+    ) -> Result<GraphResponse, RuntimeError> {
+        self.submit_graph_compat(graph, None, bindings)
     }
 
-    /// Like [`Engine::submit_graph`], with a pre-partitioned [`rf_graph::GraphPlan`]
-    /// (partition once, serve many times).
+    /// Like [`Engine::submit_graph`], with a pre-partitioned
+    /// [`rf_graph::GraphPlan`] (partition once, serve many times).
+    ///
+    /// **Deprecated front door**: compatibility wrapper over
+    /// [`Engine::submit`] with [`Submission::graph_plan`]; see
+    /// [`Engine::submit_graph`].
     ///
     /// # Errors
     ///
@@ -177,20 +218,55 @@ impl Engine {
         graph: &rf_graph::OpGraph,
         plan: &rf_graph::GraphPlan,
         bindings: &[(&str, rf_workloads::Matrix)],
-    ) -> Result<crate::graph::GraphResponse, RuntimeError> {
-        crate::graph::execute_graph_plan(
-            &self.shared.cache,
-            &self.shared.arch,
-            Some(&self.shared.metrics),
-            graph,
-            plan,
-            bindings,
-        )
+    ) -> Result<GraphResponse, RuntimeError> {
+        self.submit_graph_compat(graph, Some(Arc::new(plan.clone())), bindings)
     }
 
-    /// Requests currently queued or executing.
+    fn submit_graph_compat(
+        &self,
+        graph: &rf_graph::OpGraph,
+        plan: Option<Arc<rf_graph::GraphPlan>>,
+        bindings: &[(&str, rf_workloads::Matrix)],
+    ) -> Result<GraphResponse, RuntimeError> {
+        let graph = Arc::new(graph.clone());
+        let owned: Vec<(String, rf_workloads::Matrix)> = bindings
+            .iter()
+            .map(|(name, matrix)| (name.to_string(), matrix.clone()))
+            .collect();
+        let submission = match plan {
+            Some(plan) => Submission::graph_plan(graph, plan, owned),
+            None => Submission::graph(graph, owned),
+        };
+        let response = self.submit(submission)?.wait()?;
+        let stats = response
+            .graph
+            .expect("graph submissions always carry graph stats");
+        let RequestOutput::Tensors(outputs) = response.output else {
+            unreachable!("graph submissions always produce tensor outputs");
+        };
+        Ok(GraphResponse {
+            outputs,
+            fused_regions: stats.fused_regions,
+            fused_ops: stats.fused_ops,
+            glue_ops: stats.glue_ops,
+            region_cache_hits: stats.region_cache_hits,
+            simulated_us: response.simulated_us,
+        })
+    }
+
+    /// Submissions currently queued or executing.
     pub fn queue_depth(&self) -> usize {
         self.shared.scheduler.depth()
+    }
+
+    /// Queued submissions per priority lane (high, normal, low).
+    pub fn lane_depths(&self) -> [usize; LANES] {
+        self.shared.scheduler.lane_depths()
+    }
+
+    /// Engine iterations started so far.
+    pub fn iterations(&self) -> u64 {
+        self.shared.scheduler.iterations()
     }
 
     /// Plan-cache counters.
@@ -199,7 +275,7 @@ impl Engine {
     }
 
     /// A point-in-time metrics snapshot (latency percentiles, batch sizes,
-    /// queue depth, cache effectiveness).
+    /// queue depth, shed counts, per-lane traffic, cache effectiveness).
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot(
             self.queue_depth(),
@@ -229,14 +305,29 @@ impl std::fmt::Debug for Engine {
 }
 
 fn worker_loop(shared: &EngineShared) {
-    while let Some(batch) = shared.scheduler.next_batch() {
-        // A panicking kernel must not wedge the engine: the unwind guard keeps
-        // the in-flight accounting balanced (so `run_until_drained` returns)
-        // and dropping the unfulfilled `QueuedRequest`s delivers
+    while let Some(iteration) = shared.scheduler.next_iteration() {
+        // A panicking kernel must not wedge the engine: the unwind guard
+        // keeps the in-flight accounting balanced (so `run_until_drained`
+        // returns) and dropping the unfulfilled `QueuedWork`s delivers
         // `ExecutionFailed` to their tickets (so `Ticket::wait` returns).
-        let size = batch.len();
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_batch(shared, batch)));
-        shared.scheduler.finish_batch(size);
+        let size = iteration.work.len();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_iteration(shared, iteration)
+        }));
+        shared.scheduler.finish_iteration(size);
+    }
+}
+
+/// Executes one iteration taken off the stream: a shape-compatible workload
+/// batch, or a singleton graph.
+fn run_iteration(shared: &EngineShared, iteration: Iteration) {
+    match &iteration.work[0].submission {
+        Submission::Workload { .. } => run_workload_batch(shared, iteration.index, iteration.work),
+        Submission::Graph { .. } => {
+            for work in iteration.work {
+                run_graph(shared, iteration.index, work);
+            }
+        }
     }
 }
 
@@ -244,24 +335,37 @@ fn worker_loop(shared: &EngineShared) {
 /// program — a cache hit reuses both the tuning and the executable. No
 /// scheduler or cache lock is held here: the plan is an `Arc` snapshot and
 /// the VM runs on borrowed views of the queued tensors.
-fn run_batch(shared: &EngineShared, batch: Vec<QueuedRequest>) {
-    let workload = batch[0].request.workload.clone();
+fn run_workload_batch(shared: &EngineShared, index: u64, work: Vec<QueuedWork>) {
+    let Submission::Workload { request, .. } = &work[0].submission else {
+        unreachable!("workload iterations contain only workload submissions");
+    };
+    let workload = request.workload.clone();
     let class = workload.class();
     let (plan, cache_hit) = shared.cache.get_or_compile_traced(&workload);
-    let batch_size = batch.len();
+    let batch_size = work.len();
     let simulated_us = batch_latency_us(&shared.arch, &plan.profile, batch_size);
     let (mut executed, mut failed) = (0usize, 0usize);
-    for queued in batch {
-        let result = execute_plan(&plan, &queued.request).map(|output| RequestResult {
+    for queued in work {
+        let priority = queued.priority();
+        let Submission::Workload { request, .. } = &queued.submission else {
+            unreachable!("workload iterations contain only workload submissions");
+        };
+        let result = execute_plan(&plan, request).map(|output| Response {
             id: queued.id,
-            workload: queued.request.workload.name(),
+            workload: request.workload.name(),
             output,
             simulated_us,
             batch_size,
             cache_hit,
+            iteration: index,
+            priority,
+            graph: None,
         });
         match &result {
-            Ok(_) => executed += 1,
+            Ok(_) => {
+                executed += 1;
+                shared.metrics.record_served(priority, 1);
+            }
             Err(_) => failed += 1,
         }
         queued.fulfil(result);
@@ -271,21 +375,87 @@ fn run_batch(shared: &EngineShared, batch: Vec<QueuedRequest>) {
         .record_batch(class, executed, failed, simulated_us, cache_hit);
 }
 
+/// Serves one graph submission: partitions (unless a plan was supplied),
+/// executes the region steps through the shared plan cache, and answers with
+/// the graph outputs plus serving counters.
+fn run_graph(shared: &EngineShared, index: u64, work: QueuedWork) {
+    let Submission::Graph {
+        graph,
+        plan,
+        bindings,
+        priority,
+    } = &work.submission
+    else {
+        unreachable!("graph iterations contain only graph submissions");
+    };
+    let priority = *priority;
+    let label = work.submission.label();
+    let graph = Arc::clone(graph);
+    let bindings = Arc::clone(bindings);
+    let plan = plan
+        .clone()
+        .unwrap_or_else(|| Arc::new(rf_graph::partition(&graph)));
+    let result = crate::graph::execute_graph_plan(
+        &shared.cache,
+        &shared.arch,
+        Some(&shared.metrics),
+        &graph,
+        &plan,
+        bindings.as_slice(),
+    );
+    match result {
+        Ok(graph_response) => {
+            let stats = GraphStats {
+                fused_regions: graph_response.fused_regions,
+                fused_ops: graph_response.fused_ops,
+                glue_ops: graph_response.glue_ops,
+                region_cache_hits: graph_response.region_cache_hits,
+            };
+            // "Cache hit" for a graph means every fused region re-used an
+            // already-compiled plan.
+            let cache_hit =
+                stats.fused_regions > 0 && stats.region_cache_hits == stats.fused_regions;
+            shared
+                .metrics
+                .record_batch("graph", 1, 0, graph_response.simulated_us, cache_hit);
+            shared.metrics.record_served(priority, 1);
+            let id = work.id;
+            work.fulfil(Ok(Response {
+                id,
+                workload: label,
+                output: RequestOutput::Tensors(graph_response.outputs),
+                simulated_us: graph_response.simulated_us,
+                batch_size: 1,
+                cache_hit,
+                iteration: index,
+                priority,
+                graph: Some(stats),
+            }));
+        }
+        Err(err) => {
+            shared.metrics.record_batch("graph", 0, 1, 0.0, false);
+            work.fulfil(Err(err));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::{execute_reference, RequestInput};
+    use crate::request::{execute_reference, Request, RequestInput};
+    use crate::submit::Priority;
     use rf_codegen::Workload;
     use rf_workloads::{moe_tiny, random_matrix};
 
     fn tiny_engine(workers: usize) -> Engine {
         Engine::with_config(
             GpuArch::a10(),
-            RuntimeConfig {
-                workers,
-                max_batch: 4,
-                cache_capacity: 16,
-            },
+            RuntimeConfig::builder()
+                .workers(workers)
+                .max_batch(4)
+                .cache_capacity(16)
+                .build()
+                .unwrap(),
         )
     }
 
@@ -305,10 +475,13 @@ mod tests {
             let oracle = execute_reference(&request.workload, &request.input);
             assert!(result.output.approx_eq(&oracle, 1e-9));
             assert!(result.simulated_us.is_finite() && result.simulated_us > 0.0);
+            assert!(result.iteration >= 1, "responses carry their iteration");
+            assert_eq!(result.priority, Priority::Normal);
         }
         let metrics = engine.metrics();
         assert_eq!(metrics.completed, 6);
         assert_eq!(metrics.queue_depth, 0);
+        assert_eq!(metrics.shed, 0);
         assert_eq!(metrics.cache.misses, 1, "one shape => one compile");
         assert!(metrics.p99_us >= metrics.p50_us);
     }
@@ -324,7 +497,22 @@ mod tests {
             })
             .unwrap_err();
         assert!(matches!(err, RuntimeError::InputMismatch { .. }));
+        assert_eq!(err.code(), "input_mismatch");
         assert_eq!(engine.metrics().submitted, 0);
+    }
+
+    #[test]
+    fn invalid_configs_panic_with_the_typed_detail() {
+        let config = RuntimeConfig {
+            workers: 0,
+            ..RuntimeConfig::default()
+        };
+        let panic = std::panic::catch_unwind(|| Engine::with_config(GpuArch::a10(), config))
+            .expect_err("zero workers must be rejected");
+        let message = panic
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
+        assert!(message.contains("workers"), "got: {message}");
     }
 
     #[test]
@@ -440,20 +628,54 @@ mod tests {
         assert_eq!(metrics.graph_glue_ops, 2 * first.glue_ops as u64);
         assert_eq!((metrics.region_hits, metrics.region_lookups), (1, 2));
         assert!(metrics.report().contains("graphs served"));
+        // Graphs ride the unified stream now, so they also count as served
+        // requests under the "graph" class.
+        assert_eq!(metrics.submitted, 2);
+        assert_eq!(metrics.completed, 2);
+        assert!(metrics.classes.iter().any(|c| c.class == "graph"));
         // The routing-softmax region landed in the same plan cache the
         // request path uses.
         assert_eq!(engine.cache_stats().misses, 1);
     }
 
     #[test]
+    fn unified_submit_serves_graphs_asynchronously() {
+        use rf_graph::builders;
+        let engine = tiny_engine(2);
+        let graph = Arc::new(builders::moe_block(4, 8, 4));
+        let bindings: Vec<(String, rf_workloads::Matrix)> = builders::moe_block_inputs(4, 8, 4, 3)
+            .into_iter()
+            .map(|(n, m)| (n.to_string(), m))
+            .collect();
+        let reference = graph
+            .evaluate(&builders::moe_block_inputs(4, 8, 4, 3))
+            .unwrap();
+        let ticket = engine
+            .submit(Submission::graph(Arc::clone(&graph), bindings).with_priority(Priority::High))
+            .unwrap();
+        let response = ticket.wait().unwrap();
+        assert_eq!(response.priority, Priority::High);
+        assert_eq!(response.batch_size, 1, "graphs are singleton iterations");
+        let stats = response.graph.expect("graph stats attached");
+        assert!(stats.fused_regions >= 1);
+        let RequestOutput::Tensors(outputs) = &response.output else {
+            panic!("graph submissions produce tensors");
+        };
+        assert_eq!(outputs.len(), reference.len());
+        assert!(outputs[0].max_abs_diff(&reference[0]) < 1e-9);
+        assert!(response.workload.starts_with("graph["));
+    }
+
+    #[test]
     fn mean_batch_size_grows_when_shapes_repeat() {
         let engine = Engine::with_config(
             GpuArch::a10(),
-            RuntimeConfig {
-                workers: 1,
-                max_batch: 8,
-                cache_capacity: 16,
-            },
+            RuntimeConfig::builder()
+                .workers(1)
+                .max_batch(8)
+                .cache_capacity(16)
+                .build()
+                .unwrap(),
         );
         for seed in 0..8 {
             engine
@@ -468,5 +690,45 @@ mod tests {
             "identical shapes should have been batched (mean {})",
             metrics.mean_batch_size
         );
+    }
+
+    #[test]
+    fn overload_sheds_are_counted_per_lane() {
+        // One worker, a budget of 2: flood the engine and require typed,
+        // counted sheds while everything admitted still completes.
+        let engine = Engine::with_config(
+            GpuArch::a10(),
+            RuntimeConfig::builder()
+                .workers(1)
+                .max_batch(2)
+                .max_in_flight(2)
+                .cache_capacity(8)
+                .build()
+                .unwrap(),
+        );
+        let mut admitted = Vec::new();
+        let mut sheds = 0usize;
+        for seed in 0..64 {
+            match engine.submit(Request::softmax(random_matrix(8, 256, seed, -1.0, 1.0))) {
+                Ok(ticket) => admitted.push(ticket),
+                Err(err @ RuntimeError::Overloaded { .. }) => {
+                    assert_eq!(err.code(), "overloaded");
+                    sheds += 1;
+                }
+                Err(other) => panic!("unexpected error: {other:?}"),
+            }
+        }
+        engine.run_until_drained();
+        for ticket in admitted {
+            ticket.wait().unwrap();
+        }
+        let metrics = engine.metrics();
+        assert_eq!(metrics.shed as usize, sheds);
+        assert_eq!(metrics.submitted + metrics.shed, 64);
+        assert_eq!(metrics.completed, metrics.submitted);
+        let normal = &metrics.lanes[Priority::Normal.lane()];
+        assert_eq!(normal.shed as usize, sheds);
+        assert_eq!(normal.completed, metrics.completed);
+        assert!(metrics.report().contains("requests shed"));
     }
 }

@@ -44,29 +44,33 @@ pub struct GraphResponse {
 }
 
 fn graph_err(detail: impl Into<String>) -> RuntimeError {
-    RuntimeError::Graph {
-        detail: detail.into(),
-    }
+    RuntimeError::graph(detail)
 }
 
 /// Executes a partitioned graph over concrete input bindings, compiling each
 /// fused region through `cache` and costing the execution on `arch`'s
 /// analytical model. Records the graph-serving counters into `metrics` when
-/// provided.
+/// provided. Bindings are generic over the name type, so both borrowed
+/// (`(&str, Matrix)`) builder output and owned (`(String, Matrix)`) queue
+/// payloads execute without cloning tensors.
 ///
 /// # Errors
 ///
 /// [`RuntimeError::Graph`] when a binding is missing or misshapen, or when a
-/// region's compiled program rejects its tensors.
-pub fn execute_graph_plan(
+/// region's compiled program rejects its tensors. Errors originating in
+/// `rf-graph` keep the [`rf_graph::GraphError`] reachable through
+/// [`std::error::Error::source`].
+pub fn execute_graph_plan<S: AsRef<str>>(
     cache: &PlanCache,
     arch: &GpuArch,
     metrics: Option<&RuntimeMetrics>,
     graph: &OpGraph,
     plan: &GraphPlan,
-    bindings: &[(&str, Matrix)],
+    bindings: &[(S, Matrix)],
 ) -> Result<GraphResponse, RuntimeError> {
-    let mut values = graph.bind(bindings).map_err(|e| graph_err(e.to_string()))?;
+    let mut values = graph
+        .bind(bindings)
+        .map_err(RuntimeError::from_graph_error)?;
     let mut fused_ops = 0usize;
     let mut glue_ops = 0usize;
     let mut region_lookups = 0usize;
@@ -78,7 +82,7 @@ pub fn execute_graph_plan(
             Step::Glue(id) => {
                 let value = graph
                     .eval_node(*id, &values)
-                    .map_err(|e| graph_err(e.to_string()))?;
+                    .map_err(RuntimeError::from_graph_error)?;
                 values[*id] = Some(value);
                 glue_ops += 1;
                 simulated_us += estimate_latency(arch, &glue_profile(graph, *id)).total_us;
@@ -183,8 +187,12 @@ mod tests {
         let plan = partition::partition(&graph);
         let arch = GpuArch::a10();
         let cache = PlanCache::new(arch.clone(), 8);
-        let err = execute_graph_plan(&cache, &arch, None, &graph, &plan, &[]).unwrap_err();
+        let no_bindings: [(&str, Matrix); 0] = [];
+        let err = execute_graph_plan(&cache, &arch, None, &graph, &plan, &no_bindings).unwrap_err();
         assert!(matches!(err, RuntimeError::Graph { .. }));
         assert!(err.to_string().contains("not bound"));
+        // The originating rf-graph error stays reachable via source().
+        let source = std::error::Error::source(&err).expect("graph errors chain their source");
+        assert!(source.to_string().contains("not bound"));
     }
 }

@@ -1,21 +1,33 @@
 //! A concurrent serving runtime over the RedFuser compiler pipeline.
 //!
 //! The compiler crates answer "how do I fuse and tune this cascade once"; this
-//! crate answers "how do I serve a stream of such requests". It adds the layer
-//! both serving systems this repository mirrors are built around (a
-//! router/worker split with compiled-model reuse): callers submit
-//! [`Request`]s — a [`rf_codegen::Workload`] plus input tensors — and a worker
-//! pool serves them through three cooperating pieces:
+//! crate answers "how do I serve an **open stream** of such requests". It adds
+//! the layer both serving systems this repository mirrors are built around (a
+//! router/worker split with compiled-model reuse and continuous batching):
+//! callers submit [`Submission`]s — a single workload [`Request`], a whole
+//! operator graph, or a pre-partitioned plan, each on a [`Priority`] lane —
+//! through the unified [`Engine::submit`] front door, and a worker pool serves
+//! them through four cooperating pieces:
 //!
 //! * [`PlanCache`] — a bounded, thread-safe LRU cache of tuned
 //!   [`rf_codegen::CompiledKernel`]s keyed by [`rf_codegen::PlanKey`]
 //!   (`(workload, arch)`), so detection, ACRF analysis, lowering and
 //!   auto-tuning run once per distinct shape instead of once per request;
-//! * [`BatchScheduler`] — a blocking queue that groups shape-compatible
-//!   requests (same plan key) into batches executed as one simulated launch;
-//! * [`RuntimeMetrics`] — served/batch counters, p50/p99 *simulated* latency
-//!   from the `rf-gpusim` model, queue depth and cache hit rate, with a
-//!   plain-text [`MetricsSnapshot::report`].
+//! * [`StreamScheduler`] — iteration-level continuous batching: each engine
+//!   iteration's batch is formed at the iteration boundary from whatever
+//!   shape-compatible work is queued, so a request submitted while a batch is
+//!   mid-flight joins a subsequent iteration instead of waiting for a drain.
+//!   Admission is bounded ([`RuntimeConfig::max_in_flight`]) with graceful
+//!   shedding ([`RuntimeError::Overloaded`] plus a retry hint), and the three
+//!   priority lanes are scheduled by deficit-weighted round-robin so no lane
+//!   starves;
+//! * [`RuntimeMetrics`] — served/shed/batch counters, per-lane and per-class
+//!   breakdowns, p50/p99 *simulated* latency from the `rf-gpusim` model,
+//!   queue depth and cache hit rate, with a plain-text
+//!   [`MetricsSnapshot::report`];
+//! * [`RuntimeConfig`] — a validating [`RuntimeConfig::builder`] that rejects
+//!   impossible configurations (zero workers, zero budgets, inverted lane
+//!   weights) with typed [`RuntimeError::InvalidConfig`] errors.
 //!
 //! The [`Engine`] facade ties them together:
 //!
@@ -42,18 +54,23 @@
 //! [`std::sync::OnceLock`] and kernel execution runs on `Arc` snapshots — no
 //! lock is ever held across either.
 
-pub mod batch;
 pub mod cache;
+pub mod config;
 pub mod engine;
 pub mod graph;
 pub mod metrics;
 pub mod request;
+pub mod stream;
+pub mod submit;
 
-pub use batch::{BatchScheduler, QueuedRequest, RequestResult, Ticket};
 pub use cache::{CacheStats, PlanCache};
-pub use engine::{Engine, RuntimeConfig};
+pub use config::{LaneWeights, RuntimeConfig, RuntimeConfigBuilder};
+pub use engine::Engine;
 pub use graph::{execute_graph_plan, GraphResponse};
-pub use metrics::{ClassSnapshot, MetricsSnapshot, RuntimeMetrics};
+pub use metrics::{ClassSnapshot, LaneSnapshot, MetricsSnapshot, RuntimeMetrics};
 pub use request::{
-    execute_plan, execute_reference, Request, RequestId, RequestInput, RequestOutput, RuntimeError,
+    execute_plan, execute_reference, OverloadInfo, Request, RequestId, RequestInput, RequestOutput,
+    RuntimeError,
 };
+pub use stream::{QueuedWork, StreamScheduler, Ticket};
+pub use submit::{GraphStats, Priority, RequestResult, Response, Submission, LANES};

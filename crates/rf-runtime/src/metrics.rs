@@ -12,6 +12,7 @@ use std::sync::Mutex;
 use rf_codegen::TuningCacheStats;
 
 use crate::cache::CacheStats;
+use crate::submit::{Priority, LANES};
 
 /// Number of most-recent latency samples kept for the percentile estimates.
 /// Bounds the engine's memory at one `f64` per slot regardless of how long it
@@ -42,6 +43,14 @@ struct ClassTrack {
     window: VecDeque<f64>,
 }
 
+/// Per-priority-lane accumulators.
+#[derive(Debug, Default)]
+struct LaneTrack {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+}
+
 /// Thread-safe metric accumulators, owned by the engine and updated by the
 /// worker pool.
 #[derive(Debug, Default)]
@@ -49,6 +58,10 @@ pub struct RuntimeMetrics {
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    /// Submissions shed by admission control (`RuntimeError::Overloaded`).
+    shed: AtomicU64,
+    /// Per-priority-lane traffic, indexed by [`Priority::lane`].
+    lanes: [LaneTrack; LANES],
     batches: AtomicU64,
     /// Simulated per-request latencies, in microseconds.
     latencies_us: Mutex<LatencyTrack>,
@@ -100,6 +113,19 @@ impl ClassSnapshot {
     }
 }
 
+/// A point-in-time view of one priority lane's traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneSnapshot {
+    /// The lane name (`"high"`, `"normal"`, `"low"`).
+    pub lane: &'static str,
+    /// Submissions accepted onto this lane.
+    pub submitted: u64,
+    /// Submissions from this lane fully served.
+    pub completed: u64,
+    /// Submissions to this lane shed by admission control.
+    pub shed: u64,
+}
+
 /// A point-in-time view of the runtime's health.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
@@ -109,6 +135,12 @@ pub struct MetricsSnapshot {
     pub completed: u64,
     /// Requests whose execution failed (delivered an error, not a result).
     pub failed: u64,
+    /// Submissions shed by admission control with
+    /// [`crate::RuntimeError::Overloaded`] — never accepted, so disjoint
+    /// from `submitted`.
+    pub shed: u64,
+    /// Per-priority-lane traffic, highest lane first.
+    pub lanes: Vec<LaneSnapshot>,
     /// Batches executed.
     pub batches: u64,
     /// Requests waiting or executing right now.
@@ -190,15 +222,51 @@ impl RuntimeMetrics {
         Self::default()
     }
 
-    /// Records one accepted request.
-    pub fn record_submit(&self) {
+    /// Records one accepted submission on `priority`'s lane.
+    pub fn record_submit(&self, priority: Priority) {
         self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.lanes[priority.lane()]
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Rolls back one [`RuntimeMetrics::record_submit`] whose request was
-    /// rejected after counting (scheduler shutdown race).
-    pub fn cancel_submit(&self) {
+    /// Rolls back one [`RuntimeMetrics::record_submit`] whose submission was
+    /// rejected after counting (scheduler shutdown race or admission shed).
+    pub fn cancel_submit(&self, priority: Priority) {
         self.submitted.fetch_sub(1, Ordering::Relaxed);
+        self.lanes[priority.lane()]
+            .submitted
+            .fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records one submission shed by admission control.
+    pub fn record_shed(&self, priority: Priority) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+        self.lanes[priority.lane()]
+            .shed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `served` submissions from `priority`'s lane fully served.
+    /// Lane attribution only — class counters come from
+    /// [`RuntimeMetrics::record_batch`], which has no per-request priority.
+    pub fn record_served(&self, priority: Priority, served: usize) {
+        self.lanes[priority.lane()]
+            .completed
+            .fetch_add(served as u64, Ordering::Relaxed);
+    }
+
+    /// Mean simulated request latency over the engine's lifetime, in
+    /// microseconds (`0.0` before the first served request). Cheap enough
+    /// for the submission path: the engine derives overload retry hints
+    /// from it.
+    pub fn mean_us(&self) -> f64 {
+        let track = self.latencies_us.lock().expect("metrics lock poisoned");
+        if track.count == 0 {
+            0.0
+        } else {
+            track.total_us / track.count as f64
+        }
     }
 
     /// Records one batch of workload class `class`: `executed` requests were
@@ -326,10 +394,24 @@ impl RuntimeMetrics {
         classes.sort_by_key(|c| c.class);
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_requests.load(Ordering::Relaxed);
+        let lanes = Priority::ALL
+            .iter()
+            .map(|priority| {
+                let track = &self.lanes[priority.lane()];
+                LaneSnapshot {
+                    lane: priority.name(),
+                    submitted: track.submitted.load(Ordering::Relaxed),
+                    completed: track.completed.load(Ordering::Relaxed),
+                    shed: track.shed.load(Ordering::Relaxed),
+                }
+            })
+            .collect();
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            lanes,
             batches,
             queue_depth,
             mean_batch_size: if batches == 0 {
@@ -360,6 +442,7 @@ impl MetricsSnapshot {
         out.push_str(&format!("  requests submitted   {:>12}\n", self.submitted));
         out.push_str(&format!("  requests completed   {:>12}\n", self.completed));
         out.push_str(&format!("  requests failed      {:>12}\n", self.failed));
+        out.push_str(&format!("  requests shed        {:>12}\n", self.shed));
         out.push_str(&format!("  batches executed     {:>12}\n", self.batches));
         out.push_str(&format!(
             "  mean batch size      {:>12.2}\n",
@@ -406,6 +489,15 @@ impl MetricsSnapshot {
                 self.region_lookups,
                 self.region_hit_rate() * 100.0
             ));
+        }
+        if self.lanes.iter().any(|l| l.submitted > 0 || l.shed > 0) {
+            out.push_str("  per-lane breakdown\n");
+            for lane in &self.lanes {
+                out.push_str(&format!(
+                    "    {:<10} submitted {:>8}  completed {:>8}  shed {:>8}\n",
+                    lane.lane, lane.submitted, lane.completed, lane.shed
+                ));
+            }
         }
         if !self.classes.is_empty() {
             out.push_str("  per-class breakdown\n");
@@ -486,10 +578,12 @@ mod tests {
     fn batches_update_counters_and_latency_distribution() {
         let metrics = RuntimeMetrics::new();
         for _ in 0..4 {
-            metrics.record_submit();
+            metrics.record_submit(Priority::Normal);
         }
         metrics.record_batch("softmax", 3, 0, 10.0, false);
         metrics.record_batch("mha", 1, 0, 50.0, true);
+        metrics.record_served(Priority::Normal, 3);
+        metrics.record_served(Priority::High, 1);
         let snap = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
         assert_eq!(snap.submitted, 4);
         assert_eq!(snap.completed, 4);
@@ -498,6 +592,34 @@ mod tests {
         assert_eq!(snap.p50_us, 10.0);
         assert!(snap.p99_us > 10.0 && snap.p99_us <= 50.0);
         assert!((snap.mean_us - 20.0).abs() < 1e-12);
+        assert_eq!(metrics.mean_us(), snap.mean_us);
+        // Lane attribution: 4 normal submissions, 3 normal + 1 high served.
+        assert_eq!(snap.lanes.len(), LANES);
+        assert_eq!(snap.lanes[0].lane, "high");
+        assert_eq!((snap.lanes[0].submitted, snap.lanes[0].completed), (0, 1));
+        assert_eq!((snap.lanes[1].submitted, snap.lanes[1].completed), (4, 3));
+    }
+
+    #[test]
+    fn sheds_are_counted_per_lane_and_reported() {
+        let metrics = RuntimeMetrics::new();
+        assert_eq!(metrics.mean_us(), 0.0, "no samples => zero mean");
+        // An overloaded submission is first counted, then rolled back and
+        // recorded as a shed — it must not inflate `submitted`.
+        metrics.record_submit(Priority::Low);
+        metrics.cancel_submit(Priority::Low);
+        metrics.record_shed(Priority::Low);
+        metrics.record_shed(Priority::High);
+        let snap = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
+        assert_eq!(snap.submitted, 0);
+        assert_eq!(snap.shed, 2);
+        assert_eq!(snap.lanes[Priority::Low.lane()].shed, 1);
+        assert_eq!(snap.lanes[Priority::High.lane()].shed, 1);
+        assert_eq!(snap.lanes[Priority::Low.lane()].submitted, 0);
+        let report = snap.report();
+        assert!(report.contains("requests shed"));
+        assert!(report.contains("per-lane breakdown"));
+        assert!(report.contains("low"));
     }
 
     #[test]
@@ -520,7 +642,7 @@ mod tests {
     #[test]
     fn report_mentions_every_headline_number() {
         let metrics = RuntimeMetrics::new();
-        metrics.record_submit();
+        metrics.record_submit(Priority::Normal);
         metrics.record_batch("softmax", 1, 0, 12.5, false);
         let report = metrics
             .snapshot(

@@ -14,8 +14,10 @@
 //!   serves.
 
 use std::fmt;
+use std::time::Duration;
 
 use rf_codegen::{CompiledKernel, Workload};
+use rf_graph::GraphError;
 use rf_kernels::moe::RoutingDecision;
 use rf_kernels::{attention, moe, nonml, quant, softmax};
 use rf_tile::exec::{ExecInput, ExecOutput};
@@ -24,8 +26,41 @@ use rf_workloads::Matrix;
 /// Monotonically increasing identifier assigned to each submitted request.
 pub type RequestId = u64;
 
+/// The admission-control state behind a [`RuntimeError::Overloaded`] shed:
+/// how full the engine was when the request was turned away. Implements
+/// [`std::error::Error`] so it can be reached through
+/// [`std::error::Error::source`] chaining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverloadInfo {
+    /// Requests queued or executing when the submission arrived.
+    pub in_flight: usize,
+    /// The engine's bounded in-flight budget
+    /// ([`crate::RuntimeConfig::max_in_flight`]).
+    pub budget: usize,
+}
+
+impl fmt::Display for OverloadInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "in-flight budget exhausted: {} of {} slots occupied",
+            self.in_flight, self.budget
+        )
+    }
+}
+
+impl std::error::Error for OverloadInfo {}
+
 /// Errors reported by the serving runtime.
+///
+/// The enum is `#[non_exhaustive]`: downstream matchers must carry a
+/// wildcard arm, so future serving failure modes can be added without a
+/// breaking release. Every variant has a stable [`RuntimeError::code`]
+/// string for log scraping, and the variants that wrap a deeper failure
+/// ([`RuntimeError::Graph`], [`RuntimeError::Overloaded`]) expose it through
+/// [`std::error::Error::source`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum RuntimeError {
     /// The input tensor kind does not match the workload family (e.g. routing
     /// tensors submitted with a softmax workload).
@@ -57,7 +92,62 @@ pub enum RuntimeError {
     Graph {
         /// Human-readable description of the failure.
         detail: String,
+        /// The graph-level error this failure originated from, when the
+        /// failure came out of `rf-graph` (binding or evaluation); reachable
+        /// via [`std::error::Error::source`].
+        source: Option<GraphError>,
     },
+    /// The engine's bounded in-flight budget is exhausted; the submission was
+    /// shed instead of queued. Graceful degradation under open-loop overload:
+    /// the caller should back off for roughly `retry_hint` and resubmit.
+    Overloaded {
+        /// A backoff estimate derived from the current depth and the recent
+        /// mean iteration latency.
+        retry_hint: Duration,
+        /// The admission-control state at shed time; reachable via
+        /// [`std::error::Error::source`].
+        source: OverloadInfo,
+    },
+    /// A [`crate::RuntimeConfig`] failed validation (zero worker count, zero
+    /// in-flight budget, inverted priority-lane weights, …).
+    InvalidConfig {
+        /// Human-readable description of the rejected configuration.
+        detail: String,
+    },
+}
+
+impl RuntimeError {
+    /// A stable, machine-scrapable identifier for the error class. These
+    /// strings are part of the API: log pipelines may key on them, so they
+    /// never change even if the human-readable `Display` text does.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RuntimeError::InputMismatch { .. } => "input_mismatch",
+            RuntimeError::ShapeMismatch { .. } => "shape_mismatch",
+            RuntimeError::ShuttingDown => "shutting_down",
+            RuntimeError::ExecutionFailed { .. } => "execution_failed",
+            RuntimeError::Graph { .. } => "graph",
+            RuntimeError::Overloaded { .. } => "overloaded",
+            RuntimeError::InvalidConfig { .. } => "invalid_config",
+        }
+    }
+
+    /// Builds a [`RuntimeError::Graph`] with no deeper source.
+    pub(crate) fn graph(detail: impl Into<String>) -> RuntimeError {
+        RuntimeError::Graph {
+            detail: detail.into(),
+            source: None,
+        }
+    }
+
+    /// Builds a [`RuntimeError::Graph`] from an `rf-graph` error, preserving
+    /// it as the `source`.
+    pub(crate) fn from_graph_error(err: GraphError) -> RuntimeError {
+        RuntimeError::Graph {
+            detail: err.to_string(),
+            source: Some(err),
+        }
+    }
 }
 
 impl fmt::Display for RuntimeError {
@@ -78,12 +168,31 @@ impl fmt::Display for RuntimeError {
             RuntimeError::ExecutionFailed { workload } => {
                 write!(f, "execution of workload `{workload}` failed")
             }
-            RuntimeError::Graph { detail } => write!(f, "graph execution failed: {detail}"),
+            RuntimeError::Graph { detail, .. } => write!(f, "graph execution failed: {detail}"),
+            RuntimeError::Overloaded { retry_hint, source } => write!(
+                f,
+                "engine overloaded ({source}); retry in ~{:.1} ms",
+                retry_hint.as_secs_f64() * 1e3
+            ),
+            RuntimeError::InvalidConfig { detail } => {
+                write!(f, "invalid runtime configuration: {detail}")
+            }
         }
     }
 }
 
-impl std::error::Error for RuntimeError {}
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Graph {
+                source: Some(inner),
+                ..
+            } => Some(inner),
+            RuntimeError::Overloaded { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 /// The input tensors of one request. Each variant serves one workload family.
 #[derive(Debug, Clone, PartialEq)]
@@ -161,6 +270,9 @@ pub enum RequestOutput {
     Values(Vec<f64>),
     /// Per-token expert selections (MoE routing).
     Routing(Vec<RoutingDecision>),
+    /// The declared outputs of a served graph submission, in declaration
+    /// order.
+    Tensors(Vec<Matrix>),
 }
 
 impl RequestOutput {
@@ -195,6 +307,14 @@ impl RequestOutput {
             }
             (RequestOutput::Routing(a), RequestOutput::Routing(b)) => {
                 moe::decisions_equal(a, b, tolerance)
+            }
+            (RequestOutput::Tensors(a), RequestOutput::Tensors(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| {
+                        x.rows() == y.rows()
+                            && x.cols() == y.cols()
+                            && rf_kernels::max_rel_diff(x.as_slice(), y.as_slice()) <= tolerance
+                    })
             }
             _ => false,
         }

@@ -28,7 +28,7 @@
 //! | [`gpusim`] | `rf-gpusim` | analytical GPU performance model (A10/A100/H800/MI308X) |
 //! | [`codegen`] | `rf-codegen` | lowering, Single/Multi-Segment strategies, fusion levels, auto-tuner |
 //! | [`kernels`] | `rf-kernels` | reference + hand-optimized CPU numeric kernels |
-//! | [`runtime`] | `rf-runtime` | concurrent serving engine: plan cache, batch scheduler, metrics |
+//! | [`runtime`] | `rf-runtime` | continuous-batching serving engine: unified submission API, priority lanes, admission control, plan cache, metrics |
 //! | [`baselines`] | `rf-baselines` | eager / inductor-like / tvm-like compiler behaviour models |
 //! | [`workloads`] | `rf-workloads` | paper configuration tables and data generation |
 //!

@@ -52,11 +52,12 @@ fn peak(m: &Matrix) -> f64 {
 fn tiny_engine() -> Engine {
     Engine::with_config(
         GpuArch::a10(),
-        RuntimeConfig {
-            workers: 1,
-            max_batch: 4,
-            cache_capacity: 16,
-        },
+        RuntimeConfig::builder()
+            .workers(1)
+            .max_batch(4)
+            .cache_capacity(16)
+            .build()
+            .expect("valid config"),
     )
 }
 

@@ -54,11 +54,12 @@ fn concurrent_mixed_workloads_complete_and_compile_once_per_shape() {
     const SUBMITTERS: u64 = 6;
     let engine = Arc::new(Engine::with_config(
         GpuArch::a10(),
-        RuntimeConfig {
-            workers: 4,
-            max_batch: 8,
-            cache_capacity: 32,
-        },
+        RuntimeConfig::builder()
+            .workers(4)
+            .max_batch(8)
+            .cache_capacity(32)
+            .build()
+            .expect("valid config"),
     ));
 
     // Phase 1: S threads race to submit the same workload mix (with
@@ -184,11 +185,12 @@ fn engine_serves_every_workload_family_from_interpreted_plans() {
     ];
     let engine = Engine::with_config(
         GpuArch::a10(),
-        RuntimeConfig {
-            workers: 3,
-            max_batch: 4,
-            cache_capacity: 16,
-        },
+        RuntimeConfig::builder()
+            .workers(3)
+            .max_batch(4)
+            .cache_capacity(16)
+            .build()
+            .expect("valid config"),
     );
     let tickets: Vec<Ticket> = requests
         .iter()
@@ -232,11 +234,12 @@ fn engine_serves_every_workload_family_from_interpreted_plans() {
 fn resubmitting_after_drain_reuses_cached_plans() {
     let engine = Engine::with_config(
         GpuArch::h800(),
-        RuntimeConfig {
-            workers: 2,
-            max_batch: 4,
-            cache_capacity: 8,
-        },
+        RuntimeConfig::builder()
+            .workers(2)
+            .max_batch(4)
+            .cache_capacity(8)
+            .build()
+            .expect("valid config"),
     );
     for round in 0..3u64 {
         let tickets: Vec<Ticket> = (0..4)
