@@ -25,20 +25,29 @@
 //! | `workers` | `4` | engine worker threads |
 //! | `max-batch` | `16` | engine max batch size |
 //! | `max-in-flight` | `1024` | admission-control budget |
+//! | `trace` | `hist` | engine telemetry: `off \| hist \| full` |
+//! | `trace-buffer` | `65536` | span-buffer bound at `trace=full` |
+//! | `trace-out` | `TRACE_serving.json` | Perfetto trace path (`trace=full`) |
 //! | `out` | `BENCH_serving.json` | report path |
+//!
+//! At `trace=full` the run additionally writes a Chrome trace-event JSON
+//! document (validated before writing) that loads directly into Perfetto
+//! (`ui.perfetto.dev`) or `chrome://tracing`.
 //!
 //! The two historical positional arguments (`serve_trace [arch] [requests]`)
 //! are still accepted.
 
 use std::process::ExitCode;
 
-use rf_bench::serving::{run_trace, Mode, TraceConfig};
+use rf_bench::serving::{run_traced, Mode, TraceConfig};
 use rf_gpusim::GpuArch;
 use rf_runtime::RuntimeConfig;
+use rf_trace::TraceLevel;
 
 struct Args {
     config: TraceConfig,
     out: String,
+    trace_out: String,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -55,7 +64,10 @@ fn parse_args() -> Result<Args, String> {
     let mut workers: usize = 4;
     let mut max_batch: usize = 16;
     let mut max_in_flight: usize = 1024;
+    let mut trace_level = TraceLevel::Histograms;
+    let mut trace_buffer: usize = 65_536;
     let mut out = "BENCH_serving.json".to_string();
+    let mut trace_out = "TRACE_serving.json".to_string();
 
     for (position, raw) in std::env::args().skip(1).enumerate() {
         let (key, value) = match raw.split_once('=') {
@@ -91,6 +103,20 @@ fn parse_args() -> Result<Args, String> {
             "max-in-flight" => {
                 max_in_flight = value.parse().map_err(|_| parse_err("an integer"))?
             }
+            "trace" => {
+                trace_level = match value.as_str() {
+                    "off" => TraceLevel::Off,
+                    "hist" | "histograms" => TraceLevel::Histograms,
+                    "full" => TraceLevel::Full,
+                    other => {
+                        return Err(format!(
+                            "unknown trace level `{other}` (expected off|hist|full)"
+                        ))
+                    }
+                };
+            }
+            "trace-buffer" => trace_buffer = value.parse().map_err(|_| parse_err("an integer"))?,
+            "trace-out" => trace_out = value,
             "out" => out = value,
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -101,6 +127,10 @@ fn parse_args() -> Result<Args, String> {
         .max_batch(max_batch)
         .cache_capacity(32)
         .max_in_flight(max_in_flight)
+        .trace(rf_trace::TraceConfig {
+            level: trace_level,
+            capacity: trace_buffer,
+        })
         .build()
         .map_err(|err| format!("invalid engine config: {err}"))?;
     let mode = if mode == "open" {
@@ -122,6 +152,7 @@ fn parse_args() -> Result<Args, String> {
             runtime,
         },
         out,
+        trace_out,
     })
 }
 
@@ -137,12 +168,31 @@ fn main() -> ExitCode {
         "serving trace: {} requests, {:?}, arch {}",
         args.config.requests, args.config.mode, args.config.arch.name
     );
-    let report = run_trace(&args.config);
+    let (report, trace_json) = run_traced(&args.config);
     println!("{}", report.summary());
     if let Err(err) = std::fs::write(&args.out, report.to_json()) {
         eprintln!("serve_trace: cannot write {}: {err}", args.out);
         return ExitCode::FAILURE;
     }
     println!("wrote {}", args.out);
+    if let Some(trace_json) = trace_json {
+        // Validate before writing: a malformed trace artifact is a bug, not
+        // something to hand to Perfetto.
+        match rf_trace::validate_chrome_trace(&trace_json) {
+            Ok(stats) => println!(
+                "trace: {} events ({} spans, {} instants) across {} request tracks",
+                stats.events, stats.spans, stats.instants, stats.request_tracks
+            ),
+            Err(err) => {
+                eprintln!("serve_trace: malformed trace document: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(err) = std::fs::write(&args.trace_out, trace_json) {
+            eprintln!("serve_trace: cannot write {}: {err}", args.trace_out);
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {} (load it at ui.perfetto.dev)", args.trace_out);
+    }
     ExitCode::SUCCESS
 }

@@ -29,8 +29,8 @@ use rf_codegen::Workload;
 use rf_gpusim::GpuArch;
 use rf_graph::{partition, GraphPlan, OpGraph};
 use rf_runtime::{
-    metrics::percentile, Engine, Priority, Request, RequestInput, RuntimeConfig, RuntimeError,
-    Submission, Ticket,
+    metrics::percentile_sorted, Engine, Priority, Request, RequestInput, RuntimeConfig,
+    RuntimeError, Submission, Ticket,
 };
 use rf_workloads::{
     inertia_tiny, mha_tiny, mla_tiny, moe_tiny, quant_tiny, random_matrix, random_vec,
@@ -211,6 +211,20 @@ pub struct LaneReport {
     pub shed: u64,
 }
 
+/// Per-pipeline-stage wall-clock summary carried in a [`ServingReport`],
+/// sourced from the engine's lifetime stage histograms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageReport {
+    /// Stage name (`"queue"`, `"compile"`, `"tune"`, `"execute"`, `"e2e"`).
+    pub stage: String,
+    /// Requests that contributed a sample to this stage.
+    pub count: u64,
+    /// Median stage wall time, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile stage wall time, microseconds.
+    pub p99_us: f64,
+}
+
 /// The outcome of one harness run — the numbers `BENCH_serving.json` records.
 #[derive(Debug, Clone)]
 pub struct ServingReport {
@@ -248,6 +262,9 @@ pub struct ServingReport {
     pub graphs_served: u64,
     /// Per-lane traffic, highest lane first.
     pub lanes: Vec<LaneReport>,
+    /// Wall-clock per-stage breakdown (queue/compile/tune/execute/e2e), in
+    /// lifecycle order. Empty when the engine ran with tracing off.
+    pub stages: Vec<StageReport>,
 }
 
 fn json_num(value: f64) -> String {
@@ -272,6 +289,20 @@ impl ServingReport {
             })
             .collect::<Vec<_>>()
             .join(",");
+        let stages = self
+            .stages
+            .iter()
+            .map(|stage| {
+                format!(
+                    "{{\"stage\":\"{}\",\"count\":{},\"p50_us\":{},\"p99_us\":{}}}",
+                    stage.stage,
+                    stage.count,
+                    json_num(stage.p50_us),
+                    json_num(stage.p99_us)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
                 "{{\n",
@@ -292,7 +323,8 @@ impl ServingReport {
                 "  \"mean_batch_occupancy\": {},\n",
                 "  \"iterations\": {},\n",
                 "  \"graphs_served\": {},\n",
-                "  \"lanes\": [{}]\n",
+                "  \"lanes\": [{}],\n",
+                "  \"stages\": [{}]\n",
                 "}}\n",
             ),
             self.arch,
@@ -311,13 +343,14 @@ impl ServingReport {
             json_num(self.mean_batch_occupancy),
             self.iterations,
             self.graphs_served,
-            lanes
+            lanes,
+            stages
         )
     }
 
     /// A human-readable one-screen summary.
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             concat!(
                 "serving trace ({} loop, arch {})\n",
                 "  offered {} | completed {} | failed {} | shed {} ({:.1}%)\n",
@@ -342,7 +375,17 @@ impl ServingReport {
             self.iterations,
             self.mean_batch_occupancy,
             self.graphs_served
-        )
+        );
+        for stage in &self.stages {
+            if stage.count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "\n  stage {:<8} n {:>6}  p50 {:>9.1} us  p99 {:>9.1} us",
+                stage.stage, stage.count, stage.p50_us, stage.p99_us
+            ));
+        }
+        out
     }
 }
 
@@ -399,10 +442,18 @@ struct RunOutcome {
 /// Panics on internal harness errors (a collector thread failing); engine
 /// errors (sheds, execution failures) are counted, not propagated.
 pub fn run_trace(config: &TraceConfig) -> ServingReport {
+    run_traced(config).0
+}
+
+/// Like [`run_trace`], additionally returning the engine's Chrome trace-event
+/// JSON when `config.runtime.trace` asked for
+/// [`rf_trace::TraceLevel::Full`] span recording (`None` otherwise). The
+/// JSON loads directly into Perfetto or `chrome://tracing`.
+pub fn run_traced(config: &TraceConfig) -> (ServingReport, Option<String>) {
     let engine = Arc::new(Engine::with_config(config.arch.clone(), config.runtime));
     let (graph, plan) = trace_graph();
     let start = Instant::now();
-    let outcome = match config.mode {
+    let mut outcome = match config.mode {
         Mode::Closed { clients, window } => {
             run_closed(&engine, config, &graph, &plan, clients, window)
         }
@@ -423,8 +474,17 @@ pub fn run_trace(config: &TraceConfig) -> ServingReport {
     engine.run_until_drained();
     let duration_s = start.elapsed().as_secs_f64();
     let metrics = engine.metrics();
+    let trace_json = engine
+        .trace_collector()
+        .level()
+        .spans_enabled()
+        .then(|| engine.chrome_trace());
     let offered = config.requests;
-    ServingReport {
+    // Sort the wall-clock samples once and serve every percentile from the
+    // shared sort (they were previously re-sorted per percentile call).
+    outcome.latencies_us.retain(|v| v.is_finite());
+    outcome.latencies_us.sort_by(f64::total_cmp);
+    let report = ServingReport {
         arch: config.arch.name.to_string(),
         mode: config.mode.name().to_string(),
         offered,
@@ -437,8 +497,8 @@ pub fn run_trace(config: &TraceConfig) -> ServingReport {
         } else {
             0.0
         },
-        wall_p50_us: percentile(&outcome.latencies_us, 50.0),
-        wall_p99_us: percentile(&outcome.latencies_us, 99.0),
+        wall_p50_us: percentile_sorted(&outcome.latencies_us, 50.0),
+        wall_p99_us: percentile_sorted(&outcome.latencies_us, 99.0),
         sim_p50_us: metrics.p50_us,
         sim_p99_us: metrics.p99_us,
         shed_rate: if offered > 0 {
@@ -459,7 +519,19 @@ pub fn run_trace(config: &TraceConfig) -> ServingReport {
                 shed: lane.shed,
             })
             .collect(),
-    }
+        stages: metrics
+            .stages
+            .iter()
+            .filter(|stage| stage.wall.count > 0)
+            .map(|stage| StageReport {
+                stage: stage.stage.to_string(),
+                count: stage.wall.count,
+                p50_us: stage.wall.p50_us,
+                p99_us: stage.wall.p99_us,
+            })
+            .collect(),
+    };
+    (report, trace_json)
 }
 
 fn run_closed(
@@ -687,6 +759,12 @@ mod tests {
                 completed: 25,
                 shed: 0,
             }],
+            stages: vec![StageReport {
+                stage: "e2e".into(),
+                count: 90,
+                p50_us: 120.0,
+                p99_us: 800.0,
+            }],
         };
         let json = report.to_json();
         for key in [
@@ -697,10 +775,12 @@ mod tests {
             "\"shed_rate\": 0.100",
             "\"mean_batch_occupancy\": 3.500",
             "\"lanes\": [{\"lane\":\"high\"",
+            "\"stages\": [{\"stage\":\"e2e\",\"count\":90,\"p50_us\":120.000",
         ] {
             assert!(json.contains(key), "missing `{key}` in:\n{json}");
         }
         assert!(report.summary().contains("90"));
+        assert!(report.summary().contains("stage e2e"));
         // Non-finite metrics must not produce invalid JSON.
         assert_eq!(json_num(f64::NAN), "null");
     }
@@ -730,6 +810,48 @@ mod tests {
         assert!(report.mean_batch_occupancy >= 1.0);
         let lane_submitted: u64 = report.lanes.iter().map(|l| l.submitted).sum();
         assert_eq!(lane_submitted + report.shed, 40);
+        // The default trace level (histograms) populates the per-stage
+        // breakdown: every served request contributes an e2e sample.
+        let e2e = report
+            .stages
+            .iter()
+            .find(|s| s.stage == "e2e")
+            .expect("e2e stage present");
+        assert_eq!(e2e.count, report.completed);
+        assert!(e2e.p99_us >= e2e.p50_us);
+    }
+
+    #[test]
+    fn traced_run_returns_a_loadable_perfetto_trace() {
+        let config = TraceConfig {
+            requests: 30,
+            mode: Mode::Closed {
+                clients: 2,
+                window: 8,
+            },
+            runtime: RuntimeConfig::builder()
+                .workers(2)
+                .max_batch(8)
+                .trace_level(rf_trace::TraceLevel::Full)
+                .build()
+                .unwrap(),
+            ..TraceConfig::default()
+        };
+        let (report, trace) = run_traced(&config);
+        let json = trace.expect("full tracing yields a trace document");
+        let stats = rf_trace::validate_chrome_trace(&json).expect("trace is well-formed");
+        assert!(
+            stats.spans as u64 >= report.completed,
+            "≥1 span per request"
+        );
+        assert!(stats.request_tracks >= 1);
+        assert!(report.to_json().contains("\"stages\": ["));
+        // Below Full no trace document is produced.
+        let steady = TraceConfig {
+            requests: 10,
+            ..TraceConfig::default()
+        };
+        assert!(run_traced(&steady).1.is_none());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Top-level compilation entry point: workload → tuned fused kernel.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use rf_gpusim::{estimate_latency, GpuArch, KernelProfile};
 use rf_tile::exec::{ExecBinding, ExecError, ExecInput, ExecOutput, Semantics};
@@ -174,6 +175,18 @@ pub fn arch_fingerprint(arch: &GpuArch) -> u64 {
     hasher.finish()
 }
 
+/// Wall-clock cost of producing one [`CompiledKernel`], for the runtime's
+/// per-stage telemetry (`rf-trace`): how much of a cache miss went to the
+/// auto-tuner search versus lowering and profile construction.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CompileTiming {
+    /// Total wall time of [`compile_workload_with`], in microseconds.
+    pub total_us: f64,
+    /// Wall time spent inside the auto-tuner search, in microseconds
+    /// (a subset of `total_us`; zero for accounting-only compilations).
+    pub tune_us: f64,
+}
+
 /// The result of compiling one workload for one architecture.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledKernel {
@@ -189,6 +202,8 @@ pub struct CompiledKernel {
     pub latency_us: f64,
     /// The auto-tuning choice that produced the kernel.
     pub tuning: TuningChoice,
+    /// Wall-clock compile/tune cost of producing this kernel.
+    pub timing: CompileTiming,
 }
 
 impl CompiledKernel {
@@ -383,6 +398,7 @@ fn tuned_attention(
         profile.compute_efficiency = 0.75;
         profile
     };
+    let tune_started = Instant::now();
     let choice = tuner.tune_with_hooks(
         &build,
         TuneHooks {
@@ -390,6 +406,7 @@ fn tuned_attention(
             footprint: Some(&footprint),
         },
     );
+    let tune_us = tune_started.elapsed().as_secs_f64() * 1e6;
     // Rebuild the winning program so callers can inspect, dump and execute it.
     let program = bound_attention_program(&shape, &choice.point, shape.qk_dim, shape.head_dim);
     CompiledKernel {
@@ -398,6 +415,10 @@ fn tuned_attention(
         profile: choice.profile.clone(),
         latency_us: choice.latency_us,
         tuning: choice,
+        timing: CompileTiming {
+            total_us: 0.0,
+            tune_us,
+        },
     }
 }
 
@@ -448,6 +469,7 @@ fn tuned_cascade(
         );
         KernelProfile::from_tile_program(&program)
     };
+    let tune_started = Instant::now();
     let choice = tuner.tune_with_hooks(
         &build,
         TuneHooks {
@@ -455,6 +477,7 @@ fn tuned_cascade(
             footprint: Some(&footprint),
         },
     );
+    let tune_us = tune_started.elapsed().as_secs_f64() * 1e6;
     let program = bound_cascade_program(
         name,
         num_reductions,
@@ -470,6 +493,10 @@ fn tuned_cascade(
         profile: choice.profile.clone(),
         latency_us: choice.latency_us,
         tuning: choice,
+        timing: CompileTiming {
+            total_us: 0.0,
+            tune_us,
+        },
     }
 }
 
@@ -517,6 +544,7 @@ fn fused_profile_from_accounting(
         profile,
         latency_us,
         tuning,
+        timing: CompileTiming::default(),
     }
 }
 
@@ -534,6 +562,7 @@ pub fn compile_workload_with(
     arch: &GpuArch,
     opts: &CompileOptions,
 ) -> CompiledKernel {
+    let compile_started = Instant::now();
     let class = workload.class();
     let mut kernel = match workload {
         Workload::Mha(c) => tuned_attention(
@@ -606,6 +635,7 @@ pub fn compile_workload_with(
     if kernel.program.is_none() {
         kernel.program = Some(executable_program(workload, &kernel.tuning.point));
     }
+    kernel.timing.total_us = compile_started.elapsed().as_secs_f64() * 1e6;
     kernel
 }
 
@@ -923,6 +953,29 @@ mod tests {
         let workload = Workload::Softmax { rows: 64, len: 256 };
         let shared = compile_workload_arc(&workload, &arch);
         let direct = compile_workload(&workload, &arch);
-        assert_eq!(*shared, direct);
+        // Wall-clock compile timing legitimately differs between two runs;
+        // everything the kernel *is* must not.
+        let mut shared = (*shared).clone();
+        let mut direct = direct;
+        assert!(shared.timing.total_us >= shared.timing.tune_us);
+        assert!(shared.timing.tune_us >= 0.0);
+        shared.timing = CompileTiming::default();
+        direct.timing = CompileTiming::default();
+        assert_eq!(shared, direct);
+    }
+
+    #[test]
+    fn compile_timing_accounts_tune_inside_total() {
+        let arch = GpuArch::a10();
+        // A tuned cascade searches a real space: tune time is non-zero and
+        // bounded by the total compile wall time.
+        let kernel = compile_workload(&Workload::Softmax { rows: 32, len: 128 }, &arch);
+        assert!(kernel.timing.total_us > 0.0);
+        assert!(kernel.timing.tune_us > 0.0);
+        assert!(kernel.timing.total_us >= kernel.timing.tune_us);
+        // Accounting-only compilations skip the tuner entirely.
+        let moe = compile_workload(&Workload::Moe(rf_workloads::moe_tiny()), &arch);
+        assert_eq!(moe.timing.tune_us, 0.0);
+        assert!(moe.timing.total_us > 0.0);
     }
 }

@@ -30,7 +30,7 @@ pub mod tuner;
 
 pub use compile::{
     arch_fingerprint, compile_workload, compile_workload_arc, compile_workload_with,
-    executable_program, CompileOptions, CompiledKernel, PlanKey, Workload,
+    executable_program, CompileOptions, CompileTiming, CompiledKernel, PlanKey, Workload,
 };
 pub use level::{fusion_level_latency, incremental_sweep, FusionLevelReport, IncrementalPoint};
 pub use lower::{attention_program, cascade_program, AttentionShape};

@@ -8,6 +8,7 @@
 
 use crate::request::RuntimeError;
 use crate::submit::LANES;
+use rf_trace::{TraceConfig, TraceLevel};
 
 /// Deficit-round-robin weights of the three priority lanes. Each iteration
 /// boundary, every backlogged lane's credit grows by its weight and the lane
@@ -60,6 +61,11 @@ pub struct RuntimeConfig {
     pub max_in_flight: usize,
     /// Priority-lane scheduling weights.
     pub lane_weights: LaneWeights,
+    /// Tracing/telemetry level and span-buffer bound (see
+    /// [`TraceConfig`]). Defaults to headline histograms only;
+    /// [`TraceLevel::Full`] additionally buffers per-request spans for
+    /// Chrome-trace export, [`TraceLevel::Off`] makes tracing zero-cost.
+    pub trace: TraceConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -74,6 +80,7 @@ impl Default for RuntimeConfig {
             cache_capacity: 64,
             max_in_flight: 1024,
             lane_weights: LaneWeights::default(),
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -131,6 +138,13 @@ impl RuntimeConfig {
                 w.high, w.normal, w.low
             ));
         }
+        if self.trace.level == TraceLevel::Full && self.trace.capacity == 0 {
+            return invalid(
+                "trace capacity must be at least 1 at TraceLevel::Full \
+                 (a zero buffer drops every span)"
+                    .into(),
+            );
+        }
         Ok(())
     }
 }
@@ -169,6 +183,18 @@ impl RuntimeConfigBuilder {
     /// Sets the priority-lane weights (high, normal, low).
     pub fn lane_weights(mut self, high: u32, normal: u32, low: u32) -> Self {
         self.config.lane_weights = LaneWeights { high, normal, low };
+        self
+    }
+
+    /// Sets the full tracing configuration (level + span-buffer bound).
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.config.trace = trace;
+        self
+    }
+
+    /// Sets just the tracing level, keeping the buffer bound.
+    pub fn trace_level(mut self, level: TraceLevel) -> Self {
+        self.config.trace.level = level;
         self
     }
 
@@ -227,6 +253,32 @@ mod tests {
         // Equal weights are fine (plain round-robin).
         assert!(RuntimeConfig::builder()
             .lane_weights(1, 1, 1)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn builder_sets_trace_levels_and_rejects_zero_full_buffers() {
+        let config = RuntimeConfig::builder()
+            .trace_level(TraceLevel::Full)
+            .build()
+            .unwrap();
+        assert_eq!(config.trace.level, TraceLevel::Full);
+        assert!(config.trace.capacity > 0, "default capacity survives");
+        let config = RuntimeConfig::builder()
+            .trace(TraceConfig::off())
+            .build()
+            .unwrap();
+        assert_eq!(config.trace.level, TraceLevel::Off);
+        let err = RuntimeConfig::builder()
+            .trace(TraceConfig::full().with_capacity(0))
+            .build()
+            .unwrap_err();
+        assert_eq!(err.code(), "invalid_config");
+        assert!(err.to_string().contains("trace capacity"));
+        // A zero buffer is fine when spans are not recorded anyway.
+        assert!(RuntimeConfig::builder()
+            .trace(TraceConfig::off().with_capacity(0))
             .build()
             .is_ok());
     }

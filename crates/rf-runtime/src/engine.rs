@@ -33,9 +33,10 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rf_gpusim::GpuArch;
+use rf_trace::{ArgValue, TraceCollector, TraceEvent, TraceSnapshot, Track};
 
 use crate::cache::{CacheStats, PlanCache};
 use crate::config::RuntimeConfig;
@@ -43,13 +44,22 @@ use crate::graph::GraphResponse;
 use crate::metrics::{MetricsSnapshot, RuntimeMetrics};
 use crate::request::{execute_plan, RequestOutput, RuntimeError};
 use crate::stream::{batch_latency_us, Iteration, QueuedWork, StreamScheduler, Ticket};
-use crate::submit::{GraphStats, Response, Submission, LANES};
+use crate::submit::{GraphStats, Priority, RequestTiming, Response, Submission, LANES};
 
 struct EngineShared {
     arch: GpuArch,
     cache: PlanCache,
     metrics: RuntimeMetrics,
     scheduler: StreamScheduler,
+    trace: TraceCollector,
+}
+
+/// Microseconds from `from` to `to` (0 when the clock says they inverted —
+/// the metrics path must never panic on a monotonic-clock edge case).
+fn duration_us(from: Instant, to: Instant) -> f64 {
+    to.checked_duration_since(from)
+        .map(|d| d.as_secs_f64() * 1e6)
+        .unwrap_or(0.0)
 }
 
 /// A concurrent serving engine for one GPU architecture.
@@ -89,12 +99,13 @@ impl Engine {
         }
         let shared = Arc::new(EngineShared {
             cache: PlanCache::new(arch.clone(), config.cache_capacity),
-            metrics: RuntimeMetrics::new(),
+            metrics: RuntimeMetrics::with_level(config.trace.level),
             scheduler: StreamScheduler::new(
                 config.max_batch,
                 config.max_in_flight,
                 config.lane_weights.as_array(),
             ),
+            trace: TraceCollector::new(config.trace),
             arch,
         });
         let workers = (0..config.workers)
@@ -102,7 +113,7 @@ impl Engine {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("rf-runtime-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawning a runtime worker failed")
             })
             .collect();
@@ -121,7 +132,7 @@ impl Engine {
     /// Validates and enqueues a submission onto its priority lane, returning
     /// the completion ticket. Accepts anything convertible into a
     /// [`Submission`] — in particular a bare [`Request`](crate::Request),
-    /// which submits at [`Priority::Normal`](crate::Priority::Normal).
+    /// which submits at [`Priority::Normal`].
     ///
     /// The request joins the open stream immediately: if a batch is
     /// executing right now, the request is eligible for the next iteration
@@ -148,10 +159,27 @@ impl Engine {
         self.shared.metrics.record_submit(priority);
         if let Err(err) = self.shared.scheduler.enqueue(queued, self.retry_hint()) {
             self.shared.metrics.cancel_submit(priority);
-            if matches!(err, RuntimeError::Overloaded { .. }) {
-                self.shared.metrics.record_shed(priority);
+            if let RuntimeError::Overloaded { retry_hint, source } = &err {
+                self.shared.metrics.record_shed(priority, *retry_hint);
+                if self.shared.trace.enabled() {
+                    self.shared.trace.record(
+                        TraceEvent::instant("shed", self.shared.trace.now_us(), Track::FrontDoor)
+                            .with_request(id)
+                            .with_lane(priority.name())
+                            .with_arg("in_flight", ArgValue::U64(source.in_flight as u64))
+                            .with_arg("budget", ArgValue::U64(source.budget as u64))
+                            .with_arg("retry_us", ArgValue::F64(retry_hint.as_secs_f64() * 1e6)),
+                    );
+                }
             }
             return Err(err);
+        }
+        if self.shared.trace.enabled() {
+            self.shared.trace.record(
+                TraceEvent::instant("submit", self.shared.trace.now_us(), Track::Request(id))
+                    .with_request(id)
+                    .with_lane(priority.name()),
+            );
         }
         Ok(ticket)
     }
@@ -283,6 +311,25 @@ impl Engine {
             self.shared.cache.tuning_stats(),
         )
     }
+
+    /// The engine's span collector (level, timestamps, drop count). Only
+    /// records at [`rf_trace::TraceLevel::Full`]; see
+    /// [`RuntimeConfig::builder`]'s `trace`/`trace_level`.
+    pub fn trace_collector(&self) -> &TraceCollector {
+        &self.shared.trace
+    }
+
+    /// A copy of the buffered span events (empty below
+    /// [`rf_trace::TraceLevel::Full`]).
+    pub fn trace_snapshot(&self) -> TraceSnapshot {
+        self.shared.trace.snapshot()
+    }
+
+    /// The buffered span events as Chrome trace-event JSON, loadable in
+    /// Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
+    pub fn chrome_trace(&self) -> String {
+        self.shared.trace.chrome_trace()
+    }
 }
 
 impl Drop for Engine {
@@ -304,7 +351,7 @@ impl std::fmt::Debug for Engine {
     }
 }
 
-fn worker_loop(shared: &EngineShared) {
+fn worker_loop(shared: &EngineShared, worker: usize) {
     while let Some(iteration) = shared.scheduler.next_iteration() {
         // A panicking kernel must not wedge the engine: the unwind guard
         // keeps the in-flight accounting balanced (so `run_until_drained`
@@ -312,7 +359,7 @@ fn worker_loop(shared: &EngineShared) {
         // `ExecutionFailed` to their tickets (so `Ticket::wait` returns).
         let size = iteration.work.len();
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_iteration(shared, iteration)
+            run_iteration(shared, worker, iteration)
         }));
         shared.scheduler.finish_iteration(size);
     }
@@ -320,14 +367,39 @@ fn worker_loop(shared: &EngineShared) {
 
 /// Executes one iteration taken off the stream: a shape-compatible workload
 /// batch, or a singleton graph.
-fn run_iteration(shared: &EngineShared, iteration: Iteration) {
-    match &iteration.work[0].submission {
-        Submission::Workload { .. } => run_workload_batch(shared, iteration.index, iteration.work),
+fn run_iteration(shared: &EngineShared, worker: usize, iteration: Iteration) {
+    let Iteration {
+        index,
+        lane,
+        formed_at,
+        work,
+    } = iteration;
+    let size = work.len();
+    match &work[0].submission {
+        Submission::Workload { .. } => run_workload_batch(shared, index, formed_at, work),
         Submission::Graph { .. } => {
-            for work in iteration.work {
-                run_graph(shared, iteration.index, work);
+            for work in work {
+                run_graph(shared, index, work);
             }
         }
+    }
+    if shared.trace.enabled() {
+        let start = shared.trace.ts_us_of(formed_at);
+        shared.trace.record(
+            TraceEvent::span(
+                "iteration",
+                start,
+                shared.trace.now_us() - start,
+                Track::Worker(worker),
+            )
+            .with_iteration(index)
+            .with_lane(Priority::ALL[lane].name())
+            .with_arg("batch", ArgValue::U64(size as u64))
+            .with_arg(
+                "occupancy",
+                ArgValue::F64(size as f64 / shared.scheduler.max_batch() as f64),
+            ),
+        );
     }
 }
 
@@ -335,13 +407,28 @@ fn run_iteration(shared: &EngineShared, iteration: Iteration) {
 /// program — a cache hit reuses both the tuning and the executable. No
 /// scheduler or cache lock is held here: the plan is an `Arc` snapshot and
 /// the VM runs on borrowed views of the queued tensors.
-fn run_workload_batch(shared: &EngineShared, index: u64, work: Vec<QueuedWork>) {
+fn run_workload_batch(
+    shared: &EngineShared,
+    index: u64,
+    formed_at: Instant,
+    work: Vec<QueuedWork>,
+) {
     let Submission::Workload { request, .. } = &work[0].submission else {
         unreachable!("workload iterations contain only workload submissions");
     };
     let workload = request.workload.clone();
     let class = workload.class();
+    let plan_started = Instant::now();
     let (plan, cache_hit) = shared.cache.get_or_compile_traced(&workload);
+    let plan_ready = Instant::now();
+    // Plan acquisition as *this iteration* experienced it: ~0 on a hit, the
+    // full compile+tune wall time on a miss (the compiled kernel carries its
+    // own tuner share).
+    let (compile_us, tune_us) = if cache_hit {
+        (0.0, 0.0)
+    } else {
+        (duration_us(plan_started, plan_ready), plan.timing.tune_us)
+    };
     let batch_size = work.len();
     let simulated_us = batch_latency_us(&shared.arch, &plan.profile, batch_size);
     let (mut executed, mut failed) = (0usize, 0usize);
@@ -350,7 +437,17 @@ fn run_workload_batch(shared: &EngineShared, index: u64, work: Vec<QueuedWork>) 
         let Submission::Workload { request, .. } = &queued.submission else {
             unreachable!("workload iterations contain only workload submissions");
         };
-        let result = execute_plan(&plan, request).map(|output| Response {
+        let outcome = execute_plan(&plan, request);
+        let delivered_at = Instant::now();
+        let timing = RequestTiming {
+            queue_us: duration_us(queued.submitted_at, formed_at),
+            compile_us,
+            tune_us,
+            execute_us: duration_us(plan_ready, delivered_at),
+            total_us: duration_us(queued.submitted_at, delivered_at),
+            iterations_waited: index.saturating_sub(queued.iterations_at_submit + 1),
+        };
+        let result = outcome.map(|output| Response {
             id: queued.id,
             workload: request.workload.name(),
             output,
@@ -360,19 +457,106 @@ fn run_workload_batch(shared: &EngineShared, index: u64, work: Vec<QueuedWork>) 
             iteration: index,
             priority,
             graph: None,
+            timing,
         });
         match &result {
             Ok(_) => {
                 executed += 1;
                 shared.metrics.record_served(priority, 1);
+                shared.metrics.record_timing(priority, &timing);
             }
-            Err(_) => failed += 1,
+            Err(_) => {
+                failed += 1;
+                shared.metrics.record_failed(priority, 1);
+            }
+        }
+        if shared.trace.enabled() {
+            record_request_spans(
+                shared,
+                queued.id,
+                priority,
+                class,
+                index,
+                &timing,
+                queued.submitted_at,
+                plan_started,
+                plan_ready,
+                batch_size,
+                cache_hit,
+                result.is_ok(),
+            );
         }
         queued.fulfil(result);
     }
     shared
         .metrics
         .record_batch(class, executed, failed, simulated_us, cache_hit);
+}
+
+/// Records one served request's lifecycle spans on its own trace track:
+/// `queue` (admission → iteration formed), `compile` (miss) or a `hit`
+/// instant, `execute` (plan ready → delivery) and a final `deliver` marker.
+/// The three spans tile the request's wall-clock life, so their durations sum
+/// to its end-to-end latency (up to scheduling gaps).
+#[allow(clippy::too_many_arguments)]
+fn record_request_spans(
+    shared: &EngineShared,
+    id: u64,
+    priority: Priority,
+    class: &'static str,
+    index: u64,
+    timing: &RequestTiming,
+    submitted_at: Instant,
+    plan_started: Instant,
+    plan_ready: Instant,
+    batch_size: usize,
+    cache_hit: bool,
+    ok: bool,
+) {
+    let trace = &shared.trace;
+    let track = Track::Request(id);
+    let lane = priority.name();
+    let plan_start = trace.ts_us_of(plan_started);
+    let execute_start = trace.ts_us_of(plan_ready);
+    trace.record(
+        TraceEvent::span(
+            "queue",
+            trace.ts_us_of(submitted_at),
+            timing.queue_us,
+            track,
+        )
+        .with_request(id)
+        .with_lane(lane)
+        .with_class(class)
+        .with_iteration(index),
+    );
+    if cache_hit {
+        trace.record(
+            TraceEvent::instant("hit", execute_start, track)
+                .with_request(id)
+                .with_class(class),
+        );
+    } else {
+        trace.record(
+            TraceEvent::span("compile", plan_start, timing.compile_us, track)
+                .with_request(id)
+                .with_class(class)
+                .with_arg("tune_us", ArgValue::F64(timing.tune_us)),
+        );
+    }
+    trace.record(
+        TraceEvent::span("execute", execute_start, timing.execute_us, track)
+            .with_request(id)
+            .with_lane(lane)
+            .with_class(class)
+            .with_iteration(index)
+            .with_arg("batch", ArgValue::U64(batch_size as u64)),
+    );
+    trace.record(
+        TraceEvent::instant("deliver", execute_start + timing.execute_us, track)
+            .with_request(id)
+            .with_arg("ok", ArgValue::U64(ok as u64)),
+    );
 }
 
 /// Serves one graph submission: partitions (unless a plan was supplied),
@@ -392,6 +576,7 @@ fn run_graph(shared: &EngineShared, index: u64, work: QueuedWork) {
     let label = work.submission.label();
     let graph = Arc::clone(graph);
     let bindings = Arc::clone(bindings);
+    let started = Instant::now();
     let plan = plan
         .clone()
         .unwrap_or_else(|| Arc::new(rf_graph::partition(&graph)));
@@ -403,6 +588,46 @@ fn run_graph(shared: &EngineShared, index: u64, work: QueuedWork) {
         &plan,
         bindings.as_slice(),
     );
+    let delivered_at = Instant::now();
+    // For a graph the `execute` stage covers partitioning plus every region
+    // step — region compiles hide inside it, so `compile_us` stays zero.
+    let timing = RequestTiming {
+        queue_us: duration_us(work.submitted_at, started),
+        compile_us: 0.0,
+        tune_us: 0.0,
+        execute_us: duration_us(started, delivered_at),
+        total_us: duration_us(work.submitted_at, delivered_at),
+        iterations_waited: index.saturating_sub(work.iterations_at_submit + 1),
+    };
+    if shared.trace.enabled() {
+        let trace = &shared.trace;
+        let track = Track::Request(work.id);
+        let lane = priority.name();
+        trace.record(
+            TraceEvent::span(
+                "queue",
+                trace.ts_us_of(work.submitted_at),
+                timing.queue_us,
+                track,
+            )
+            .with_request(work.id)
+            .with_lane(lane)
+            .with_class("graph")
+            .with_iteration(index),
+        );
+        trace.record(
+            TraceEvent::span("execute", trace.ts_us_of(started), timing.execute_us, track)
+                .with_request(work.id)
+                .with_lane(lane)
+                .with_class("graph")
+                .with_iteration(index),
+        );
+        trace.record(
+            TraceEvent::instant("deliver", trace.ts_us_of(delivered_at), track)
+                .with_request(work.id)
+                .with_arg("ok", ArgValue::U64(result.is_ok() as u64)),
+        );
+    }
     match result {
         Ok(graph_response) => {
             let stats = GraphStats {
@@ -419,6 +644,7 @@ fn run_graph(shared: &EngineShared, index: u64, work: QueuedWork) {
                 .metrics
                 .record_batch("graph", 1, 0, graph_response.simulated_us, cache_hit);
             shared.metrics.record_served(priority, 1);
+            shared.metrics.record_timing(priority, &timing);
             let id = work.id;
             work.fulfil(Ok(Response {
                 id,
@@ -430,10 +656,12 @@ fn run_graph(shared: &EngineShared, index: u64, work: QueuedWork) {
                 iteration: index,
                 priority,
                 graph: Some(stats),
+                timing,
             }));
         }
         Err(err) => {
             shared.metrics.record_batch("graph", 0, 1, 0.0, false);
+            shared.metrics.record_failed(priority, 1);
             work.fulfil(Err(err));
         }
     }
@@ -730,5 +958,165 @@ mod tests {
         assert_eq!(normal.shed as usize, sheds);
         assert_eq!(normal.completed, metrics.completed);
         assert!(metrics.report().contains("requests shed"));
+        if sheds > 0 {
+            assert!(metrics.shed_retry_last_us > 0.0, "sheds carry retry hints");
+            assert!(metrics.shed_retry_mean_us > 0.0);
+            assert!(normal.shed_rate() > 0.0);
+            assert!(metrics.report().contains("shed retry hint"));
+        }
+    }
+
+    #[test]
+    fn responses_carry_a_wall_clock_timing_breakdown() {
+        let engine = tiny_engine(1);
+        let first = engine
+            .submit(Request::softmax(random_matrix(2, 64, 1, -1.0, 1.0)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let timing = *first.timing();
+        assert!(!first.cache_hit);
+        assert!(timing.total_us > 0.0);
+        assert!(timing.execute_us > 0.0);
+        assert!(
+            timing.compile_us > 0.0,
+            "the first request of a shape pays the compile"
+        );
+        assert!(
+            timing.tune_us <= timing.compile_us,
+            "tuning is inside compile"
+        );
+        assert!(timing.accounted_us() <= timing.total_us * 1.001);
+        // Same shape again: served off the cache, so no compile share.
+        let second = engine
+            .submit(Request::softmax(random_matrix(2, 64, 2, -1.0, 1.0)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(second.cache_hit);
+        assert_eq!(second.timing().compile_us, 0.0);
+        assert_eq!(second.timing().tune_us, 0.0);
+        // The stage histograms saw both requests.
+        let metrics = engine.metrics();
+        let e2e = metrics.stages.iter().find(|s| s.stage == "e2e").unwrap();
+        assert_eq!(e2e.wall.count, 2);
+        let compile = metrics
+            .stages
+            .iter()
+            .find(|s| s.stage == "compile")
+            .unwrap();
+        assert_eq!(compile.wall.count, 1, "cache hits record no compile sample");
+    }
+
+    #[test]
+    fn full_tracing_exports_a_valid_nested_chrome_trace() {
+        let engine = Engine::with_config(
+            GpuArch::a10(),
+            RuntimeConfig::builder()
+                .workers(2)
+                .max_batch(4)
+                .trace_level(rf_trace::TraceLevel::Full)
+                .build()
+                .unwrap(),
+        );
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|seed| {
+                engine
+                    .submit(Request::softmax(random_matrix(2, 32, seed, -1.0, 1.0)))
+                    .unwrap()
+            })
+            .collect();
+        engine.run_until_drained();
+        let responses: Vec<Response> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        let snapshot = engine.trace_snapshot();
+        assert_eq!(snapshot.dropped, 0);
+        // Every lifecycle stage appears, plus worker iteration spans.
+        for name in ["submit", "queue", "execute", "deliver", "iteration"] {
+            assert!(
+                snapshot.events.iter().any(|e| e.name == name),
+                "trace must contain `{name}` events"
+            );
+        }
+        let json = engine.chrome_trace();
+        let stats = rf_trace::validate_chrome_trace(&json).expect("trace must be well-formed");
+        assert!(stats.spans >= 8 * 2, "≥ queue+execute per request");
+        assert!(stats.request_tracks >= 1);
+        // The sampled request's spans account for its reported e2e latency.
+        let sampled = &responses[0];
+        let span_sum: f64 = snapshot
+            .events
+            .iter()
+            .filter(|e| e.request == Some(sampled.id) && e.dur_us > 0.0)
+            .map(|e| e.dur_us)
+            .sum();
+        let total = sampled.timing().total_us;
+        assert!(
+            span_sum <= total * 1.001 && span_sum >= total * 0.9,
+            "request spans must sum to within 10% of the e2e latency \
+             (spans {span_sum:.1} us vs e2e {total:.1} us)"
+        );
+    }
+
+    #[test]
+    fn tracing_off_records_no_spans_but_still_times_responses() {
+        let engine = Engine::with_config(
+            GpuArch::a10(),
+            RuntimeConfig::builder()
+                .workers(1)
+                .trace(rf_trace::TraceConfig::off())
+                .build()
+                .unwrap(),
+        );
+        let response = engine
+            .submit(Request::softmax(random_matrix(2, 32, 7, -1.0, 1.0)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(
+            response.timing().total_us > 0.0,
+            "timing is always measured"
+        );
+        assert!(engine.trace_snapshot().events.is_empty());
+        assert_eq!(engine.trace_collector().dropped(), 0);
+        let metrics = engine.metrics();
+        assert_eq!(metrics.trace_level, rf_trace::TraceLevel::Off);
+        assert!(metrics.stages.iter().all(|s| s.wall.count == 0));
+        assert_eq!(metrics.lifetime.count, 0);
+    }
+
+    #[test]
+    fn graph_submissions_time_their_execute_stage() {
+        use rf_graph::builders;
+        let engine = Engine::with_config(
+            GpuArch::a10(),
+            RuntimeConfig::builder()
+                .workers(1)
+                .trace_level(rf_trace::TraceLevel::Full)
+                .build()
+                .unwrap(),
+        );
+        let graph = Arc::new(builders::moe_block(4, 8, 4));
+        let bindings: Vec<(String, rf_workloads::Matrix)> = builders::moe_block_inputs(4, 8, 4, 3)
+            .into_iter()
+            .map(|(n, m)| (n.to_string(), m))
+            .collect();
+        let response = engine
+            .submit(Submission::graph(graph, bindings))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let timing = response.timing();
+        assert!(timing.execute_us > 0.0);
+        assert_eq!(
+            timing.compile_us, 0.0,
+            "region compiles hide inside execute"
+        );
+        assert!(timing.total_us >= timing.execute_us);
+        let snapshot = engine.trace_snapshot();
+        assert!(snapshot
+            .events
+            .iter()
+            .any(|e| e.name == "execute" && e.class == Some("graph")));
+        rf_trace::validate_chrome_trace(&engine.chrome_trace()).expect("graph trace well-formed");
     }
 }

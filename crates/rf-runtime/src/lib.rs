@@ -73,4 +73,9 @@ pub use request::{
     RuntimeError,
 };
 pub use stream::{QueuedWork, StreamScheduler, Ticket};
-pub use submit::{GraphStats, Priority, RequestResult, Response, Submission, LANES};
+pub use submit::{GraphStats, Priority, RequestResult, RequestTiming, Response, Submission, LANES};
+// Tracing/telemetry types (from `rf-trace`), re-exported so engine users
+// configure and consume tracing without naming the crate.
+pub use rf_trace::{
+    HistogramSnapshot, Stage, TraceCollector, TraceConfig, TraceLevel, TraceSnapshot,
+};

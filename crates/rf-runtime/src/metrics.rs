@@ -1,18 +1,29 @@
 //! Serving metrics: request/batch counters, simulated latency percentiles,
-//! queue depth and cache effectiveness, with a plain-text report.
+//! queue depth and cache effectiveness, with a plain-text report and a
+//! Prometheus-style exposition.
 //!
-//! Latencies are the **simulated** per-request latencies from the analytical
-//! GPU model (`rf-gpusim`) — the quantity the paper's evaluation reasons
-//! about — not wall-clock CPU time of the reference interpreters.
+//! Two latency families coexist here:
+//!
+//! * **Simulated** latencies from the analytical GPU model (`rf-gpusim`) —
+//!   the quantity the paper's evaluation reasons about. They feed both the
+//!   bounded sliding windows (recent percentiles, as before) and, at
+//!   [`TraceLevel::Histograms`] and above, lifetime-accurate HDR-style
+//!   [`LogHistogram`]s ([`MetricsSnapshot::lifetime`], per class).
+//! * **Wall-clock** per-stage times measured by the engine
+//!   ([`crate::RequestTiming`]): queue wait, compile, tune, execute and
+//!   end-to-end, recorded into per-[`Stage`] and per-lane histograms so a
+//!   long run can attribute its served latency to pipeline stages.
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 use rf_codegen::TuningCacheStats;
+use rf_trace::{HistogramSnapshot, LogHistogram, Stage, TraceLevel, STAGES};
 
 use crate::cache::CacheStats;
-use crate::submit::{Priority, LANES};
+use crate::submit::{Priority, RequestTiming, LANES};
 
 /// Number of most-recent latency samples kept for the percentile estimates.
 /// Bounds the engine's memory at one `f64` per slot regardless of how long it
@@ -33,7 +44,8 @@ struct LatencyTrack {
 }
 
 /// Accumulators for one [`rf_codegen::Workload::class`]: request/batch
-/// counters, plan-cache effectiveness and a bounded latency window.
+/// counters, plan-cache effectiveness, a bounded latency window and a
+/// lifetime histogram.
 #[derive(Debug, Default)]
 struct ClassTrack {
     completed: u64,
@@ -41,6 +53,9 @@ struct ClassTrack {
     batches: u64,
     cache_hits: u64,
     window: VecDeque<f64>,
+    /// Lifetime simulated-latency histogram (populated at
+    /// [`TraceLevel::Histograms`] and above).
+    lifetime: LogHistogram,
 }
 
 /// Per-priority-lane accumulators.
@@ -48,13 +63,28 @@ struct ClassTrack {
 struct LaneTrack {
     submitted: AtomicU64,
     completed: AtomicU64,
+    failed: AtomicU64,
     shed: AtomicU64,
+    /// Lifetime end-to-end wall-clock histogram (populated at
+    /// [`TraceLevel::Histograms`] and above).
+    wall: LogHistogram,
 }
 
 /// Thread-safe metric accumulators, owned by the engine and updated by the
 /// worker pool.
 #[derive(Debug, Default)]
 pub struct RuntimeMetrics {
+    /// How much telemetry to record (histograms are skipped at
+    /// [`TraceLevel::Off`]).
+    level: TraceLevel,
+    /// Wall-clock per-stage histograms, indexed by [`Stage::index`].
+    stage_walls: [LogHistogram; STAGES],
+    /// Lifetime simulated-latency histogram (all classes).
+    lifetime: LogHistogram,
+    /// Last retry hint attached to a shed, as `f64::to_bits` microseconds.
+    shed_retry_last_bits: AtomicU64,
+    /// Sum of shed retry hints, in integer microseconds (mean = sum/shed).
+    shed_retry_sum_us: AtomicU64,
     submitted: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
@@ -99,6 +129,10 @@ pub struct ClassSnapshot {
     pub p50_us: f64,
     /// 99th-percentile simulated latency over the class's recent window, µs.
     pub p99_us: f64,
+    /// Lifetime simulated-latency histogram summary (p50/p99/p999 over the
+    /// whole run, not just the recent window). All-zero at
+    /// [`TraceLevel::Off`].
+    pub lifetime: HistogramSnapshot,
 }
 
 impl ClassSnapshot {
@@ -114,7 +148,7 @@ impl ClassSnapshot {
 }
 
 /// A point-in-time view of one priority lane's traffic.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LaneSnapshot {
     /// The lane name (`"high"`, `"normal"`, `"low"`).
     pub lane: &'static str,
@@ -122,8 +156,36 @@ pub struct LaneSnapshot {
     pub submitted: u64,
     /// Submissions from this lane fully served.
     pub completed: u64,
+    /// Submissions from this lane delivered an execution error.
+    pub failed: u64,
     /// Submissions to this lane shed by admission control.
     pub shed: u64,
+    /// Lifetime end-to-end wall-clock histogram summary for this lane.
+    /// All-zero at [`TraceLevel::Off`].
+    pub wall: HistogramSnapshot,
+}
+
+impl LaneSnapshot {
+    /// Fraction of this lane's arrivals shed by admission control, in
+    /// `[0, 1]` (sheds never count as submitted, so arrivals are
+    /// `submitted + shed`).
+    pub fn shed_rate(&self) -> f64 {
+        let arrivals = self.submitted + self.shed;
+        if arrivals == 0 {
+            0.0
+        } else {
+            self.shed as f64 / arrivals as f64
+        }
+    }
+}
+
+/// A point-in-time wall-clock summary of one pipeline [`Stage`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSnapshot {
+    /// The stage name (also the span name in exported traces).
+    pub stage: &'static str,
+    /// Lifetime histogram summary of the stage's wall time.
+    pub wall: HistogramSnapshot,
 }
 
 /// A point-in-time view of the runtime's health.
@@ -156,6 +218,20 @@ pub struct MetricsSnapshot {
     /// Mean simulated request latency over the engine's lifetime, in
     /// microseconds.
     pub mean_us: f64,
+    /// The telemetry level the engine ran with.
+    pub trace_level: TraceLevel,
+    /// Lifetime simulated-latency histogram summary: p50/p99/p999 over the
+    /// whole run (unbiased, unlike the sliding-window `p50_us`/`p99_us`).
+    /// All-zero at [`TraceLevel::Off`].
+    pub lifetime: HistogramSnapshot,
+    /// Wall-clock per-stage breakdown in lifecycle order (queue, compile,
+    /// tune, execute, e2e). Counts are zero at [`TraceLevel::Off`].
+    pub stages: Vec<StageSnapshot>,
+    /// The retry hint attached to the most recent shed, in microseconds
+    /// (0 when nothing was shed).
+    pub shed_retry_last_us: f64,
+    /// Mean retry hint over all sheds, in microseconds.
+    pub shed_retry_mean_us: f64,
     /// Plan-cache counters.
     pub cache: CacheStats,
     /// Auto-tuner warm-start cache counters (the searches behind plan-cache
@@ -200,8 +276,11 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     percentile_sorted(&sorted, p)
 }
 
-/// [`percentile`] over an already-sorted sample set (sort once, query many).
-fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+/// [`percentile`] over an already-sorted, all-finite sample set (sort once,
+/// query many). Callers computing several percentiles of one window should
+/// sort once and use this instead of paying [`percentile`]'s copy+sort per
+/// call.
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -217,9 +296,24 @@ fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
 }
 
 impl RuntimeMetrics {
-    /// Creates zeroed metrics.
+    /// Creates zeroed metrics at the default [`TraceLevel::Histograms`].
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates zeroed metrics recording at `level`. At [`TraceLevel::Off`]
+    /// every histogram update is skipped (one predictable branch), keeping
+    /// the hot path as cheap as before tracing existed.
+    pub fn with_level(level: TraceLevel) -> Self {
+        RuntimeMetrics {
+            level,
+            ..Self::default()
+        }
+    }
+
+    /// The telemetry level these metrics record at.
+    pub fn level(&self) -> TraceLevel {
+        self.level
     }
 
     /// Records one accepted submission on `priority`'s lane.
@@ -239,12 +333,51 @@ impl RuntimeMetrics {
             .fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// Records one submission shed by admission control.
-    pub fn record_shed(&self, priority: Priority) {
+    /// Records one submission shed by admission control, together with the
+    /// retry hint the caller was given (surfaced as last/mean in
+    /// [`MetricsSnapshot`] so operators can see what backoff the engine is
+    /// asking for).
+    pub fn record_shed(&self, priority: Priority, retry_hint: Duration) {
         self.shed.fetch_add(1, Ordering::Relaxed);
         self.lanes[priority.lane()]
             .shed
             .fetch_add(1, Ordering::Relaxed);
+        let hint_us = retry_hint.as_secs_f64() * 1e6;
+        self.shed_retry_last_bits
+            .store(hint_us.to_bits(), Ordering::Relaxed);
+        self.shed_retry_sum_us
+            .fetch_add(hint_us as u64, Ordering::Relaxed);
+    }
+
+    /// Records `failed` submissions from `priority`'s lane delivered an
+    /// execution error — the lane-level counterpart of the class-level
+    /// failure count in [`RuntimeMetrics::record_batch`], keeping the
+    /// per-lane invariant `submitted == completed + failed` exact once the
+    /// queue drains.
+    pub fn record_failed(&self, priority: Priority, failed: usize) {
+        self.lanes[priority.lane()]
+            .failed
+            .fetch_add(failed as u64, Ordering::Relaxed);
+    }
+
+    /// Records one served request's wall-clock stage breakdown into the
+    /// per-stage and per-lane histograms. No-op at [`TraceLevel::Off`]. A
+    /// zero `compile_us` (plan-cache hit) contributes no compile/tune
+    /// samples, so those histograms describe misses only.
+    pub fn record_timing(&self, priority: Priority, timing: &RequestTiming) {
+        if !self.level.histograms_enabled() {
+            return;
+        }
+        self.stage_walls[Stage::Queue.index()].record_us(timing.queue_us);
+        if timing.compile_us > 0.0 {
+            self.stage_walls[Stage::Compile.index()].record_us(timing.compile_us);
+        }
+        if timing.tune_us > 0.0 {
+            self.stage_walls[Stage::Tune.index()].record_us(timing.tune_us);
+        }
+        self.stage_walls[Stage::Execute.index()].record_us(timing.execute_us);
+        self.stage_walls[Stage::EndToEnd.index()].record_us(timing.total_us);
+        self.lanes[priority.lane()].wall.record_us(timing.total_us);
     }
 
     /// Records `served` submissions from `priority`'s lane fully served.
@@ -309,10 +442,20 @@ impl RuntimeMetrics {
                     }
                     track.window.push_back(latency_us);
                 }
+                if self.level.histograms_enabled() {
+                    for _ in 0..executed {
+                        track.lifetime.record_us(latency_us);
+                    }
+                }
             }
         }
         if !latency_us.is_finite() {
             return;
+        }
+        if self.level.histograms_enabled() {
+            for _ in 0..executed {
+                self.lifetime.record_us(latency_us);
+            }
         }
         let mut track = self.latencies_us.lock().expect("metrics lock poisoned");
         track.total_us += latency_us * executed as f64;
@@ -387,6 +530,7 @@ impl RuntimeMetrics {
                         cache_hits: track.cache_hits,
                         p50_us: percentile_sorted(&class_window, 50.0),
                         p99_us: percentile_sorted(&class_window, 99.0),
+                        lifetime: track.lifetime.snapshot(),
                     }
                 })
                 .collect()
@@ -402,15 +546,31 @@ impl RuntimeMetrics {
                     lane: priority.name(),
                     submitted: track.submitted.load(Ordering::Relaxed),
                     completed: track.completed.load(Ordering::Relaxed),
+                    failed: track.failed.load(Ordering::Relaxed),
                     shed: track.shed.load(Ordering::Relaxed),
+                    wall: track.wall.snapshot(),
                 }
             })
             .collect();
+        let stages = Stage::ALL
+            .iter()
+            .map(|stage| StageSnapshot {
+                stage: stage.name(),
+                wall: self.stage_walls[stage.index()].snapshot(),
+            })
+            .collect();
+        let shed = self.shed.load(Ordering::Relaxed);
+        let shed_retry_last_us = f64::from_bits(self.shed_retry_last_bits.load(Ordering::Relaxed));
+        let shed_retry_mean_us = if shed == 0 {
+            0.0
+        } else {
+            self.shed_retry_sum_us.load(Ordering::Relaxed) as f64 / shed as f64
+        };
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
-            shed: self.shed.load(Ordering::Relaxed),
+            shed,
             lanes,
             batches,
             queue_depth,
@@ -422,6 +582,11 @@ impl RuntimeMetrics {
             p50_us: percentile_sorted(&window, 50.0),
             p99_us: percentile_sorted(&window, 99.0),
             mean_us,
+            trace_level: self.level,
+            lifetime: self.lifetime.snapshot(),
+            stages,
+            shed_retry_last_us,
+            shed_retry_mean_us,
             cache,
             tuning,
             classes,
@@ -458,6 +623,34 @@ impl MetricsSnapshot {
             "  mean latency (sim)   {:>9.2} us\n",
             self.mean_us
         ));
+        if self.lifetime.count > 0 {
+            out.push_str(&format!(
+                "  lifetime sim latency p50 {:>9.2} us  p99 {:>9.2} us  p999 {:>9.2} us\n",
+                self.lifetime.p50_us, self.lifetime.p99_us, self.lifetime.p999_us
+            ));
+        }
+        if self.stages.iter().any(|s| s.wall.count > 0) {
+            out.push_str("  per-stage wall time\n");
+            for stage in &self.stages {
+                if stage.wall.count == 0 {
+                    continue;
+                }
+                out.push_str(&format!(
+                    "    {:<8} n {:>8}  p50 {:>9.2} us  p99 {:>9.2} us  p999 {:>9.2} us\n",
+                    stage.stage,
+                    stage.wall.count,
+                    stage.wall.p50_us,
+                    stage.wall.p99_us,
+                    stage.wall.p999_us
+                ));
+            }
+        }
+        if self.shed > 0 {
+            out.push_str(&format!(
+                "  shed retry hint      last {:>9.2} us  mean {:>9.2} us\n",
+                self.shed_retry_last_us, self.shed_retry_mean_us
+            ));
+        }
         out.push_str(&format!(
             "  cache hits / misses  {:>6} / {:<6} ({:.1}% hit rate)\n",
             self.cache.hits,
@@ -494,8 +687,14 @@ impl MetricsSnapshot {
             out.push_str("  per-lane breakdown\n");
             for lane in &self.lanes {
                 out.push_str(&format!(
-                    "    {:<10} submitted {:>8}  completed {:>8}  shed {:>8}\n",
-                    lane.lane, lane.submitted, lane.completed, lane.shed
+                    "    {:<10} submitted {:>8}  completed {:>8}  failed {:>6}  \
+                     shed {:>8} ({:>5.1}% shed rate)\n",
+                    lane.lane,
+                    lane.submitted,
+                    lane.completed,
+                    lane.failed,
+                    lane.shed,
+                    lane.shed_rate() * 100.0
                 ));
             }
         }
@@ -511,6 +710,171 @@ impl MetricsSnapshot {
                     class.cache_hit_rate() * 100.0
                 ));
             }
+        }
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus plain-text exposition format
+    /// (counters for traffic, gauges for instantaneous state, summaries with
+    /// `quantile` labels from the lifetime histograms). The string is
+    /// scrape-ready: serve it verbatim under a `/metrics` endpoint.
+    pub fn prometheus(&self) -> String {
+        fn meta(out: &mut String, name: &str, kind: &str, help: &str) {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        }
+        fn summary(out: &mut String, name: &str, labels: &str, hist: &HistogramSnapshot) {
+            let sep = if labels.is_empty() { "" } else { "," };
+            for (q, v) in [
+                ("0.5", hist.p50_us),
+                ("0.99", hist.p99_us),
+                ("0.999", hist.p999_us),
+            ] {
+                out.push_str(&format!("{name}{{{labels}{sep}quantile=\"{q}\"}} {v}\n"));
+            }
+            let braces = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            };
+            out.push_str(&format!(
+                "{name}_sum{braces} {}\n",
+                hist.mean_us * hist.count as f64
+            ));
+            out.push_str(&format!("{name}_count{braces} {}\n", hist.count));
+        }
+        let mut out = String::new();
+        meta(
+            &mut out,
+            "redfuser_requests_total",
+            "counter",
+            "Request traffic by outcome (submitted/completed/failed/shed).",
+        );
+        for (outcome, value) in [
+            ("submitted", self.submitted),
+            ("completed", self.completed),
+            ("failed", self.failed),
+            ("shed", self.shed),
+        ] {
+            out.push_str(&format!(
+                "redfuser_requests_total{{outcome=\"{outcome}\"}} {value}\n"
+            ));
+        }
+        meta(
+            &mut out,
+            "redfuser_batches_total",
+            "counter",
+            "Engine iterations that executed a batch.",
+        );
+        out.push_str(&format!("redfuser_batches_total {}\n", self.batches));
+        meta(
+            &mut out,
+            "redfuser_queue_depth",
+            "gauge",
+            "Submissions queued or executing right now.",
+        );
+        out.push_str(&format!("redfuser_queue_depth {}\n", self.queue_depth));
+        meta(
+            &mut out,
+            "redfuser_mean_batch_size",
+            "gauge",
+            "Mean requests per executed batch over the engine lifetime.",
+        );
+        out.push_str(&format!(
+            "redfuser_mean_batch_size {}\n",
+            self.mean_batch_size
+        ));
+        meta(
+            &mut out,
+            "redfuser_plan_cache_total",
+            "counter",
+            "Plan-cache lookups by result.",
+        );
+        for (result, value) in [
+            ("hit", self.cache.hits),
+            ("miss", self.cache.misses),
+            ("eviction", self.cache.evictions),
+        ] {
+            out.push_str(&format!(
+                "redfuser_plan_cache_total{{result=\"{result}\"}} {value}\n"
+            ));
+        }
+        meta(
+            &mut out,
+            "redfuser_shed_retry_hint_us",
+            "gauge",
+            "Retry hint attached to the most recent shed, microseconds.",
+        );
+        out.push_str(&format!(
+            "redfuser_shed_retry_hint_us {}\n",
+            self.shed_retry_last_us
+        ));
+        meta(
+            &mut out,
+            "redfuser_sim_latency_us",
+            "summary",
+            "Lifetime simulated request latency, microseconds.",
+        );
+        summary(&mut out, "redfuser_sim_latency_us", "", &self.lifetime);
+        meta(
+            &mut out,
+            "redfuser_stage_wall_us",
+            "summary",
+            "Wall-clock time per pipeline stage, microseconds.",
+        );
+        for stage in &self.stages {
+            summary(
+                &mut out,
+                "redfuser_stage_wall_us",
+                &format!("stage=\"{}\"", stage.stage),
+                &stage.wall,
+            );
+        }
+        meta(
+            &mut out,
+            "redfuser_lane_requests_total",
+            "counter",
+            "Per-priority-lane traffic by outcome.",
+        );
+        for lane in &self.lanes {
+            for (outcome, value) in [
+                ("submitted", lane.submitted),
+                ("completed", lane.completed),
+                ("failed", lane.failed),
+                ("shed", lane.shed),
+            ] {
+                out.push_str(&format!(
+                    "redfuser_lane_requests_total{{lane=\"{}\",outcome=\"{outcome}\"}} {value}\n",
+                    lane.lane
+                ));
+            }
+        }
+        meta(
+            &mut out,
+            "redfuser_lane_wall_us",
+            "summary",
+            "Per-lane end-to-end wall-clock latency, microseconds.",
+        );
+        for lane in &self.lanes {
+            summary(
+                &mut out,
+                "redfuser_lane_wall_us",
+                &format!("lane=\"{}\"", lane.lane),
+                &lane.wall,
+            );
+        }
+        meta(
+            &mut out,
+            "redfuser_class_sim_latency_us",
+            "summary",
+            "Per-workload-class lifetime simulated latency, microseconds.",
+        );
+        for class in &self.classes {
+            summary(
+                &mut out,
+                "redfuser_class_sim_latency_us",
+                &format!("class=\"{}\"", class.class),
+                &class.lifetime,
+            );
         }
         out
     }
@@ -608,18 +972,178 @@ mod tests {
         // recorded as a shed — it must not inflate `submitted`.
         metrics.record_submit(Priority::Low);
         metrics.cancel_submit(Priority::Low);
-        metrics.record_shed(Priority::Low);
-        metrics.record_shed(Priority::High);
+        metrics.record_shed(Priority::Low, Duration::from_micros(200));
+        metrics.record_shed(Priority::High, Duration::from_micros(400));
         let snap = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
         assert_eq!(snap.submitted, 0);
         assert_eq!(snap.shed, 2);
         assert_eq!(snap.lanes[Priority::Low.lane()].shed, 1);
         assert_eq!(snap.lanes[Priority::High.lane()].shed, 1);
         assert_eq!(snap.lanes[Priority::Low.lane()].submitted, 0);
+        // Retry hints: last is the most recent shed's, mean averages both.
+        assert!((snap.shed_retry_last_us - 400.0).abs() < 1e-9);
+        assert!((snap.shed_retry_mean_us - 300.0).abs() < 1e-9);
+        // Shed rate: the low lane saw 1 arrival, all shed.
+        assert!((snap.lanes[Priority::Low.lane()].shed_rate() - 1.0).abs() < 1e-12);
         let report = snap.report();
         assert!(report.contains("requests shed"));
         assert!(report.contains("per-lane breakdown"));
         assert!(report.contains("low"));
+        assert!(report.contains("shed retry hint"));
+        assert!(report.contains("shed rate"));
+    }
+
+    #[test]
+    fn shed_rate_is_zero_on_an_idle_lane() {
+        let snap = RuntimeMetrics::new().snapshot(0, empty_cache_stats(), empty_tuning_stats());
+        assert_eq!(snap.lanes[0].shed_rate(), 0.0);
+        assert_eq!(snap.shed_retry_last_us, 0.0);
+        assert_eq!(snap.shed_retry_mean_us, 0.0);
+        assert!(
+            !snap.report().contains("shed retry hint"),
+            "the retry-hint line is omitted until something is shed"
+        );
+    }
+
+    #[test]
+    fn percentile_sorted_matches_percentile_on_a_shared_sort() {
+        // Satellite regression: computing several percentiles of one window
+        // must sort once, not once per call — and the shared-sort path must
+        // agree exactly with the sort-per-call one.
+        let samples: Vec<f64> = (0..1000)
+            .map(|i| ((i * 7919) % 1000) as f64 * 0.5)
+            .collect();
+        let mut sorted = samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        for p in [0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            assert_eq!(
+                percentile(&samples, p),
+                percentile_sorted(&sorted, p),
+                "p{p} must be identical through both paths"
+            );
+        }
+    }
+
+    #[test]
+    fn stage_timings_feed_histograms_unless_traced_off() {
+        let timing = RequestTiming {
+            queue_us: 100.0,
+            compile_us: 5_000.0,
+            tune_us: 3_000.0,
+            execute_us: 400.0,
+            total_us: 5_500.0,
+            iterations_waited: 1,
+        };
+        let hit = RequestTiming {
+            compile_us: 0.0,
+            tune_us: 0.0,
+            ..timing
+        };
+        let metrics = RuntimeMetrics::new();
+        metrics.record_timing(Priority::Normal, &timing);
+        metrics.record_timing(Priority::High, &hit);
+        let snap = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
+        let by_name = |name: &str| {
+            snap.stages
+                .iter()
+                .find(|s| s.stage == name)
+                .expect("stage present")
+        };
+        // Queue and e2e see both requests; compile/tune only the cache miss.
+        assert_eq!(by_name("queue").wall.count, 2);
+        assert_eq!(by_name("e2e").wall.count, 2);
+        assert_eq!(by_name("compile").wall.count, 1);
+        assert_eq!(by_name("tune").wall.count, 1);
+        assert_eq!(by_name("execute").wall.count, 2);
+        assert!((by_name("compile").wall.p50_us - 5_000.0).abs() / 5_000.0 < 0.08);
+        // Lane attribution of the e2e wall time.
+        assert_eq!(snap.lanes[Priority::Normal.lane()].wall.count, 1);
+        assert_eq!(snap.lanes[Priority::High.lane()].wall.count, 1);
+        assert!(snap.report().contains("per-stage wall time"));
+
+        // At TraceLevel::Off the same recording is a no-op.
+        let off = RuntimeMetrics::with_level(TraceLevel::Off);
+        off.record_timing(Priority::Normal, &timing);
+        off.record_batch("softmax", 4, 0, 10.0, true);
+        let snap = off.snapshot(0, empty_cache_stats(), empty_tuning_stats());
+        assert_eq!(snap.trace_level, TraceLevel::Off);
+        assert!(snap.stages.iter().all(|s| s.wall.count == 0));
+        assert_eq!(snap.lifetime.count, 0);
+        // The sliding-window estimates still work at Off.
+        assert_eq!(snap.p50_us, 10.0);
+    }
+
+    #[test]
+    fn lifetime_histograms_track_the_full_run() {
+        let metrics = RuntimeMetrics::new();
+        // Overfill the sliding window with late slow samples: the window
+        // forgets the fast early traffic, the lifetime histogram does not.
+        metrics.record_batch("softmax", LATENCY_WINDOW, 0, 1.0, false);
+        metrics.record_batch("softmax", LATENCY_WINDOW, 0, 1.0, true);
+        metrics.record_batch("softmax", LATENCY_WINDOW, 0, 9.0, true);
+        let snap = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
+        assert_eq!(snap.p50_us, 9.0, "the window only remembers the tail");
+        assert!(
+            snap.lifetime.p50_us < 2.0,
+            "the lifetime histogram remembers the 2/3 fast majority, got {}",
+            snap.lifetime.p50_us
+        );
+        assert_eq!(snap.lifetime.count as usize, 3 * LATENCY_WINDOW);
+        let softmax = &snap.classes[0];
+        assert_eq!(softmax.lifetime.count as usize, 3 * LATENCY_WINDOW);
+        assert!(snap.report().contains("lifetime sim latency"));
+    }
+
+    #[test]
+    fn prometheus_exposition_contains_every_family() {
+        let metrics = RuntimeMetrics::new();
+        metrics.record_submit(Priority::Normal);
+        metrics.record_batch("softmax", 1, 0, 12.5, false);
+        metrics.record_served(Priority::Normal, 1);
+        metrics.record_timing(
+            Priority::Normal,
+            &RequestTiming {
+                queue_us: 10.0,
+                compile_us: 100.0,
+                tune_us: 50.0,
+                execute_us: 30.0,
+                total_us: 140.0,
+                iterations_waited: 0,
+            },
+        );
+        metrics.record_shed(Priority::Low, Duration::from_micros(250));
+        let text = metrics
+            .snapshot(2, empty_cache_stats(), empty_tuning_stats())
+            .prometheus();
+        for needle in [
+            "# TYPE redfuser_requests_total counter",
+            "redfuser_requests_total{outcome=\"submitted\"} 1",
+            "redfuser_requests_total{outcome=\"shed\"} 1",
+            "redfuser_queue_depth 2",
+            "# TYPE redfuser_stage_wall_us summary",
+            "redfuser_stage_wall_us{stage=\"queue\",quantile=\"0.5\"}",
+            "redfuser_stage_wall_us_count{stage=\"compile\"} 1",
+            "redfuser_lane_requests_total{lane=\"normal\",outcome=\"completed\"} 1",
+            "redfuser_lane_wall_us{lane=\"normal\",quantile=\"0.99\"}",
+            "redfuser_class_sim_latency_us{class=\"softmax\",quantile=\"0.5\"}",
+            "redfuser_shed_retry_hint_us 250",
+            "redfuser_sim_latency_us_count 1",
+        ] {
+            assert!(
+                text.contains(needle),
+                "exposition must contain `{needle}`:\n{text}"
+            );
+        }
+        // Every line is either a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#')
+                    || line
+                        .split_once(' ')
+                        .is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+                "malformed exposition line: `{line}`"
+            );
+        }
     }
 
     #[test]

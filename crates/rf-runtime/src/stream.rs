@@ -161,6 +161,13 @@ pub struct QueuedWork {
     pub id: RequestId,
     /// The submission itself.
     pub submission: Submission,
+    /// When the submission was wrapped for queueing — the start of its
+    /// queue-wait stage in [`crate::RequestTiming`].
+    pub submitted_at: Instant,
+    /// The engine iteration count when the scheduler admitted this work
+    /// (set by [`StreamScheduler::enqueue`]); lets the worker report how
+    /// many iterations the request waited out.
+    pub iterations_at_submit: u64,
     state: Arc<TicketState>,
 }
 
@@ -180,6 +187,8 @@ impl QueuedWork {
             QueuedWork {
                 id,
                 submission,
+                submitted_at: Instant::now(),
+                iterations_at_submit: 0,
                 state,
             },
             ticket,
@@ -225,6 +234,11 @@ impl Drop for QueuedWork {
 pub struct Iteration {
     /// The 1-based iteration index.
     pub index: u64,
+    /// The lane index the deficit-round-robin pick seeded the batch from.
+    pub lane: usize,
+    /// When the batch was formed at the iteration boundary — the end of
+    /// every member's queue-wait stage.
+    pub formed_at: Instant,
     /// The iteration's batch. Non-empty; all `Submission::Workload` with one
     /// workload key, or exactly one `Submission::Graph`.
     pub work: Vec<QueuedWork>,
@@ -330,7 +344,7 @@ impl StreamScheduler {
     ///
     /// [`RuntimeError::ShuttingDown`] after [`StreamScheduler::shutdown`];
     /// [`RuntimeError::Overloaded`] when the budget is exhausted.
-    pub fn enqueue(&self, work: QueuedWork, retry_hint: Duration) -> Result<(), RuntimeError> {
+    pub fn enqueue(&self, mut work: QueuedWork, retry_hint: Duration) -> Result<(), RuntimeError> {
         {
             let mut state = self.state.lock().expect("scheduler lock poisoned");
             if state.shutdown {
@@ -346,6 +360,7 @@ impl StreamScheduler {
                     },
                 });
             }
+            work.iterations_at_submit = state.iterations;
             let lane = work.priority().lane();
             state.lanes[lane].push_back(work);
         }
@@ -433,7 +448,12 @@ impl StreamScheduler {
         state.in_flight += work.len();
         state.iterations += 1;
         let index = state.iterations;
-        Some(Iteration { index, work })
+        Some(Iteration {
+            index,
+            lane: chosen,
+            formed_at: Instant::now(),
+            work,
+        })
     }
 
     /// Marks an iteration of `size` submissions taken by
@@ -584,6 +604,26 @@ mod tests {
         s.finish_iteration(mid_flight.work.len());
         s.finish_iteration(second.work.len());
         assert_eq!(s.depth(), 0);
+    }
+
+    #[test]
+    fn iterations_carry_lane_and_formation_time() {
+        let s = sched(4, 64);
+        let (work, _t) = softmax_work_at(1, 16, Priority::Low);
+        let submitted_at = work.submitted_at;
+        s.enqueue(work, HINT).unwrap();
+        let iteration = s.next_iteration().unwrap();
+        assert_eq!(iteration.lane, Priority::Low.lane());
+        assert!(iteration.formed_at >= submitted_at);
+        assert_eq!(iteration.work[0].iterations_at_submit, 0);
+        s.finish_iteration(1);
+        // Work admitted after the first boundary records the new baseline,
+        // so the worker can report iterations waited.
+        let (late, _t) = softmax_work(2, 16);
+        s.enqueue(late, HINT).unwrap();
+        let second = s.next_iteration().unwrap();
+        assert_eq!(second.work[0].iterations_at_submit, 1);
+        assert_eq!(second.lane, Priority::Normal.lane());
     }
 
     #[test]
@@ -817,6 +857,7 @@ mod tests {
             iteration: 1,
             priority: Priority::Normal,
             graph: None,
+            timing: crate::submit::RequestTiming::default(),
         };
         work.fulfil(Ok(result.clone()));
         assert_eq!(ticket.wait().unwrap(), result);

@@ -171,6 +171,43 @@ pub struct GraphStats {
     pub region_cache_hits: usize,
 }
 
+/// Wall-clock breakdown of where one request's latency went, measured by the
+/// engine regardless of trace level (a handful of monotonic-clock reads per
+/// request) and returned on every [`Response`] via [`Response::timing`].
+///
+/// The stages tile the request's lifetime: `queue_us + compile_us +
+/// execute_us ≈ total_us` (plan-cache hits contribute a near-zero
+/// `compile_us`). `tune_us` is the auto-tuner share *inside* `compile_us`,
+/// not an additional stage. All times are host wall-clock microseconds —
+/// distinct from the *simulated* GPU latency in `Response::simulated_us`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RequestTiming {
+    /// Submission accepted → the iteration that served it formed.
+    pub queue_us: f64,
+    /// Plan acquisition for the serving iteration: near zero on a cache hit,
+    /// the full compile+tune wall time on a miss.
+    pub compile_us: f64,
+    /// Auto-tuner search time inside `compile_us` (zero on a cache hit).
+    pub tune_us: f64,
+    /// Plan ready → this request's result delivered, including its share of
+    /// batch execution.
+    pub execute_us: f64,
+    /// Submission accepted → result delivered, end to end.
+    pub total_us: f64,
+    /// Engine iterations that started between this request's admission and
+    /// the one that served it — how long it sat out the continuous-batching
+    /// stream (0 = served by the first boundary after arrival).
+    pub iterations_waited: u64,
+}
+
+impl RequestTiming {
+    /// The part of `total_us` attributed to the three pipeline stages;
+    /// the remainder (if any) is scheduler/bookkeeping overhead.
+    pub fn accounted_us(&self) -> f64 {
+        self.queue_us + self.compile_us + self.execute_us
+    }
+}
+
 /// The outcome of one served submission.
 ///
 /// For workload submissions this is the historical request result (the
@@ -201,6 +238,17 @@ pub struct Response {
     pub priority: Priority,
     /// Graph-serving counters; `None` for workload submissions.
     pub graph: Option<GraphStats>,
+    /// Wall-clock breakdown of where this request's latency went.
+    pub timing: RequestTiming,
+}
+
+impl Response {
+    /// Where this request's wall-clock latency went: queue wait, compile/tune
+    /// time, execute time and iterations waited. Always populated — the
+    /// engine measures it at every trace level.
+    pub fn timing(&self) -> &RequestTiming {
+        &self.timing
+    }
 }
 
 /// Compatibility alias: the pre-stream name for [`Response`]. Prefer

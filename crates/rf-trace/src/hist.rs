@@ -1,0 +1,258 @@
+//! HDR-style log-bucketed latency histograms.
+//!
+//! A [`LogHistogram`] records `f64` microsecond values into geometric
+//! buckets — each power-of-two octave of nanoseconds is split into
+//! [`SUB_BUCKETS`] linear sub-buckets — so any quantile is recoverable with
+//! bounded relative error (at most `1 / SUB_BUCKETS`, ~6%) over the full
+//! lifetime of the process, using a fixed 8 KiB of atomics per histogram.
+//! This complements the engine's bounded sliding windows: the window answers
+//! "what is latency *recently*", the histogram answers "what was p999 over
+//! the whole run" without keeping every sample.
+//!
+//! Recording is one atomic increment plus a handful of atomic max/add
+//! updates — no locks, safe from any worker thread.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-buckets per power-of-two octave. 16 sub-buckets bound the
+/// relative quantile error at 1/16 ≈ 6%.
+pub const SUB_BUCKETS: usize = 16;
+
+const SUB_SHIFT: u32 = 4; // log2(SUB_BUCKETS)
+const OCTAVES: usize = 64;
+const BUCKETS: usize = OCTAVES * SUB_BUCKETS;
+
+/// A lock-free histogram of microsecond latencies with geometric buckets.
+///
+/// Values are quantised to nanoseconds internally; anything non-finite or
+/// negative is ignored (the metrics path must never panic or skew on a
+/// pathological sample).
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum in nanoseconds, for the lifetime mean.
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+/// Bucket index of a nanosecond value: octave = position of the highest set
+/// bit, sub-bucket = the next `SUB_SHIFT` bits below it.
+fn bucket_index(v_ns: u64) -> usize {
+    if v_ns < SUB_BUCKETS as u64 {
+        // Values below one full octave of sub-buckets are exact.
+        return v_ns as usize;
+    }
+    let msb = 63 - v_ns.leading_zeros();
+    let sub = ((v_ns >> (msb - SUB_SHIFT)) & (SUB_BUCKETS as u64 - 1)) as usize;
+    (msb as usize) * SUB_BUCKETS + sub
+}
+
+/// Midpoint (in nanoseconds) of the bucket at `index` — the representative
+/// value reported for samples that landed in it.
+fn bucket_mid_ns(index: usize) -> f64 {
+    if index < SUB_BUCKETS {
+        return index as f64;
+    }
+    let msb = (index / SUB_BUCKETS) as u32;
+    let sub = (index % SUB_BUCKETS) as u64;
+    let width = 1u64 << (msb - SUB_SHIFT);
+    let lo = (SUB_BUCKETS as u64 + sub) * width;
+    lo as f64 + width as f64 / 2.0
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one microsecond value. Non-finite or negative values are
+    /// ignored.
+    pub fn record_us(&self, value_us: f64) {
+        if !value_us.is_finite() || value_us < 0.0 {
+            return;
+        }
+        let v_ns = (value_us * 1000.0).round().min(u64::MAX as f64) as u64;
+        self.buckets[bucket_index(v_ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(v_ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(v_ns, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time summary: count, mean and the headline quantiles.
+    /// Concurrent recording is fine; the snapshot is approximately
+    /// consistent (bucket loads are not a single atomic cut).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        let sum_ns = self.sum_ns.load(Ordering::Relaxed);
+        let max_ns = self.max_ns.load(Ordering::Relaxed);
+        let quantile = |q: f64| -> f64 {
+            if total == 0 {
+                return 0.0;
+            }
+            let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+            let mut seen = 0u64;
+            for (index, &n) in counts.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    return bucket_mid_ns(index) / 1000.0;
+                }
+            }
+            max_ns as f64 / 1000.0
+        };
+        HistogramSnapshot {
+            count: total,
+            mean_us: if total == 0 {
+                0.0
+            } else {
+                sum_ns as f64 / total as f64 / 1000.0
+            },
+            p50_us: quantile(0.50),
+            p99_us: quantile(0.99),
+            p999_us: quantile(0.999),
+            max_us: max_ns as f64 / 1000.0,
+        }
+    }
+}
+
+/// A point-in-time summary of one [`LogHistogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Lifetime mean, in microseconds.
+    pub mean_us: f64,
+    /// Median, in microseconds (bucket-quantised, ≤ ~6% relative error).
+    pub p50_us: f64,
+    /// 99th percentile, in microseconds.
+    pub p99_us: f64,
+    /// 99.9th percentile, in microseconds.
+    pub p999_us: f64,
+    /// Largest sample, in microseconds (exact).
+    pub max_us: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let h = LogHistogram::new();
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p50_us, 0.0);
+        assert_eq!(snap.p999_us, 0.0);
+        assert_eq!(snap.mean_us, 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let h = LogHistogram::new();
+        // 1..=1000 µs uniformly: p50 ≈ 500, p99 ≈ 990.
+        for v in 1..=1000 {
+            h.record_us(v as f64);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert!(
+            (snap.p50_us - 500.0).abs() / 500.0 < 0.08,
+            "p50 {} too far from 500",
+            snap.p50_us
+        );
+        assert!(
+            (snap.p99_us - 990.0).abs() / 990.0 < 0.08,
+            "p99 {} too far from 990",
+            snap.p99_us
+        );
+        assert!(snap.p999_us >= snap.p99_us && snap.p99_us >= snap.p50_us);
+        assert!((snap.mean_us - 500.5).abs() < 1.0);
+        assert!((snap.max_us - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn huge_dynamic_range_is_handled() {
+        let h = LogHistogram::new();
+        h.record_us(0.001); // 1 ns
+        h.record_us(1.0);
+        h.record_us(1e9); // 1000 s
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 3);
+        assert!((snap.max_us - 1e9).abs() < 1.0);
+        assert!((snap.p50_us - 1.0).abs() / 1.0 < 0.1);
+    }
+
+    #[test]
+    fn pathological_samples_are_ignored() {
+        let h = LogHistogram::new();
+        h.record_us(f64::NAN);
+        h.record_us(f64::INFINITY);
+        h.record_us(-5.0);
+        assert_eq!(h.count(), 0);
+        h.record_us(10.0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1);
+        assert!((snap.p50_us - 10.0).abs() / 10.0 < 0.07);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        use std::sync::Arc;
+        let h = Arc::new(LogHistogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000 {
+                        h.record_us((t * 1000 + i) as f64 / 7.0);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().count, 4000);
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic_and_mid_is_inside() {
+        let mut last = 0usize;
+        for exp in 0..60u32 {
+            for v in [1u64 << exp, (1u64 << exp) + (1u64 << exp) / 3] {
+                let idx = bucket_index(v);
+                assert!(idx >= last, "index must not decrease");
+                last = idx;
+                let mid = bucket_mid_ns(idx);
+                // The representative must be within one bucket width.
+                assert!(
+                    (mid - v as f64).abs() / (v as f64) < 0.07,
+                    "mid {mid} too far from {v}"
+                );
+            }
+        }
+    }
+}

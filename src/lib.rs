@@ -29,6 +29,7 @@
 //! | [`codegen`] | `rf-codegen` | lowering, Single/Multi-Segment strategies, fusion levels, auto-tuner |
 //! | [`kernels`] | `rf-kernels` | reference + hand-optimized CPU numeric kernels |
 //! | [`runtime`] | `rf-runtime` | continuous-batching serving engine: unified submission API, priority lanes, admission control, plan cache, metrics |
+//! | [`trace`] | `rf-trace` | tracing/telemetry: span collector, HDR-style histograms, Chrome trace export |
 //! | [`baselines`] | `rf-baselines` | eager / inductor-like / tvm-like compiler behaviour models |
 //! | [`workloads`] | `rf-workloads` | paper configuration tables and data generation |
 //!
@@ -55,6 +56,7 @@ pub use rf_kernels as kernels;
 pub use rf_runtime as runtime;
 pub use rf_tile as tile;
 pub use rf_tir as tir;
+pub use rf_trace as trace;
 pub use rf_workloads as workloads;
 
 /// Crate version of the facade, mirroring the workspace version.

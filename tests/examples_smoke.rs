@@ -14,6 +14,8 @@ mod custom_reduction;
 mod graph_serving;
 #[path = "../examples/moe_routing.rs"]
 mod moe_routing;
+#[path = "../examples/observability.rs"]
+mod observability;
 #[path = "../examples/quant_gemm.rs"]
 mod quant_gemm;
 #[path = "../examples/quickstart.rs"]
@@ -46,6 +48,11 @@ fn graph_serving_runs() {
 #[test]
 fn moe_routing_runs() {
     moe_routing::main();
+}
+
+#[test]
+fn observability_runs() {
+    observability::main();
 }
 
 #[test]
