@@ -29,8 +29,8 @@ use rf_codegen::Workload;
 use rf_gpusim::GpuArch;
 use rf_graph::{partition, GraphPlan, OpGraph};
 use rf_runtime::{
-    metrics::percentile_sorted, Engine, Priority, Request, RequestInput, RuntimeConfig,
-    RuntimeError, Submission, Ticket,
+    metrics::percentile_sorted, DeviceSpec, Engine, FleetConfig, Priority, Request, RequestInput,
+    RoutingPolicy, RuntimeConfig, RuntimeError, Submission, Ticket,
 };
 use rf_workloads::{
     inertia_tiny, mha_tiny, mla_tiny, moe_tiny, quant_tiny, random_matrix, random_vec,
@@ -162,8 +162,15 @@ impl Mode {
 /// One serving-harness run.
 #[derive(Debug, Clone)]
 pub struct TraceConfig {
-    /// Target architecture.
+    /// Target architecture (ignored when `devices` is non-empty).
     pub arch: GpuArch,
+    /// Fleet devices to serve from. Empty (the default) runs a single
+    /// tile-VM device of `arch`; otherwise the engine is built as a fleet
+    /// of exactly these devices and `arch` is ignored.
+    pub devices: Vec<DeviceSpec>,
+    /// How fleet submissions are placed onto devices (only meaningful for
+    /// multi-device runs).
+    pub routing: RoutingPolicy,
     /// Total submissions to offer (workloads + graphs).
     pub requests: u64,
     /// Load-generation mode.
@@ -181,6 +188,8 @@ impl Default for TraceConfig {
     fn default() -> Self {
         TraceConfig {
             arch: GpuArch::h800(),
+            devices: Vec::new(),
+            routing: RoutingPolicy::LeastLoaded,
             requests: 256,
             mode: Mode::Closed {
                 clients: 4,
@@ -225,11 +234,37 @@ pub struct StageReport {
     pub p99_us: f64,
 }
 
+/// Per-device outcome of a fleet run, carried in a [`ServingReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceReport {
+    /// Fleet device id (0-based).
+    pub device: usize,
+    /// The device's architecture name.
+    pub arch: String,
+    /// The device's execution backend name (`"tile-vm"` or `"cost-model"`).
+    pub backend: String,
+    /// Requests this device accepted.
+    pub submitted: u64,
+    /// Requests this device fully served.
+    pub completed: u64,
+    /// Requests shed at this device's admission control.
+    pub shed: u64,
+    /// Median simulated latency on this device, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile simulated latency on this device, microseconds.
+    pub p99_us: f64,
+    /// Total simulated busy time on this device, microseconds (each batch's
+    /// simulated latency counted once).
+    pub busy_sim_us: f64,
+}
+
 /// The outcome of one harness run — the numbers `BENCH_serving.json` records.
 #[derive(Debug, Clone)]
 pub struct ServingReport {
-    /// Architecture name.
+    /// Architecture name; a fleet joins its device architectures with `+`.
     pub arch: String,
+    /// The routing policy the run placed submissions with.
+    pub routing: String,
     /// `"closed"` or `"open"`.
     pub mode: String,
     /// Submissions offered to the engine.
@@ -252,6 +287,12 @@ pub struct ServingReport {
     pub sim_p50_us: f64,
     /// 99th-percentile simulated latency, microseconds.
     pub sim_p99_us: f64,
+    /// Served requests per second of *simulated* device time: completions
+    /// over the busiest device's simulated busy time. This is the
+    /// device-domain throughput — wall-clock `throughput_rps` cannot show
+    /// fleet scaling when every simulated device shares one host core, but
+    /// simulated busy time can.
+    pub sim_throughput_rps: f64,
     /// `shed / offered`, in `[0, 1]`.
     pub shed_rate: f64,
     /// Mean requests per engine iteration (batch occupancy).
@@ -260,6 +301,9 @@ pub struct ServingReport {
     pub iterations: u64,
     /// Whole graphs served through the unified front door.
     pub graphs_served: u64,
+    /// Per-device outcomes, device 0 first (a single entry for a
+    /// single-device run).
+    pub devices: Vec<DeviceReport>,
     /// Per-lane traffic, highest lane first.
     pub lanes: Vec<LaneReport>,
     /// Wall-clock per-stage breakdown (queue/compile/tune/execute/e2e), in
@@ -278,6 +322,29 @@ fn json_num(value: f64) -> String {
 impl ServingReport {
     /// Serialises the report as the `BENCH_serving.json` document.
     pub fn to_json(&self) -> String {
+        let devices = self
+            .devices
+            .iter()
+            .map(|d| {
+                format!(
+                    concat!(
+                        "{{\"device\":{},\"arch\":\"{}\",\"backend\":\"{}\",",
+                        "\"submitted\":{},\"completed\":{},\"shed\":{},",
+                        "\"p50_us\":{},\"p99_us\":{},\"busy_sim_us\":{}}}"
+                    ),
+                    d.device,
+                    d.arch,
+                    d.backend,
+                    d.submitted,
+                    d.completed,
+                    d.shed,
+                    json_num(d.p50_us),
+                    json_num(d.p99_us),
+                    json_num(d.busy_sim_us)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         let lanes = self
             .lanes
             .iter()
@@ -308,6 +375,7 @@ impl ServingReport {
                 "{{\n",
                 "  \"bench\": \"serving\",\n",
                 "  \"arch\": \"{}\",\n",
+                "  \"routing\": \"{}\",\n",
                 "  \"mode\": \"{}\",\n",
                 "  \"offered\": {},\n",
                 "  \"completed\": {},\n",
@@ -319,15 +387,18 @@ impl ServingReport {
                 "  \"wall_p99_us\": {},\n",
                 "  \"sim_p50_us\": {},\n",
                 "  \"sim_p99_us\": {},\n",
+                "  \"sim_throughput_rps\": {},\n",
                 "  \"shed_rate\": {},\n",
                 "  \"mean_batch_occupancy\": {},\n",
                 "  \"iterations\": {},\n",
                 "  \"graphs_served\": {},\n",
+                "  \"devices\": [{}],\n",
                 "  \"lanes\": [{}],\n",
                 "  \"stages\": [{}]\n",
                 "}}\n",
             ),
             self.arch,
+            self.routing,
             self.mode,
             self.offered,
             self.completed,
@@ -339,10 +410,12 @@ impl ServingReport {
             json_num(self.wall_p99_us),
             json_num(self.sim_p50_us),
             json_num(self.sim_p99_us),
+            json_num(self.sim_throughput_rps),
             json_num(self.shed_rate),
             json_num(self.mean_batch_occupancy),
             self.iterations,
             self.graphs_served,
+            devices,
             lanes,
             stages
         )
@@ -352,15 +425,17 @@ impl ServingReport {
     pub fn summary(&self) -> String {
         let mut out = format!(
             concat!(
-                "serving trace ({} loop, arch {})\n",
+                "serving trace ({} loop, arch {}, {} device(s), routing {})\n",
                 "  offered {} | completed {} | failed {} | shed {} ({:.1}%)\n",
-                "  wall-clock {:.3} s -> {:.1} req/s\n",
+                "  wall-clock {:.3} s -> {:.1} req/s (sim {:.1} req/s)\n",
                 "  latency (wall) p50 {:.1} us, p99 {:.1} us\n",
                 "  latency (sim)  p50 {:.1} us, p99 {:.1} us\n",
                 "  {} iterations, mean batch occupancy {:.2}, {} graphs served",
             ),
             self.mode,
             self.arch,
+            self.devices.len().max(1),
+            self.routing,
             self.offered,
             self.completed,
             self.failed,
@@ -368,6 +443,7 @@ impl ServingReport {
             self.shed_rate * 100.0,
             self.duration_s,
             self.throughput_rps,
+            self.sim_throughput_rps,
             self.wall_p50_us,
             self.wall_p99_us,
             self.sim_p50_us,
@@ -376,6 +452,20 @@ impl ServingReport {
             self.mean_batch_occupancy,
             self.graphs_served
         );
+        for device in &self.devices {
+            out.push_str(&format!(
+                "\n  device {} [{} / {}]: {} served, {} shed, \
+                 p50 {:.1} us, p99 {:.1} us, busy {:.1} us",
+                device.device,
+                device.arch,
+                device.backend,
+                device.completed,
+                device.shed,
+                device.p50_us,
+                device.p99_us,
+                device.busy_sim_us
+            ));
+        }
         for stage in &self.stages {
             if stage.count == 0 {
                 continue;
@@ -387,6 +477,28 @@ impl ServingReport {
         }
         out
     }
+}
+
+/// Serialises several named runs as one multi-scenario
+/// `BENCH_serving.json` document: `{"bench": "serving-suite",
+/// "scenarios": [{"name": …, "report": {…}}, …]}`. Each embedded report is
+/// the exact [`ServingReport::to_json`] document.
+pub fn suite_to_json(scenarios: &[(String, ServingReport)]) -> String {
+    let body = scenarios
+        .iter()
+        .map(|(name, report)| {
+            let indented = report
+                .to_json()
+                .trim_end()
+                .lines()
+                .map(|line| format!("      {line}"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("    {{\n      \"name\": \"{name}\",\n      \"report\":\n{indented}\n    }}")
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("{{\n  \"bench\": \"serving-suite\",\n  \"scenarios\": [\n{body}\n  ]\n}}\n")
 }
 
 /// The shared MoE-block graph every `graph_every`-th slot submits.
@@ -450,7 +562,15 @@ pub fn run_trace(config: &TraceConfig) -> ServingReport {
 /// [`rf_trace::TraceLevel::Full`] span recording (`None` otherwise). The
 /// JSON loads directly into Perfetto or `chrome://tracing`.
 pub fn run_traced(config: &TraceConfig) -> (ServingReport, Option<String>) {
-    let engine = Arc::new(Engine::with_config(config.arch.clone(), config.runtime));
+    let engine = if config.devices.is_empty() {
+        Arc::new(Engine::with_config(config.arch.clone(), config.runtime))
+    } else {
+        Arc::new(Engine::with_fleet(FleetConfig {
+            devices: config.devices.clone(),
+            routing: config.routing,
+            runtime: config.runtime,
+        }))
+    };
     let (graph, plan) = trace_graph();
     let start = Instant::now();
     let mut outcome = match config.mode {
@@ -484,8 +604,36 @@ pub fn run_traced(config: &TraceConfig) -> (ServingReport, Option<String>) {
     // shared sort (they were previously re-sorted per percentile call).
     outcome.latencies_us.retain(|v| v.is_finite());
     outcome.latencies_us.sort_by(f64::total_cmp);
+    let devices: Vec<DeviceReport> = engine
+        .device_snapshots()
+        .iter()
+        .map(|d| DeviceReport {
+            device: d.device,
+            arch: d.arch.to_string(),
+            backend: d.backend.to_string(),
+            submitted: d.metrics.submitted,
+            completed: d.metrics.completed,
+            shed: d.metrics.shed,
+            p50_us: d.metrics.p50_us,
+            p99_us: d.metrics.p99_us,
+            busy_sim_us: d.metrics.busy_us,
+        })
+        .collect();
+    // Simulated-time throughput: the fleet finishes (in device time) when
+    // its busiest device does.
+    let busiest_us = devices.iter().map(|d| d.busy_sim_us).fold(0.0, f64::max);
+    let arch = if config.devices.is_empty() {
+        config.arch.name.to_string()
+    } else {
+        devices
+            .iter()
+            .map(|d| d.arch.as_str())
+            .collect::<Vec<_>>()
+            .join("+")
+    };
     let report = ServingReport {
-        arch: config.arch.name.to_string(),
+        arch,
+        routing: config.routing.name().to_string(),
         mode: config.mode.name().to_string(),
         offered,
         completed: outcome.completed,
@@ -501,6 +649,11 @@ pub fn run_traced(config: &TraceConfig) -> (ServingReport, Option<String>) {
         wall_p99_us: percentile_sorted(&outcome.latencies_us, 99.0),
         sim_p50_us: metrics.p50_us,
         sim_p99_us: metrics.p99_us,
+        sim_throughput_rps: if busiest_us > 0.0 {
+            outcome.completed as f64 / (busiest_us * 1e-6)
+        } else {
+            0.0
+        },
         shed_rate: if offered > 0 {
             outcome.shed as f64 / offered as f64
         } else {
@@ -509,6 +662,7 @@ pub fn run_traced(config: &TraceConfig) -> (ServingReport, Option<String>) {
         mean_batch_occupancy: metrics.mean_batch_size,
         iterations: metrics.batches,
         graphs_served: metrics.graphs_served,
+        devices,
         lanes: metrics
             .lanes
             .iter()
@@ -738,6 +892,7 @@ mod tests {
     fn report_json_carries_every_headline_field() {
         let report = ServingReport {
             arch: "h800".into(),
+            routing: "least-loaded".into(),
             mode: "open".into(),
             offered: 100,
             completed: 90,
@@ -749,10 +904,22 @@ mod tests {
             wall_p99_us: 900.0,
             sim_p50_us: 5.0,
             sim_p99_us: 50.0,
+            sim_throughput_rps: 1200.0,
             shed_rate: 0.1,
             mean_batch_occupancy: 3.5,
             iterations: 40,
             graphs_served: 9,
+            devices: vec![DeviceReport {
+                device: 0,
+                arch: "h800".into(),
+                backend: "tile-vm".into(),
+                submitted: 90,
+                completed: 90,
+                shed: 10,
+                p50_us: 5.0,
+                p99_us: 50.0,
+                busy_sim_us: 75000.0,
+            }],
             lanes: vec![LaneReport {
                 lane: "high".into(),
                 submitted: 25,
@@ -769,11 +936,15 @@ mod tests {
         let json = report.to_json();
         for key in [
             "\"bench\": \"serving\"",
+            "\"routing\": \"least-loaded\"",
             "\"throughput_rps\": 60.000",
             "\"wall_p99_us\": 900.000",
             "\"sim_p50_us\": 5.000",
+            "\"sim_throughput_rps\": 1200.000",
             "\"shed_rate\": 0.100",
             "\"mean_batch_occupancy\": 3.500",
+            "\"devices\": [{\"device\":0,\"arch\":\"h800\",\"backend\":\"tile-vm\"",
+            "\"busy_sim_us\":75000.000",
             "\"lanes\": [{\"lane\":\"high\"",
             "\"stages\": [{\"stage\":\"e2e\",\"count\":90,\"p50_us\":120.000",
         ] {
@@ -781,8 +952,14 @@ mod tests {
         }
         assert!(report.summary().contains("90"));
         assert!(report.summary().contains("stage e2e"));
+        assert!(report.summary().contains("device 0 [h800 / tile-vm]"));
         // Non-finite metrics must not produce invalid JSON.
         assert_eq!(json_num(f64::NAN), "null");
+        // The suite document embeds each named report verbatim.
+        let suite = suite_to_json(&[("single".to_string(), report.clone())]);
+        assert!(suite.contains("\"bench\": \"serving-suite\""));
+        assert!(suite.contains("\"name\": \"single\""));
+        assert!(suite.contains("\"routing\": \"least-loaded\""));
     }
 
     #[test]
@@ -884,5 +1061,46 @@ mod tests {
             "admission control must still admit work"
         );
         assert!(report.mode == "open");
+    }
+
+    #[test]
+    fn fleet_trace_reports_per_device_outcomes_that_sum_to_the_total() {
+        let config = TraceConfig {
+            requests: 40,
+            devices: vec![
+                DeviceSpec::tile_vm(GpuArch::h800()),
+                DeviceSpec::tile_vm(GpuArch::h800()),
+            ],
+            routing: RoutingPolicy::LeastLoaded,
+            mode: Mode::Closed {
+                clients: 2,
+                window: 8,
+            },
+            runtime: RuntimeConfig::builder()
+                .workers(1)
+                .max_batch(8)
+                .cache_capacity(32)
+                .build()
+                .unwrap(),
+            ..TraceConfig::default()
+        };
+        let report = run_trace(&config);
+        assert_eq!(report.completed + report.failed + report.shed, 40);
+        assert_eq!(report.arch, "NVIDIA H800+NVIDIA H800");
+        assert_eq!(report.routing, "least-loaded");
+        assert_eq!(report.devices.len(), 2);
+        let per_device: u64 = report.devices.iter().map(|d| d.completed).sum();
+        assert_eq!(
+            per_device, report.completed,
+            "per-device ledgers conserve the fleet total"
+        );
+        assert!(
+            report.devices.iter().all(|d| d.busy_sim_us > 0.0),
+            "least-loaded routing keeps both devices busy"
+        );
+        assert!(report.sim_throughput_rps > 0.0);
+        let json = report.to_json();
+        assert!(json.contains("\"devices\": [{\"device\":0,"));
+        assert!(json.contains("\"arch\": \"NVIDIA H800+NVIDIA H800\""));
     }
 }

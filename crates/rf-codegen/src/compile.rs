@@ -155,24 +155,15 @@ impl PlanKey {
     }
 }
 
-/// Folds every [`GpuArch`] field (floats via their canonical bit patterns)
-/// into a stable-within-process `u64`. Callers that build many keys for one
-/// architecture (e.g. the `rf-runtime` plan cache) can compute this once and
-/// assemble [`PlanKey`]s from its public fields.
+/// Folds every latency-relevant [`GpuArch`] field (floats via their canonical
+/// bit patterns) into a stable-within-process `u64`. Callers that build many
+/// keys for one architecture (e.g. the `rf-runtime` plan cache) can compute
+/// this once and assemble [`PlanKey`]s from its public fields.
+///
+/// Thin forwarding wrapper around [`GpuArch::fingerprint`], kept so existing
+/// callers (and the `PlanKey` constructor above) need no `rf-gpusim` import.
 pub fn arch_fingerprint(arch: &GpuArch) -> u64 {
-    use std::hash::{Hash, Hasher};
-    let mut hasher = std::collections::hash_map::DefaultHasher::new();
-    arch.name.hash(&mut hasher);
-    arch.sms.hash(&mut hasher);
-    arch.shared_mem_per_sm.hash(&mut hasher);
-    arch.max_blocks_per_sm.hash(&mut hasher);
-    arch.max_threads_per_sm.hash(&mut hasher);
-    arch.mem_bandwidth_bytes_per_us.to_bits().hash(&mut hasher);
-    arch.fp16_flops_per_us.to_bits().hash(&mut hasher);
-    arch.fp32_flops_per_us.to_bits().hash(&mut hasher);
-    arch.fp8_flops_per_us.to_bits().hash(&mut hasher);
-    arch.launch_overhead_us.to_bits().hash(&mut hasher);
-    hasher.finish()
+    arch.fingerprint()
 }
 
 /// Wall-clock cost of producing one [`CompiledKernel`], for the runtime's

@@ -140,6 +140,30 @@ impl GpuArch {
             && shared_mem_per_block <= self.shared_mem_per_sm
     }
 
+    /// Folds every latency-relevant field (floats via their canonical bit
+    /// patterns) into a stable-within-process `u64`.
+    ///
+    /// This is the capability fingerprint backends report and plan caches key
+    /// on: two `GpuArch` values with the same fingerprint cost and tune
+    /// identically, so their compiled plans are interchangeable.
+    /// `max_threads_per_block` is deliberately excluded — it is 1024 on every
+    /// supported part and does not affect the latency model.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.name.hash(&mut hasher);
+        self.sms.hash(&mut hasher);
+        self.shared_mem_per_sm.hash(&mut hasher);
+        self.max_blocks_per_sm.hash(&mut hasher);
+        self.max_threads_per_sm.hash(&mut hasher);
+        self.mem_bandwidth_bytes_per_us.to_bits().hash(&mut hasher);
+        self.fp16_flops_per_us.to_bits().hash(&mut hasher);
+        self.fp32_flops_per_us.to_bits().hash(&mut hasher);
+        self.fp8_flops_per_us.to_bits().hash(&mut hasher);
+        self.launch_overhead_us.to_bits().hash(&mut hasher);
+        hasher.finish()
+    }
+
     /// Peak flops for the given precision tag (`"fp16"`, `"fp32"`, `"fp8"`).
     /// Unsupported FP8 falls back to FP16 throughput.
     pub fn flops_per_us(&self, precision: &str) -> f64 {
@@ -186,6 +210,21 @@ mod tests {
             assert_eq!(arch.max_threads_per_block, 1024);
             assert!(arch.max_threads_per_block <= arch.max_threads_per_sm);
         }
+    }
+
+    #[test]
+    fn fingerprints_distinguish_every_preset() {
+        let prints: Vec<u64> = GpuArch::all().iter().map(|a| a.fingerprint()).collect();
+        for (i, a) in prints.iter().enumerate() {
+            for b in &prints[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        // Stable within a process, and sensitive to the latency parameters.
+        assert_eq!(GpuArch::a10().fingerprint(), GpuArch::a10().fingerprint());
+        let mut tweaked = GpuArch::a10();
+        tweaked.mem_bandwidth_bytes_per_us += 1.0;
+        assert_ne!(tweaked.fingerprint(), GpuArch::a10().fingerprint());
     }
 
     #[test]

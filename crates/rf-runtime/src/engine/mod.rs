@@ -1,12 +1,16 @@
-//! The serving engine: the unified submission front door, the
-//! continuous-batching worker pool and the engine lifecycle.
+//! The serving engine: the unified submission front door, a fleet of
+//! backend-driven devices and the engine lifecycle.
 //!
 //! Everything the engine serves — single workloads, whole operator graphs,
 //! pre-partitioned plans — enters through [`Engine::submit`] as a
-//! [`Submission`] and resolves to a [`Response`] through the
-//! returned [`Ticket`]. Workers serve the open request stream in iterations
-//! (see [`crate::stream`]): a request submitted while a batch is mid-flight
-//! joins a subsequent iteration instead of waiting for a drain.
+//! [`Submission`] and resolves to a [`crate::Response`] through the returned
+//! [`Ticket`]. The engine is a **fleet**: one or more devices (`device`
+//! module), each owning its own [`crate::backend::ExecBackend`], plan/tuning
+//! caches, work queue and workers, behind a routing policy (`router` module)
+//! that decides placement at submission time ([`crate::RoutingPolicy`]).
+//! Row-shardable workloads can fan out across every device and are
+//! reassembled deterministically by the `fleet` module's merger. A one-device
+//! fleet behaves exactly like the pre-fleet single-arch engine.
 //!
 //! ```
 //! use rf_gpusim::GpuArch;
@@ -29,64 +33,93 @@
 //! assert_eq!(result.workload, "softmax_4x64");
 //! assert!(urgent.wait().unwrap().iteration >= 1);
 //! ```
+//!
+//! Multi-device serving needs nothing but a [`FleetConfig`]:
+//!
+//! ```
+//! use rf_gpusim::GpuArch;
+//! use rf_runtime::{Engine, FleetConfig, Request, RuntimeConfig};
+//! use rf_workloads::random_matrix;
+//!
+//! let engine = Engine::with_fleet(FleetConfig::homogeneous(
+//!     GpuArch::a10(),
+//!     2,
+//!     RuntimeConfig::default(),
+//! ));
+//! let response = engine
+//!     .submit(Request::softmax(random_matrix(4, 64, 1, -2.0, 2.0)))
+//!     .unwrap()
+//!     .wait()
+//!     .unwrap();
+//! assert!(response.device < 2, "responses say which device served them");
+//! ```
+
+mod device;
+mod fleet;
+mod router;
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
 
 use rf_gpusim::GpuArch;
-use rf_trace::{ArgValue, TraceCollector, TraceEvent, TraceSnapshot, Track};
+use rf_trace::{TraceCollector, TraceSnapshot};
 
-use crate::cache::{CacheStats, PlanCache};
-use crate::config::RuntimeConfig;
+use crate::cache::CacheStats;
+use crate::config::{DeviceSpec, FleetConfig, RoutingPolicy, RuntimeConfig};
 use crate::graph::GraphResponse;
 use crate::metrics::{MetricsSnapshot, RuntimeMetrics};
-use crate::request::{execute_plan, RequestOutput, RuntimeError};
-use crate::stream::{batch_latency_us, Iteration, QueuedWork, StreamScheduler, Ticket};
-use crate::submit::{GraphStats, Priority, RequestTiming, Response, Submission, LANES};
+use crate::request::{RequestOutput, RuntimeError};
+use crate::stream::Ticket;
+use crate::submit::{Submission, LANES};
 
-struct EngineShared {
-    arch: GpuArch,
-    cache: PlanCache,
-    metrics: RuntimeMetrics,
-    scheduler: StreamScheduler,
-    trace: TraceCollector,
+use fleet::Fleet;
+
+/// A point-in-time view of one fleet device: identity plus its private
+/// serving metrics.
+#[derive(Debug, Clone)]
+pub struct DeviceSnapshot {
+    /// The device id (also its trace process: `device-<id>`).
+    pub device: usize,
+    /// The architecture the device compiles and costs for.
+    pub arch: &'static str,
+    /// The backend kind executing on it (`"tile-vm"`, `"cost-model"`).
+    pub backend: &'static str,
+    /// The backend's capability fingerprint (equal fingerprints mean
+    /// interchangeable compiled plans).
+    pub fingerprint: u64,
+    /// The device's own metrics snapshot (its queue depth, caches, latency
+    /// percentiles and ledger counters).
+    pub metrics: MetricsSnapshot,
 }
 
-/// Microseconds from `from` to `to` (0 when the clock says they inverted —
-/// the metrics path must never panic on a monotonic-clock edge case).
-fn duration_us(from: Instant, to: Instant) -> f64 {
-    to.checked_duration_since(from)
-        .map(|d| d.as_secs_f64() * 1e6)
-        .unwrap_or(0.0)
-}
-
-/// A concurrent serving engine for one GPU architecture.
+/// A concurrent serving engine over a fleet of one or more devices.
 ///
-/// [`Engine::submit`] validates and enqueues a [`Submission`] onto its
-/// priority lane and returns a [`Ticket`]; a pool of worker threads serves
-/// the stream in iterations, grouping shape-compatible requests into batches
-/// formed at each iteration boundary, compiling (or re-using) fused plans via
-/// the [`PlanCache`], executing on the `rf_tile::exec` VM and costing on the
-/// analytical GPU model. Admission is bounded: past
-/// [`RuntimeConfig::max_in_flight`] the engine sheds with
+/// [`Engine::submit`] validates a [`Submission`], routes it to a device per
+/// the fleet's [`RoutingPolicy`] and returns a [`Ticket`]; each device's
+/// worker pool serves its stream in iterations, grouping shape-compatible
+/// requests into batches formed at each iteration boundary, compiling (or
+/// re-using) fused plans via its own [`crate::PlanCache`] and executing
+/// through its [`crate::backend::ExecBackend`]. Admission is bounded per
+/// device: past [`RuntimeConfig::max_in_flight`] a device sheds with
 /// [`RuntimeError::Overloaded`] instead of queuing without bound. Dropping
-/// the engine shuts the pool down; still-queued submissions fail with
+/// the engine shuts the fleet down; still-queued submissions fail with
 /// [`RuntimeError::ShuttingDown`].
 pub struct Engine {
-    shared: Arc<EngineShared>,
-    workers: Vec<JoinHandle<()>>,
+    fleet: Fleet,
     next_id: AtomicU64,
 }
 
 impl Engine {
-    /// Creates an engine for `arch` with the default [`RuntimeConfig`].
+    /// Creates a single-device engine for `arch` with the default
+    /// [`RuntimeConfig`].
     pub fn new(arch: GpuArch) -> Self {
         Engine::with_config(arch, RuntimeConfig::default())
     }
 
-    /// Creates an engine with explicit tunables.
+    /// Creates a single-device engine with explicit tunables.
+    ///
+    /// This is a thin wrapper over [`Engine::try_with_config`] for callers
+    /// that treat a bad configuration as a programming error; prefer the
+    /// fallible form where the configuration is user-supplied.
     ///
     /// # Panics
     ///
@@ -94,119 +127,132 @@ impl Engine {
     /// [`RuntimeConfig::validate`]). Configurations built through
     /// [`RuntimeConfig::builder`] are already validated.
     pub fn with_config(arch: GpuArch, config: RuntimeConfig) -> Self {
-        if let Err(err) = config.validate() {
-            panic!("invalid RuntimeConfig: {err}");
-        }
-        let shared = Arc::new(EngineShared {
-            cache: PlanCache::new(arch.clone(), config.cache_capacity),
-            metrics: RuntimeMetrics::with_level(config.trace.level),
-            scheduler: StreamScheduler::new(
-                config.max_batch,
-                config.max_in_flight,
-                config.lane_weights.as_array(),
-            ),
-            trace: TraceCollector::new(config.trace),
-            arch,
-        });
-        let workers = (0..config.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("rf-runtime-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, i))
-                    .expect("spawning a runtime worker failed")
-            })
-            .collect();
-        Engine {
-            shared,
-            workers,
-            next_id: AtomicU64::new(0),
+        match Engine::try_with_config(arch, config) {
+            Ok(engine) => engine,
+            Err(err) => panic!("invalid RuntimeConfig: {err}"),
         }
     }
 
-    /// The architecture this engine compiles and costs for.
-    pub fn arch(&self) -> &GpuArch {
-        &self.shared.arch
-    }
-
-    /// Validates and enqueues a submission onto its priority lane, returning
-    /// the completion ticket. Accepts anything convertible into a
-    /// [`Submission`] — in particular a bare [`Request`](crate::Request),
-    /// which submits at [`Priority::Normal`].
+    /// Creates a single-device engine with explicit tunables, returning the
+    /// typed validation error instead of panicking.
     ///
-    /// The request joins the open stream immediately: if a batch is
-    /// executing right now, the request is eligible for the next iteration
-    /// boundary — it never waits for the queue to drain.
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] describing the first violated
+    /// invariant (see [`RuntimeConfig::validate`]).
+    pub fn try_with_config(arch: GpuArch, config: RuntimeConfig) -> Result<Self, RuntimeError> {
+        Engine::try_with_fleet(FleetConfig {
+            devices: vec![DeviceSpec::tile_vm(arch)],
+            routing: RoutingPolicy::default(),
+            runtime: config,
+        })
+    }
+
+    /// Creates a multi-device engine from a [`FleetConfig`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` violates its invariants (see
+    /// [`FleetConfig::validate`]).
+    pub fn with_fleet(config: FleetConfig) -> Self {
+        match Engine::try_with_fleet(config) {
+            Ok(engine) => engine,
+            Err(err) => panic!("invalid FleetConfig: {err}"),
+        }
+    }
+
+    /// Creates a multi-device engine from a [`FleetConfig`], returning the
+    /// typed validation error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::InvalidConfig`] describing the first violated
+    /// invariant (an empty device list, or a bad per-device
+    /// [`RuntimeConfig`]).
+    pub fn try_with_fleet(config: FleetConfig) -> Result<Self, RuntimeError> {
+        config.validate()?;
+        Ok(Engine {
+            fleet: Fleet::start(&config),
+            next_id: AtomicU64::new(0),
+        })
+    }
+
+    /// The architecture of device 0 — the whole fleet's architecture when it
+    /// is homogeneous.
+    pub fn arch(&self) -> &GpuArch {
+        self.fleet.devices[0].shared.backend.arch()
+    }
+
+    /// Number of devices in the fleet.
+    pub fn devices(&self) -> usize {
+        self.fleet.devices.len()
+    }
+
+    /// The placement policy the front door routes with.
+    pub fn routing(&self) -> RoutingPolicy {
+        self.fleet.routing
+    }
+
+    /// Validates and enqueues a submission, returning the completion ticket.
+    /// Accepts anything convertible into a [`Submission`] — in particular a
+    /// bare [`Request`](crate::Request), which submits at
+    /// [`crate::Priority::Normal`].
+    ///
+    /// Placement follows the fleet's [`RoutingPolicy`]: least-loaded picks
+    /// the shallowest queue, sticky-by-key hashes the workload key, and
+    /// row-shard fans eligible workloads out across every device (the
+    /// returned ticket then resolves to the merged response). The request
+    /// joins its device's open stream immediately: if a batch is executing
+    /// right now, the request is eligible for the next iteration boundary —
+    /// it never waits for the queue to drain.
     ///
     /// # Errors
     ///
     /// [`RuntimeError::InputMismatch`] / [`RuntimeError::ShapeMismatch`] for
     /// invalid workload requests, [`RuntimeError::Overloaded`] (with a retry
-    /// hint) when the bounded in-flight budget is exhausted, and
-    /// [`RuntimeError::ShuttingDown`] once the engine is being dropped.
+    /// hint) when the target device's bounded in-flight budget is exhausted,
+    /// and [`RuntimeError::ShuttingDown`] once the engine is being dropped.
     pub fn submit(&self, submission: impl Into<Submission>) -> Result<Ticket, RuntimeError> {
         let submission = submission.into();
         if let Submission::Workload { request, .. } = &submission {
             crate::request::validate(&request.workload, &request.input)?;
         }
-        let priority = submission.priority();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (queued, ticket) = QueuedWork::new(id, submission);
-        // Count before enqueueing so a snapshot can never observe a completed
-        // request that was not yet counted as submitted; roll back if the
-        // scheduler rejects the request (shutdown or shed), so rejected
-        // requests never inflate the counter.
-        self.shared.metrics.record_submit(priority);
-        if let Err(err) = self.shared.scheduler.enqueue(queued, self.retry_hint()) {
-            self.shared.metrics.cancel_submit(priority);
-            if let RuntimeError::Overloaded { retry_hint, source } = &err {
-                self.shared.metrics.record_shed(priority, *retry_hint);
-                if self.shared.trace.enabled() {
-                    self.shared.trace.record(
-                        TraceEvent::instant("shed", self.shared.trace.now_us(), Track::FrontDoor)
-                            .with_request(id)
-                            .with_lane(priority.name())
-                            .with_arg("in_flight", ArgValue::U64(source.in_flight as u64))
-                            .with_arg("budget", ArgValue::U64(source.budget as u64))
-                            .with_arg("retry_us", ArgValue::F64(retry_hint.as_secs_f64() * 1e6)),
+        if self.fleet.routing == RoutingPolicy::RowShard && self.fleet.devices.len() > 1 {
+            if let Submission::Workload { request, priority } = &submission {
+                if let Some(shards) = router::shard_request(request, self.fleet.devices.len()) {
+                    let priority = *priority;
+                    return self.fleet.submit_sharded(
+                        id,
+                        &self.next_id,
+                        submission,
+                        shards,
+                        priority,
                     );
                 }
             }
-            return Err(err);
         }
-        if self.shared.trace.enabled() {
-            self.shared.trace.record(
-                TraceEvent::instant("submit", self.shared.trace.now_us(), Track::Request(id))
-                    .with_request(id)
-                    .with_lane(priority.name()),
-            );
-        }
-        Ok(ticket)
+        let target = if self.fleet.devices.len() == 1 {
+            0
+        } else {
+            router::route(self.fleet.routing, &submission, &self.fleet.depths())
+        };
+        self.fleet.devices[target].shared.enqueue(id, submission)
     }
 
-    /// The backoff to suggest alongside an [`RuntimeError::Overloaded`] shed:
-    /// roughly how long until in-flight budget frees up, estimated as the
-    /// mean simulated request latency times the iterations queued ahead.
-    fn retry_hint(&self) -> Duration {
-        let mean_us = self.shared.metrics.mean_us();
-        let depth = self.shared.scheduler.depth() as f64;
-        let iterations_ahead = (depth / self.shared.scheduler.max_batch() as f64).max(1.0);
-        let hint_us = (mean_us.max(10.0) * iterations_ahead).clamp(100.0, 100_000.0);
-        Duration::from_micros(hint_us as u64)
-    }
-
-    /// Blocks until every accepted submission has been executed.
+    /// Blocks until every accepted submission has been executed (and every
+    /// row-sharded submission has been merged and delivered).
     pub fn run_until_drained(&self) {
-        self.shared.scheduler.wait_drained();
+        self.fleet.wait_drained();
     }
 
     /// Serves a whole operator graph end-to-end and blocks for the result.
     ///
-    /// **Deprecated front door**: this is a compatibility wrapper over
-    /// [`Engine::submit`] with [`Submission::graph`] — it clones the graph
-    /// and bindings, queues them on the open stream at normal priority and
-    /// blocks on the ticket. Prefer the unified API, which shares the
-    /// graph behind an `Arc`, picks a priority lane and does not block:
+    /// This is a compatibility wrapper over [`Engine::submit`] with
+    /// [`Submission::graph`] — it clones the graph and bindings, queues them
+    /// on the open stream at normal priority and blocks on the ticket.
+    /// Prefer the unified API, which shares the graph behind an `Arc`, picks
+    /// a priority lane and does not block:
     ///
     /// ```ignore
     /// let ticket = engine.submit(Submission::graph(graph, bindings))?;
@@ -214,15 +260,16 @@ impl Engine {
     /// ```
     ///
     /// The graph is partitioned into maximal fusable regions plus glue ops
-    /// (`rf-graph`); each region compiles through the engine's [`PlanCache`]
-    /// so repeated submissions of the same graph — or different graphs
-    /// sharing a region shape — re-use the tuned plans.
+    /// (`rf-graph`); each region compiles through the serving device's
+    /// [`crate::PlanCache`] so repeated submissions of the same graph — or
+    /// different graphs sharing a region shape — re-use the tuned plans.
     ///
     /// # Errors
     ///
     /// [`RuntimeError::Graph`] when an input binding is missing or misshapen
     /// or a region rejects its tensors at execution time; see
     /// [`Engine::submit`] for admission errors.
+    #[deprecated(note = "use Engine::submit with Submission::graph")]
     pub fn submit_graph(
         &self,
         graph: &rf_graph::OpGraph,
@@ -234,29 +281,29 @@ impl Engine {
     /// Like [`Engine::submit_graph`], with a pre-partitioned
     /// [`rf_graph::GraphPlan`] (partition once, serve many times).
     ///
-    /// **Deprecated front door**: compatibility wrapper over
-    /// [`Engine::submit`] with [`Submission::graph_plan`]; see
-    /// [`Engine::submit_graph`].
+    /// Compatibility wrapper over [`Engine::submit`] with
+    /// [`Submission::graph_plan`]; see [`Engine::submit_graph`].
     ///
     /// # Errors
     ///
     /// See [`Engine::submit_graph`].
+    #[deprecated(note = "use Engine::submit with Submission::graph_plan")]
     pub fn submit_graph_plan(
         &self,
         graph: &rf_graph::OpGraph,
         plan: &rf_graph::GraphPlan,
         bindings: &[(&str, rf_workloads::Matrix)],
     ) -> Result<GraphResponse, RuntimeError> {
-        self.submit_graph_compat(graph, Some(Arc::new(plan.clone())), bindings)
+        self.submit_graph_compat(graph, Some(std::sync::Arc::new(plan.clone())), bindings)
     }
 
     fn submit_graph_compat(
         &self,
         graph: &rf_graph::OpGraph,
-        plan: Option<Arc<rf_graph::GraphPlan>>,
+        plan: Option<std::sync::Arc<rf_graph::GraphPlan>>,
         bindings: &[(&str, rf_workloads::Matrix)],
     ) -> Result<GraphResponse, RuntimeError> {
-        let graph = Arc::new(graph.clone());
+        let graph = std::sync::Arc::new(graph.clone());
         let owned: Vec<(String, rf_workloads::Matrix)> = bindings
             .iter()
             .map(|(name, matrix)| (name.to_string(), matrix.clone()))
@@ -282,388 +329,128 @@ impl Engine {
         })
     }
 
-    /// Submissions currently queued or executing.
+    /// Submissions currently queued or executing, summed over the fleet.
     pub fn queue_depth(&self) -> usize {
-        self.shared.scheduler.depth()
+        self.fleet.depths().iter().sum()
     }
 
-    /// Queued submissions per priority lane (high, normal, low).
+    /// Queued submissions per priority lane (high, normal, low), summed over
+    /// the fleet.
     pub fn lane_depths(&self) -> [usize; LANES] {
-        self.shared.scheduler.lane_depths()
+        let mut depths = [0usize; LANES];
+        for device in &self.fleet.devices {
+            for (total, lane) in depths.iter_mut().zip(device.shared.scheduler.lane_depths()) {
+                *total += lane;
+            }
+        }
+        depths
     }
 
-    /// Engine iterations started so far.
+    /// Engine iterations started so far, summed over the fleet.
     pub fn iterations(&self) -> u64 {
-        self.shared.scheduler.iterations()
+        self.fleet
+            .devices
+            .iter()
+            .map(|d| d.shared.scheduler.iterations())
+            .sum()
     }
 
-    /// Plan-cache counters.
+    /// Plan-cache counters, summed over the fleet's per-device caches.
     pub fn cache_stats(&self) -> CacheStats {
-        self.shared.cache.stats()
+        let mut total = CacheStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            entries: 0,
+        };
+        for device in &self.fleet.devices {
+            let stats = device.shared.cache.stats();
+            total.hits += stats.hits;
+            total.misses += stats.misses;
+            total.evictions += stats.evictions;
+            total.entries += stats.entries;
+        }
+        total
     }
 
     /// A point-in-time metrics snapshot (latency percentiles, batch sizes,
     /// queue depth, shed counts, per-lane traffic, cache effectiveness).
+    ///
+    /// For a one-device fleet this is exactly the device's own snapshot.
+    /// For a larger fleet the per-device metrics are folded together:
+    /// counters and lifetime histograms merge exactly; the recent-window
+    /// percentiles become an approximation over the concatenated windows.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot(
-            self.queue_depth(),
-            self.shared.cache.stats(),
-            self.shared.cache.tuning_stats(),
-        )
+        if self.fleet.devices.len() == 1 {
+            let device = &self.fleet.devices[0].shared;
+            return device.metrics.snapshot(
+                device.scheduler.depth(),
+                device.cache.stats(),
+                device.cache.tuning_stats(),
+            );
+        }
+        let merged = RuntimeMetrics::with_level(self.fleet.devices[0].shared.metrics.level());
+        let mut tuning = rf_codegen::TuningCacheStats::default();
+        for device in &self.fleet.devices {
+            merged.merge_from(&device.shared.metrics);
+            let t = device.shared.cache.tuning_stats();
+            tuning.lookups += t.lookups;
+            tuning.seeded += t.seeded;
+            tuning.insertions += t.insertions;
+            tuning.entries += t.entries;
+        }
+        merged.snapshot(self.queue_depth(), self.cache_stats(), tuning)
     }
 
-    /// The engine's span collector (level, timestamps, drop count). Only
+    /// Per-device snapshots, in device order: each device's identity
+    /// (arch, backend, fingerprint) plus its own private metrics.
+    pub fn device_snapshots(&self) -> Vec<DeviceSnapshot> {
+        self.fleet
+            .devices
+            .iter()
+            .map(|device| {
+                let shared = &device.shared;
+                DeviceSnapshot {
+                    device: shared.id,
+                    arch: shared.backend.arch().name,
+                    backend: shared.backend.name(),
+                    fingerprint: shared.backend.fingerprint(),
+                    metrics: shared.snapshot(),
+                }
+            })
+            .collect()
+    }
+
+    /// The fleet's span collector (level, timestamps, drop count). Only
     /// records at [`rf_trace::TraceLevel::Full`]; see
-    /// [`RuntimeConfig::builder`]'s `trace`/`trace_level`.
+    /// [`RuntimeConfig::builder`]'s `trace`/`trace_level`. One collector
+    /// serves the whole fleet; events are device-tagged, so the exported
+    /// trace groups one process per device.
     pub fn trace_collector(&self) -> &TraceCollector {
-        &self.shared.trace
+        &self.fleet.trace
     }
 
     /// A copy of the buffered span events (empty below
     /// [`rf_trace::TraceLevel::Full`]).
     pub fn trace_snapshot(&self) -> TraceSnapshot {
-        self.shared.trace.snapshot()
+        self.fleet.trace.snapshot()
     }
 
     /// The buffered span events as Chrome trace-event JSON, loadable in
     /// Perfetto (`ui.perfetto.dev`) or `chrome://tracing`.
     pub fn chrome_trace(&self) -> String {
-        self.shared.trace.chrome_trace()
-    }
-}
-
-impl Drop for Engine {
-    fn drop(&mut self) {
-        self.shared.scheduler.shutdown();
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.fleet.trace.chrome_trace()
     }
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
-            .field("arch", &self.shared.arch.name)
-            .field("workers", &self.workers.len())
+            .field("arch", &self.arch().name)
+            .field("devices", &self.devices())
+            .field("routing", &self.fleet.routing.name())
             .field("queue_depth", &self.queue_depth())
             .finish()
-    }
-}
-
-fn worker_loop(shared: &EngineShared, worker: usize) {
-    while let Some(iteration) = shared.scheduler.next_iteration() {
-        // A panicking kernel must not wedge the engine: the unwind guard
-        // keeps the in-flight accounting balanced (so `run_until_drained`
-        // returns) and dropping the unfulfilled `QueuedWork`s delivers
-        // `ExecutionFailed` to their tickets (so `Ticket::wait` returns).
-        let size = iteration.work.len();
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_iteration(shared, worker, iteration)
-        }));
-        shared.scheduler.finish_iteration(size);
-    }
-}
-
-/// Executes one iteration taken off the stream: a shape-compatible workload
-/// batch, or a singleton graph.
-fn run_iteration(shared: &EngineShared, worker: usize, iteration: Iteration) {
-    let Iteration {
-        index,
-        lane,
-        formed_at,
-        work,
-    } = iteration;
-    let size = work.len();
-    match &work[0].submission {
-        Submission::Workload { .. } => run_workload_batch(shared, index, formed_at, work),
-        Submission::Graph { .. } => {
-            for work in work {
-                run_graph(shared, index, work);
-            }
-        }
-    }
-    if shared.trace.enabled() {
-        let start = shared.trace.ts_us_of(formed_at);
-        shared.trace.record(
-            TraceEvent::span(
-                "iteration",
-                start,
-                shared.trace.now_us() - start,
-                Track::Worker(worker),
-            )
-            .with_iteration(index)
-            .with_lane(Priority::ALL[lane].name())
-            .with_arg("batch", ArgValue::U64(size as u64))
-            .with_arg(
-                "occupancy",
-                ArgValue::F64(size as f64 / shared.scheduler.max_batch() as f64),
-            ),
-        );
-    }
-}
-
-/// Executes one shape-compatible batch by interpreting the cached plan's tile
-/// program — a cache hit reuses both the tuning and the executable. No
-/// scheduler or cache lock is held here: the plan is an `Arc` snapshot and
-/// the VM runs on borrowed views of the queued tensors.
-fn run_workload_batch(
-    shared: &EngineShared,
-    index: u64,
-    formed_at: Instant,
-    work: Vec<QueuedWork>,
-) {
-    let Submission::Workload { request, .. } = &work[0].submission else {
-        unreachable!("workload iterations contain only workload submissions");
-    };
-    let workload = request.workload.clone();
-    let class = workload.class();
-    let plan_started = Instant::now();
-    let (plan, cache_hit) = shared.cache.get_or_compile_traced(&workload);
-    let plan_ready = Instant::now();
-    // Plan acquisition as *this iteration* experienced it: ~0 on a hit, the
-    // full compile+tune wall time on a miss (the compiled kernel carries its
-    // own tuner share).
-    let (compile_us, tune_us) = if cache_hit {
-        (0.0, 0.0)
-    } else {
-        (duration_us(plan_started, plan_ready), plan.timing.tune_us)
-    };
-    let batch_size = work.len();
-    let simulated_us = batch_latency_us(&shared.arch, &plan.profile, batch_size);
-    let (mut executed, mut failed) = (0usize, 0usize);
-    for queued in work {
-        let priority = queued.priority();
-        let Submission::Workload { request, .. } = &queued.submission else {
-            unreachable!("workload iterations contain only workload submissions");
-        };
-        let outcome = execute_plan(&plan, request);
-        let delivered_at = Instant::now();
-        let timing = RequestTiming {
-            queue_us: duration_us(queued.submitted_at, formed_at),
-            compile_us,
-            tune_us,
-            execute_us: duration_us(plan_ready, delivered_at),
-            total_us: duration_us(queued.submitted_at, delivered_at),
-            iterations_waited: index.saturating_sub(queued.iterations_at_submit + 1),
-        };
-        let result = outcome.map(|output| Response {
-            id: queued.id,
-            workload: request.workload.name(),
-            output,
-            simulated_us,
-            batch_size,
-            cache_hit,
-            iteration: index,
-            priority,
-            graph: None,
-            timing,
-        });
-        match &result {
-            Ok(_) => {
-                executed += 1;
-                shared.metrics.record_served(priority, 1);
-                shared.metrics.record_timing(priority, &timing);
-            }
-            Err(_) => {
-                failed += 1;
-                shared.metrics.record_failed(priority, 1);
-            }
-        }
-        if shared.trace.enabled() {
-            record_request_spans(
-                shared,
-                queued.id,
-                priority,
-                class,
-                index,
-                &timing,
-                queued.submitted_at,
-                plan_started,
-                plan_ready,
-                batch_size,
-                cache_hit,
-                result.is_ok(),
-            );
-        }
-        queued.fulfil(result);
-    }
-    shared
-        .metrics
-        .record_batch(class, executed, failed, simulated_us, cache_hit);
-}
-
-/// Records one served request's lifecycle spans on its own trace track:
-/// `queue` (admission → iteration formed), `compile` (miss) or a `hit`
-/// instant, `execute` (plan ready → delivery) and a final `deliver` marker.
-/// The three spans tile the request's wall-clock life, so their durations sum
-/// to its end-to-end latency (up to scheduling gaps).
-#[allow(clippy::too_many_arguments)]
-fn record_request_spans(
-    shared: &EngineShared,
-    id: u64,
-    priority: Priority,
-    class: &'static str,
-    index: u64,
-    timing: &RequestTiming,
-    submitted_at: Instant,
-    plan_started: Instant,
-    plan_ready: Instant,
-    batch_size: usize,
-    cache_hit: bool,
-    ok: bool,
-) {
-    let trace = &shared.trace;
-    let track = Track::Request(id);
-    let lane = priority.name();
-    let plan_start = trace.ts_us_of(plan_started);
-    let execute_start = trace.ts_us_of(plan_ready);
-    trace.record(
-        TraceEvent::span(
-            "queue",
-            trace.ts_us_of(submitted_at),
-            timing.queue_us,
-            track,
-        )
-        .with_request(id)
-        .with_lane(lane)
-        .with_class(class)
-        .with_iteration(index),
-    );
-    if cache_hit {
-        trace.record(
-            TraceEvent::instant("hit", execute_start, track)
-                .with_request(id)
-                .with_class(class),
-        );
-    } else {
-        trace.record(
-            TraceEvent::span("compile", plan_start, timing.compile_us, track)
-                .with_request(id)
-                .with_class(class)
-                .with_arg("tune_us", ArgValue::F64(timing.tune_us)),
-        );
-    }
-    trace.record(
-        TraceEvent::span("execute", execute_start, timing.execute_us, track)
-            .with_request(id)
-            .with_lane(lane)
-            .with_class(class)
-            .with_iteration(index)
-            .with_arg("batch", ArgValue::U64(batch_size as u64)),
-    );
-    trace.record(
-        TraceEvent::instant("deliver", execute_start + timing.execute_us, track)
-            .with_request(id)
-            .with_arg("ok", ArgValue::U64(ok as u64)),
-    );
-}
-
-/// Serves one graph submission: partitions (unless a plan was supplied),
-/// executes the region steps through the shared plan cache, and answers with
-/// the graph outputs plus serving counters.
-fn run_graph(shared: &EngineShared, index: u64, work: QueuedWork) {
-    let Submission::Graph {
-        graph,
-        plan,
-        bindings,
-        priority,
-    } = &work.submission
-    else {
-        unreachable!("graph iterations contain only graph submissions");
-    };
-    let priority = *priority;
-    let label = work.submission.label();
-    let graph = Arc::clone(graph);
-    let bindings = Arc::clone(bindings);
-    let started = Instant::now();
-    let plan = plan
-        .clone()
-        .unwrap_or_else(|| Arc::new(rf_graph::partition(&graph)));
-    let result = crate::graph::execute_graph_plan(
-        &shared.cache,
-        &shared.arch,
-        Some(&shared.metrics),
-        &graph,
-        &plan,
-        bindings.as_slice(),
-    );
-    let delivered_at = Instant::now();
-    // For a graph the `execute` stage covers partitioning plus every region
-    // step — region compiles hide inside it, so `compile_us` stays zero.
-    let timing = RequestTiming {
-        queue_us: duration_us(work.submitted_at, started),
-        compile_us: 0.0,
-        tune_us: 0.0,
-        execute_us: duration_us(started, delivered_at),
-        total_us: duration_us(work.submitted_at, delivered_at),
-        iterations_waited: index.saturating_sub(work.iterations_at_submit + 1),
-    };
-    if shared.trace.enabled() {
-        let trace = &shared.trace;
-        let track = Track::Request(work.id);
-        let lane = priority.name();
-        trace.record(
-            TraceEvent::span(
-                "queue",
-                trace.ts_us_of(work.submitted_at),
-                timing.queue_us,
-                track,
-            )
-            .with_request(work.id)
-            .with_lane(lane)
-            .with_class("graph")
-            .with_iteration(index),
-        );
-        trace.record(
-            TraceEvent::span("execute", trace.ts_us_of(started), timing.execute_us, track)
-                .with_request(work.id)
-                .with_lane(lane)
-                .with_class("graph")
-                .with_iteration(index),
-        );
-        trace.record(
-            TraceEvent::instant("deliver", trace.ts_us_of(delivered_at), track)
-                .with_request(work.id)
-                .with_arg("ok", ArgValue::U64(result.is_ok() as u64)),
-        );
-    }
-    match result {
-        Ok(graph_response) => {
-            let stats = GraphStats {
-                fused_regions: graph_response.fused_regions,
-                fused_ops: graph_response.fused_ops,
-                glue_ops: graph_response.glue_ops,
-                region_cache_hits: graph_response.region_cache_hits,
-            };
-            // "Cache hit" for a graph means every fused region re-used an
-            // already-compiled plan.
-            let cache_hit =
-                stats.fused_regions > 0 && stats.region_cache_hits == stats.fused_regions;
-            shared
-                .metrics
-                .record_batch("graph", 1, 0, graph_response.simulated_us, cache_hit);
-            shared.metrics.record_served(priority, 1);
-            shared.metrics.record_timing(priority, &timing);
-            let id = work.id;
-            work.fulfil(Ok(Response {
-                id,
-                workload: label,
-                output: RequestOutput::Tensors(graph_response.outputs),
-                simulated_us: graph_response.simulated_us,
-                batch_size: 1,
-                cache_hit,
-                iteration: index,
-                priority,
-                graph: Some(stats),
-                timing,
-            }));
-        }
-        Err(err) => {
-            shared.metrics.record_batch("graph", 0, 1, 0.0, false);
-            shared.metrics.record_failed(priority, 1);
-            work.fulfil(Err(err));
-        }
     }
 }
 
@@ -671,9 +458,11 @@ fn run_graph(shared: &EngineShared, index: u64, work: QueuedWork) {
 mod tests {
     use super::*;
     use crate::request::{execute_reference, Request, RequestInput};
-    use crate::submit::Priority;
+    use crate::stream::Ticket;
+    use crate::submit::{Priority, Response};
     use rf_codegen::Workload;
     use rf_workloads::{moe_tiny, random_matrix};
+    use std::sync::Arc;
 
     fn tiny_engine(workers: usize) -> Engine {
         Engine::with_config(
@@ -705,6 +494,7 @@ mod tests {
             assert!(result.simulated_us.is_finite() && result.simulated_us > 0.0);
             assert!(result.iteration >= 1, "responses carry their iteration");
             assert_eq!(result.priority, Priority::Normal);
+            assert_eq!(result.device, 0, "a one-device fleet serves on device 0");
         }
         let metrics = engine.metrics();
         assert_eq!(metrics.completed, 6);
@@ -741,6 +531,33 @@ mod tests {
             .downcast_ref::<String>()
             .expect("panic carries a message");
         assert!(message.contains("workers"), "got: {message}");
+    }
+
+    #[test]
+    fn try_with_config_returns_the_typed_error_instead_of_panicking() {
+        let err = Engine::try_with_config(
+            GpuArch::a10(),
+            RuntimeConfig {
+                workers: 0,
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err.code(), "invalid_config");
+        assert!(err.to_string().contains("workers"));
+        // An empty fleet is the fleet-level invariant.
+        let err =
+            Engine::try_with_fleet(FleetConfig::heterogeneous(vec![], RuntimeConfig::default()))
+                .unwrap_err();
+        assert!(err.to_string().contains("at least one device"));
+        // And the happy path actually serves.
+        let engine = Engine::try_with_config(GpuArch::a10(), RuntimeConfig::default()).unwrap();
+        let response = engine
+            .submit(Request::softmax(random_matrix(2, 16, 1, -1.0, 1.0)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(response.workload, "softmax_2x16");
     }
 
     #[test]
@@ -843,20 +660,35 @@ mod tests {
     fn graph_serving_shares_the_engine_cache_and_surfaces_metrics() {
         use rf_graph::builders;
         let engine = tiny_engine(1);
-        let graph = builders::moe_block(4, 8, 4);
-        let inputs = builders::moe_block_inputs(4, 8, 4, 3);
-        let first = engine.submit_graph(&graph, &inputs).unwrap();
-        let second = engine.submit_graph(&graph, &inputs).unwrap();
-        assert_eq!(first.outputs, second.outputs);
-        assert_eq!(first.region_cache_hits, 0);
-        assert_eq!(second.region_cache_hits, 1, "the region plan is cached");
+        let graph = Arc::new(builders::moe_block(4, 8, 4));
+        let bindings: Vec<(String, rf_workloads::Matrix)> = builders::moe_block_inputs(4, 8, 4, 3)
+            .into_iter()
+            .map(|(n, m)| (n.to_string(), m))
+            .collect();
+        let serve = || -> Response {
+            engine
+                .submit(Submission::graph(Arc::clone(&graph), bindings.clone()))
+                .unwrap()
+                .wait()
+                .unwrap()
+        };
+        let first = serve();
+        let second = serve();
+        assert_eq!(first.output, second.output);
+        let first_stats = first.graph.expect("graph stats attached");
+        let second_stats = second.graph.expect("graph stats attached");
+        assert_eq!(first_stats.region_cache_hits, 0);
+        assert_eq!(
+            second_stats.region_cache_hits, 1,
+            "the region plan is cached"
+        );
         let metrics = engine.metrics();
         assert_eq!(metrics.graphs_served, 2);
-        assert_eq!(metrics.graph_fused_ops, 2 * first.fused_ops as u64);
-        assert_eq!(metrics.graph_glue_ops, 2 * first.glue_ops as u64);
+        assert_eq!(metrics.graph_fused_ops, 2 * first_stats.fused_ops as u64);
+        assert_eq!(metrics.graph_glue_ops, 2 * first_stats.glue_ops as u64);
         assert_eq!((metrics.region_hits, metrics.region_lookups), (1, 2));
         assert!(metrics.report().contains("graphs served"));
-        // Graphs ride the unified stream now, so they also count as served
+        // Graphs ride the unified stream, so they also count as served
         // requests under the "graph" class.
         assert_eq!(metrics.submitted, 2);
         assert_eq!(metrics.completed, 2);
@@ -1037,6 +869,8 @@ mod tests {
                 "trace must contain `{name}` events"
             );
         }
+        // Every event of a one-device engine is tagged with device 0.
+        assert!(snapshot.events.iter().all(|e| e.device == Some(0)));
         let json = engine.chrome_trace();
         let stats = rf_trace::validate_chrome_trace(&json).expect("trace must be well-formed");
         assert!(stats.spans >= 8 * 2, "≥ queue+execute per request");
@@ -1118,5 +952,49 @@ mod tests {
             .iter()
             .any(|e| e.name == "execute" && e.class == Some("graph")));
         rf_trace::validate_chrome_trace(&engine.chrome_trace()).expect("graph trace well-formed");
+    }
+
+    #[test]
+    fn multi_device_fleet_spreads_load_and_merges_metrics() {
+        let engine = Engine::with_fleet(FleetConfig::homogeneous(
+            GpuArch::a10(),
+            3,
+            RuntimeConfig::builder()
+                .workers(1)
+                .max_batch(4)
+                .cache_capacity(16)
+                .build()
+                .unwrap(),
+        ));
+        assert_eq!(engine.devices(), 3);
+        let tickets: Vec<Ticket> = (0..24)
+            .map(|seed| {
+                engine
+                    .submit(Request::softmax(random_matrix(4, 64, seed, -1.0, 1.0)))
+                    .unwrap()
+            })
+            .collect();
+        engine.run_until_drained();
+        let mut devices_seen = std::collections::HashSet::new();
+        for ticket in tickets {
+            let response = ticket.wait().unwrap();
+            assert!(response.device < 3);
+            devices_seen.insert(response.device);
+        }
+        assert!(
+            devices_seen.len() > 1,
+            "least-loaded routing must use more than one device, saw {devices_seen:?}"
+        );
+        // The fleet-wide snapshot is the sum of the per-device ledgers.
+        let merged = engine.metrics();
+        assert_eq!(merged.completed, 24);
+        let snapshots = engine.device_snapshots();
+        assert_eq!(snapshots.len(), 3);
+        let per_device_completed: u64 = snapshots.iter().map(|d| d.metrics.completed).sum();
+        assert_eq!(per_device_completed, 24);
+        assert!(snapshots.iter().all(|d| d.backend == "tile-vm"));
+        assert!(snapshots.iter().all(|d| d.arch == "NVIDIA A10"));
+        // Every device compiled the (one) shape it saw.
+        assert!(merged.cache.misses >= devices_seen.len() as u64);
     }
 }

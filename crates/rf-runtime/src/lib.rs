@@ -54,6 +54,7 @@
 //! [`std::sync::OnceLock`] and kernel execution runs on `Arc` snapshots — no
 //! lock is ever held across either.
 
+pub mod backend;
 pub mod cache;
 pub mod config;
 pub mod engine;
@@ -63,10 +64,14 @@ pub mod request;
 pub mod stream;
 pub mod submit;
 
+pub use backend::{make_backend, CostModelBackend, ExecBackend, TileVmBackend};
 pub use cache::{CacheStats, PlanCache};
-pub use config::{LaneWeights, RuntimeConfig, RuntimeConfigBuilder};
-pub use engine::Engine;
-pub use graph::{execute_graph_plan, GraphResponse};
+pub use config::{
+    BackendKind, DeviceSpec, FleetConfig, LaneWeights, RoutingPolicy, RuntimeConfig,
+    RuntimeConfigBuilder,
+};
+pub use engine::{DeviceSnapshot, Engine};
+pub use graph::{execute_graph_plan, execute_graph_plan_on, GraphResponse};
 pub use metrics::{ClassSnapshot, LaneSnapshot, MetricsSnapshot, RuntimeMetrics};
 pub use request::{
     execute_plan, execute_reference, OverloadInfo, Request, RequestId, RequestInput, RequestOutput,

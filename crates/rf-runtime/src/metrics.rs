@@ -41,6 +41,11 @@ struct LatencyTrack {
     window: VecDeque<f64>,
     total_us: f64,
     count: u64,
+    /// Simulated device-busy time: each executed batch's latency counted
+    /// once (unlike `total_us`, which weights by batch size). The fleet's
+    /// simulated-time throughput is served requests over the busiest
+    /// device's `busy_us`.
+    busy_us: f64,
 }
 
 /// Accumulators for one [`rf_codegen::Workload::class`]: request/batch
@@ -218,6 +223,11 @@ pub struct MetricsSnapshot {
     /// Mean simulated request latency over the engine's lifetime, in
     /// microseconds.
     pub mean_us: f64,
+    /// Total simulated device-busy time in microseconds: each executed
+    /// batch's simulated latency counted once, regardless of batch size.
+    /// In a fleet this is per device, so served requests over the busiest
+    /// device's `busy_us` is the fleet's simulated-time throughput.
+    pub busy_us: f64,
     /// The telemetry level the engine ran with.
     pub trace_level: TraceLevel,
     /// Lifetime simulated-latency histogram summary: p50/p99/p999 over the
@@ -314,6 +324,82 @@ impl RuntimeMetrics {
     /// The telemetry level these metrics record at.
     pub fn level(&self) -> TraceLevel {
         self.level
+    }
+
+    /// Folds another metrics instance into this one — how a multi-device
+    /// engine builds its fleet-wide snapshot from the per-device ledgers.
+    ///
+    /// Counters add and lifetime histograms merge exactly (bucket-aligned);
+    /// the bounded recent-latency windows concatenate up to their capacity,
+    /// so windowed percentiles over the merge are an approximation. The last
+    /// shed retry hint is taken from `other` when it has seen any shed.
+    pub fn merge_from(&self, other: &RuntimeMetrics) {
+        for (mine, theirs) in [
+            (&self.submitted, &other.submitted),
+            (&self.completed, &other.completed),
+            (&self.failed, &other.failed),
+            (&self.shed, &other.shed),
+            (&self.batches, &other.batches),
+            (&self.batched_requests, &other.batched_requests),
+            (&self.graphs_served, &other.graphs_served),
+            (&self.graph_fused_ops, &other.graph_fused_ops),
+            (&self.graph_glue_ops, &other.graph_glue_ops),
+            (&self.region_lookups, &other.region_lookups),
+            (&self.region_hits, &other.region_hits),
+            (&self.shed_retry_sum_us, &other.shed_retry_sum_us),
+        ] {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        if other.shed.load(Ordering::Relaxed) > 0 {
+            self.shed_retry_last_bits.store(
+                other.shed_retry_last_bits.load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+        }
+        for (mine, theirs) in self.lanes.iter().zip(&other.lanes) {
+            for (m, t) in [
+                (&mine.submitted, &theirs.submitted),
+                (&mine.completed, &theirs.completed),
+                (&mine.failed, &theirs.failed),
+                (&mine.shed, &theirs.shed),
+            ] {
+                m.fetch_add(t.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+            mine.wall.merge_from(&theirs.wall);
+        }
+        for (mine, theirs) in self.stage_walls.iter().zip(&other.stage_walls) {
+            mine.merge_from(theirs);
+        }
+        self.lifetime.merge_from(&other.lifetime);
+        {
+            let theirs = other.latencies_us.lock().expect("metrics lock poisoned");
+            let mut mine = self.latencies_us.lock().expect("metrics lock poisoned");
+            mine.total_us += theirs.total_us;
+            mine.count += theirs.count;
+            mine.busy_us += theirs.busy_us;
+            for &sample in &theirs.window {
+                if mine.window.len() == LATENCY_WINDOW {
+                    mine.window.pop_front();
+                }
+                mine.window.push_back(sample);
+            }
+        }
+        let theirs = other.classes.lock().expect("metrics lock poisoned");
+        let mut mine = self.classes.lock().expect("metrics lock poisoned");
+        for (class, track) in theirs.iter() {
+            let merged = mine.entry(class).or_default();
+            merged.completed += track.completed;
+            merged.failed += track.failed;
+            merged.batches += track.batches;
+            merged.cache_hits += track.cache_hits;
+            for &sample in &track.window {
+                if merged.window.len() == CLASS_LATENCY_WINDOW {
+                    merged.window.pop_front();
+                }
+                merged.window.push_back(sample);
+            }
+            merged.lifetime.merge_from(&track.lifetime);
+        }
     }
 
     /// Records one accepted submission on `priority`'s lane.
@@ -460,6 +546,7 @@ impl RuntimeMetrics {
         let mut track = self.latencies_us.lock().expect("metrics lock poisoned");
         track.total_us += latency_us * executed as f64;
         track.count += executed as u64;
+        track.busy_us += latency_us;
         for _ in 0..executed {
             if track.window.len() == LATENCY_WINDOW {
                 track.window.pop_front();
@@ -500,7 +587,7 @@ impl RuntimeMetrics {
         cache: CacheStats,
         tuning: TuningCacheStats,
     ) -> MetricsSnapshot {
-        let (mut window, mean_us) = {
+        let (mut window, mean_us, busy_us) = {
             let track = self.latencies_us.lock().expect("metrics lock poisoned");
             let mean = if track.count == 0 {
                 0.0
@@ -510,6 +597,7 @@ impl RuntimeMetrics {
             (
                 Vec::from_iter(track.window.iter().copied().filter(|v| v.is_finite())),
                 mean,
+                track.busy_us,
             )
         };
         window.sort_by(f64::total_cmp);
@@ -582,6 +670,7 @@ impl RuntimeMetrics {
             p50_us: percentile_sorted(&window, 50.0),
             p99_us: percentile_sorted(&window, 99.0),
             mean_us,
+            busy_us,
             trace_level: self.level,
             lifetime: self.lifetime.snapshot(),
             stages,
@@ -936,6 +1025,58 @@ mod tests {
         assert_eq!(snap.p99_us, 10.0);
         assert_eq!(snap.completed, 4);
         assert_eq!(snap.mean_us, 10.0, "the lifetime mean must stay finite");
+    }
+
+    #[test]
+    fn merge_from_folds_per_device_ledgers_into_one() {
+        let a = RuntimeMetrics::new();
+        let b = RuntimeMetrics::new();
+        for _ in 0..3 {
+            a.record_submit(Priority::Normal);
+        }
+        a.record_batch("softmax", 3, 0, 10.0, false);
+        a.record_served(Priority::Normal, 3);
+        for _ in 0..2 {
+            b.record_submit(Priority::High);
+        }
+        b.record_batch("softmax", 1, 0, 30.0, true);
+        b.record_batch("mha", 1, 1, 50.0, false);
+        b.record_served(Priority::High, 2);
+        b.record_failed(Priority::High, 1);
+        b.record_shed(Priority::Low, Duration::from_micros(750));
+        b.record_graph(4, 1, 1, 2);
+
+        let merged = RuntimeMetrics::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        let snap = merged.snapshot(0, empty_cache_stats(), empty_tuning_stats());
+        assert_eq!(snap.submitted, 5);
+        assert_eq!(snap.completed, 5);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.shed_retry_last_us, 750.0);
+        // Latency distribution spans both ledgers' windows.
+        assert_eq!(snap.p50_us, 10.0);
+        assert!(snap.p99_us > 10.0 && snap.p99_us <= 50.0);
+        assert!((snap.mean_us - 22.0).abs() < 1e-12);
+        // Busy time counts each batch's latency once: 10 + 30 + 50.
+        assert!((snap.busy_us - 90.0).abs() < 1e-12);
+        // Classes merge by name, keeping their per-class counters.
+        let softmax = snap.classes.iter().find(|c| c.class == "softmax").unwrap();
+        assert_eq!((softmax.completed, softmax.batches), (4, 2));
+        assert_eq!(softmax.cache_hits, 1);
+        let mha = snap.classes.iter().find(|c| c.class == "mha").unwrap();
+        assert_eq!((mha.completed, mha.failed), (1, 1));
+        // Lanes merge positionally.
+        assert_eq!(snap.lanes[Priority::High.lane()].completed, 2);
+        assert_eq!(snap.lanes[Priority::Normal.lane()].completed, 3);
+        assert_eq!(snap.lanes[Priority::Low.lane()].shed, 1);
+        // Graph counters ride along.
+        assert_eq!(snap.graphs_served, 1);
+        assert_eq!((snap.region_hits, snap.region_lookups), (1, 2));
+        // The lifetime histogram merged exactly: 5 finite samples.
+        assert_eq!(snap.lifetime.count, 5);
     }
 
     #[test]

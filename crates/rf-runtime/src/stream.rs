@@ -856,6 +856,7 @@ mod tests {
             cache_hit: false,
             iteration: 1,
             priority: Priority::Normal,
+            device: 0,
             graph: None,
             timing: crate::submit::RequestTiming::default(),
         };

@@ -236,6 +236,10 @@ pub struct Response {
     pub iteration: u64,
     /// The lane the submission was served from.
     pub priority: Priority,
+    /// The fleet device that served this submission (0 in a single-device
+    /// engine). A row-sharded submission ran on every device; this reports
+    /// the lowest participating id.
+    pub device: usize,
     /// Graph-serving counters; `None` for workload submissions.
     pub graph: Option<GraphStats>,
     /// Wall-clock breakdown of where this request's latency went.

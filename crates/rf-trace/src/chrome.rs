@@ -33,10 +33,20 @@ pub fn chrome_trace_json(snapshot: &TraceSnapshot) -> String {
         *first = false;
         out.push_str(&text);
     };
-    for (track, label) in track_labels(&snapshot.events) {
+    for (pid, label) in process_labels(&snapshot.events) {
         emit(
             format!(
-                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{track},\
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                json::escape(&label)
+            ),
+            &mut first,
+        );
+    }
+    for ((pid, track), label) in track_labels(&snapshot.events) {
+        emit(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{track},\
                  \"args\":{{\"name\":\"{}\"}}}}",
                 json::escape(&label)
             ),
@@ -50,12 +60,32 @@ pub fn chrome_trace_json(snapshot: &TraceSnapshot) -> String {
     out
 }
 
-/// One label per distinct track, in first-appearance order.
-fn track_labels(events: &[TraceEvent]) -> Vec<(u64, String)> {
+/// One label per distinct process (`pid`), in first-appearance order:
+/// `"engine"` for the shared process, `"device-N"` per fleet device.
+fn process_labels(events: &[TraceEvent]) -> Vec<(u64, String)> {
+    let mut seen: Vec<(u64, String)> = Vec::new();
+    for event in events {
+        let pid = event.process_id();
+        if seen.iter().any(|(p, _)| *p == pid) {
+            continue;
+        }
+        let label = match event.device {
+            Some(device) => format!("device-{device}"),
+            None => "engine".to_string(),
+        };
+        seen.push((pid, label));
+    }
+    seen
+}
+
+/// One label per distinct `(pid, tid)` track, in first-appearance order.
+/// Tids are only unique within a process: a fleet reuses `worker-0` on every
+/// device pid, so the key must carry both halves.
+fn track_labels(events: &[TraceEvent]) -> Vec<((u64, u64), String)> {
     let mut seen = Vec::new();
     for event in events {
-        let id = event.track_id();
-        if seen.iter().any(|(t, _)| *t == id) {
+        let key = (event.process_id(), event.track_id());
+        if seen.iter().any(|(k, _)| *k == key) {
             continue;
         }
         let label = match event.track {
@@ -63,7 +93,7 @@ fn track_labels(events: &[TraceEvent]) -> Vec<(u64, String)> {
             Track::Worker(i) => format!("worker-{i}"),
             Track::Request(id) => format!("request-{id}"),
         };
-        seen.push((id, label));
+        seen.push((key, label));
     }
     seen
 }
@@ -82,6 +112,9 @@ fn event_json(event: &TraceEvent) -> String {
     if let Some(iteration) = event.iteration {
         args.push(format!("\"iteration\":{iteration}"));
     }
+    if let Some(device) = event.device {
+        args.push(format!("\"device\":{device}"));
+    }
     for (key, value) in &event.args {
         let rendered = match value {
             ArgValue::U64(n) => n.to_string(),
@@ -96,7 +129,7 @@ fn event_json(event: &TraceEvent) -> String {
         EventPhase::Span => format!("\"ph\":\"X\",\"dur\":{}", json::number(event.dur_us)),
     };
     format!(
-        "{{\"name\":\"{}\",\"cat\":\"{}\",{phase},\"ts\":{},\"pid\":1,\"tid\":{},\"args\":{{{}}}}}",
+        "{{\"name\":\"{}\",\"cat\":\"{}\",{phase},\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{{}}}}}",
         json::escape(event.name),
         match event.track {
             Track::Request(_) => "request",
@@ -104,6 +137,7 @@ fn event_json(event: &TraceEvent) -> String {
             Track::FrontDoor => "admission",
         },
         json::number(event.ts_us),
+        event.process_id(),
         event.track_id(),
         args.join(",")
     )
@@ -145,8 +179,11 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
         events: events.len(),
         ..TraceStats::default()
     };
-    let mut spans_by_track: HashMap<u64, Vec<(f64, f64, String)>> = HashMap::new();
-    let mut request_tracks: Vec<u64> = Vec::new();
+    // Tracks are only unique within a process (a fleet reuses worker tids on
+    // every device pid), so the nesting key must be the (pid, tid) pair.
+    type TrackKey = (u64, u64);
+    let mut spans_by_track: HashMap<TrackKey, Vec<(f64, f64, String)>> = HashMap::new();
+    let mut request_tracks: Vec<TrackKey> = Vec::new();
     for (index, event) in events.iter().enumerate() {
         let phase = event
             .get("ph")
@@ -157,6 +194,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
             .and_then(JsonValue::as_str)
             .unwrap_or("<unnamed>")
             .to_string();
+        let pid = event.get("pid").and_then(JsonValue::as_f64).unwrap_or(1.0) as u64;
         let tid = event.get("tid").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64;
         match phase {
             "M" => {}
@@ -184,11 +222,14 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
                     return Err(format!("span `{name}` has bad ts/dur ({ts}, {dur})"));
                 }
                 if event.get("cat").and_then(JsonValue::as_str) == Some("request")
-                    && !request_tracks.contains(&tid)
+                    && !request_tracks.contains(&(pid, tid))
                 {
-                    request_tracks.push(tid);
+                    request_tracks.push((pid, tid));
                 }
-                spans_by_track.entry(tid).or_default().push((ts, dur, name));
+                spans_by_track
+                    .entry((pid, tid))
+                    .or_default()
+                    .push((ts, dur, name));
             }
             other => return Err(format!("event {index} has unknown phase `{other}`")),
         }
@@ -201,7 +242,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
     // either start after every open ancestor ends, or end within the
     // innermost open one. A small epsilon forgives f64 rendering jitter.
     const EPS: f64 = 0.01;
-    for (tid, mut spans) in spans_by_track {
+    for ((pid, tid), mut spans) in spans_by_track {
         spans.sort_by(|a, b| a.0.total_cmp(&b.0).then(b.1.total_cmp(&a.1)));
         let mut open: Vec<(f64, f64, String)> = Vec::new();
         for (ts, dur, name) in spans {
@@ -215,7 +256,7 @@ pub fn validate_chrome_trace(text: &str) -> Result<TraceStats, String> {
             if let Some((ots, odur, oname)) = open.last() {
                 if ts + dur > ots + odur + EPS {
                     return Err(format!(
-                        "track {tid}: span `{name}` [{ts}, {}] partially overlaps \
+                        "track {pid}/{tid}: span `{name}` [{ts}, {}] partially overlaps \
                          `{oname}` [{ots}, {}]",
                         ts + dur,
                         ots + odur
@@ -313,6 +354,27 @@ mod tests {
             {\"name\":\"a\",\"ph\":\"X\",\"ts\":0,\"dur\":10,\"pid\":1,\"tid\":7},\
             {\"name\":\"b\",\"ph\":\"X\",\"ts\":2,\"dur\":4,\"pid\":1,\"tid\":7}]}";
         assert!(validate_chrome_trace(nested).is_ok());
+    }
+
+    #[test]
+    fn device_events_export_under_their_own_process() {
+        let c = TraceCollector::new(TraceConfig::full());
+        // Identical tid and overlapping time ranges on two devices: only the
+        // (pid, tid) keying keeps these from "partially overlapping".
+        c.record(TraceEvent::span("iteration", 0.0, 10.0, Track::Worker(0)).with_device(0));
+        c.record(TraceEvent::span("iteration", 5.0, 10.0, Track::Worker(0)).with_device(1));
+        let json_text = chrome_trace_json(&c.snapshot());
+        let stats = validate_chrome_trace(&json_text).expect("per-device pids keep tracks apart");
+        assert_eq!(stats.spans, 2);
+        assert!(json_text.contains("\"pid\":2") && json_text.contains("\"pid\":3"));
+        assert!(json_text.contains("device-0") && json_text.contains("device-1"));
+        assert!(json_text.contains("\"device\":1"));
+        // The same overlapping pair on ONE device is still rejected.
+        let c = TraceCollector::new(TraceConfig::full());
+        c.record(TraceEvent::span("iteration", 0.0, 10.0, Track::Worker(0)).with_device(1));
+        c.record(TraceEvent::span("iteration", 5.0, 10.0, Track::Worker(0)).with_device(1));
+        let err = validate_chrome_trace(&chrome_trace_json(&c.snapshot())).unwrap_err();
+        assert!(err.contains("partially overlaps"), "got: {err}");
     }
 
     #[test]

@@ -96,6 +96,27 @@ impl LogHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Adds every sample of `other` into `self` — used to fold per-device
+    /// histograms into one fleet-wide distribution. Bucket counts, the sample
+    /// count, the nanosecond sum and the maximum all combine exactly (the
+    /// buckets are position-aligned, so no re-quantisation happens);
+    /// concurrent recording on either side yields an approximately consistent
+    /// merge, the same guarantee as [`LogHistogram::snapshot`].
+    pub fn merge_from(&self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_ns
+            .fetch_max(other.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
     /// A point-in-time summary: count, mean and the headline quantiles.
     /// Concurrent recording is fine; the snapshot is approximately
     /// consistent (bucket loads are not a single atomic cut).
@@ -236,6 +257,32 @@ mod tests {
         }
         assert_eq!(h.count(), 4000);
         assert_eq!(h.snapshot().count, 4000);
+    }
+
+    #[test]
+    fn merging_is_exact_at_the_bucket_level() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        let whole = LogHistogram::new();
+        for v in 1..=500 {
+            a.record_us(v as f64);
+            whole.record_us(v as f64);
+        }
+        for v in 501..=1000 {
+            b.record_us(v as f64);
+            whole.record_us(v as f64);
+        }
+        let merged = LogHistogram::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        // Merging position-aligned buckets is lossless: the merged snapshot
+        // is identical to recording every sample into one histogram.
+        assert_eq!(merged.snapshot(), whole.snapshot());
+        assert_eq!(merged.count(), 1000);
+        // Merging an empty histogram changes nothing.
+        let before = merged.snapshot();
+        merged.merge_from(&LogHistogram::new());
+        assert_eq!(merged.snapshot(), before);
     }
 
     #[test]

@@ -5,9 +5,11 @@
 //!
 //! Run with `cargo run --example graph_serving`.
 
+use std::sync::Arc;
+
 use redfuser::gpusim::GpuArch;
 use redfuser::graph::{builders, detect_cascades, partition};
-use redfuser::runtime::Engine;
+use redfuser::runtime::{Engine, RequestOutput, Response, Submission};
 
 pub fn main() {
     // 1. A whole model subgraph, written fully unfused: explicit GEMMs,
@@ -38,29 +40,48 @@ pub fn main() {
     let plan = partition(&graph);
     println!("plan: {}", plan.summary());
 
-    // 4. Serving: the engine compiles each region through its plan cache,
-    //    interprets the tuned tile programs and threads intermediates.
+    // 4. Serving: graphs ride the same unified `Engine::submit` front door
+    //    as single workloads. The engine compiles each region through its
+    //    plan cache, interprets the tuned tile programs and threads
+    //    intermediates.
     let engine = Engine::new(GpuArch::a10());
     let inputs = builders::transformer_decoder_layer_inputs(seq, d, ff, 7);
-    let first = engine
-        .submit_graph_plan(&graph, &plan, &inputs)
-        .expect("the graph serves");
+    let shared_graph = Arc::new(graph.clone());
+    let shared_plan = Arc::new(plan);
+    let serve = || -> Response {
+        let bindings: Vec<(String, _)> = inputs
+            .iter()
+            .map(|(name, matrix)| (name.to_string(), matrix.clone()))
+            .collect();
+        engine
+            .submit(Submission::graph_plan(
+                Arc::clone(&shared_graph),
+                Arc::clone(&shared_plan),
+                bindings,
+            ))
+            .expect("the graph is admitted")
+            .wait()
+            .expect("the graph serves")
+    };
+    let first = serve();
+    let stats = first.graph.expect("graph submissions carry graph stats");
     println!(
         "served: {} fused region(s), {} glue op(s), {:.2} us simulated",
-        first.fused_regions, first.glue_ops, first.simulated_us
+        stats.fused_regions, stats.glue_ops, first.simulated_us
     );
 
     // The fused execution matches the whole-graph unfused reference.
     let reference = graph.evaluate(&inputs).expect("the reference evaluates");
-    let diff = first.outputs[0].max_abs_diff(&reference[0]);
+    let RequestOutput::Tensors(outputs) = &first.output else {
+        panic!("graph submissions produce tensors");
+    };
+    let diff = outputs[0].max_abs_diff(&reference[0]);
     assert!(diff < 1e-7, "fused vs reference diff {diff}");
     println!("matches the unfused whole-graph reference (max diff {diff:.2e})");
 
     // 5. Same graph again: both the partition and the compiled region plan
     //    are re-used; the engine metrics show the graph counters.
-    let second = engine
-        .submit_graph_plan(&graph, &plan, &inputs)
-        .expect("the graph serves again");
-    assert_eq!(second.region_cache_hits, 1);
+    let second = serve();
+    assert_eq!(second.graph.expect("graph stats").region_cache_hits, 1);
     println!("{}", engine.metrics().report());
 }

@@ -1,7 +1,8 @@
 //! End-to-end graph serving: differential tests against the whole-graph
 //! unfused reference evaluator, and the negative-detection guarantees.
 //!
-//! The differential tests prove that `Engine::submit_graph` — partition into
+//! The differential tests prove that graph serving through the unified
+//! `Engine::submit` front door — partition into
 //! fused regions + glue, compile each region through the plan cache,
 //! interpret the tuned tile programs, thread intermediates — produces the
 //! same numbers as evaluating every graph node with the unfused reference
@@ -14,12 +15,16 @@
 //! fusable softmax core, and check the partitioner never fuses it, never
 //! drops a glue op and never reorders one.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 use rf_algebra::ReduceOp;
 use rf_gpusim::GpuArch;
 use rf_graph::partition::{partition, Step};
 use rf_graph::{builders, MapOp, NodeId, Op, OpGraph, ZipOp};
-use rf_runtime::{Engine, PlanCache, RuntimeConfig};
+use rf_runtime::{
+    Engine, GraphStats, PlanCache, RequestOutput, RuntimeConfig, RuntimeError, Submission,
+};
 use rf_workloads::Matrix;
 
 /// Damped-relative tolerance for the exactly-reassociative graphs: the fused
@@ -49,6 +54,27 @@ fn peak(m: &Matrix) -> f64 {
     m.as_slice().iter().fold(0.0f64, |acc, v| acc.max(v.abs()))
 }
 
+/// Serves a graph through the unified `Engine::submit` front door and
+/// unwraps the tensor outputs plus the graph-serving stats.
+fn serve_graph(
+    engine: &Engine,
+    graph: &OpGraph,
+    inputs: &[(&str, Matrix)],
+) -> Result<(Vec<Matrix>, GraphStats), RuntimeError> {
+    let bindings: Vec<(String, Matrix)> = inputs
+        .iter()
+        .map(|(name, matrix)| (name.to_string(), matrix.clone()))
+        .collect();
+    let response = engine
+        .submit(Submission::graph(Arc::new(graph.clone()), bindings))?
+        .wait()?;
+    let stats = response.graph.expect("graph submissions carry graph stats");
+    let RequestOutput::Tensors(outputs) = response.output else {
+        panic!("graph submissions produce tensors");
+    };
+    Ok((outputs, stats))
+}
+
 fn tiny_engine() -> Engine {
     Engine::with_config(
         GpuArch::a10(),
@@ -70,12 +96,12 @@ fn transformer_layer_graph_matches_the_unfused_reference() {
     let engine = tiny_engine();
     for seed in [1, 42] {
         let inputs = builders::transformer_decoder_layer_inputs(8, 16, 32, seed);
-        let served = engine.submit_graph(&graph, &inputs).unwrap();
+        let (outputs, stats) = serve_graph(&engine, &graph, &inputs).unwrap();
         let reference = graph.evaluate(&inputs).unwrap();
-        let diff = max_damped_rel_diff(&served.outputs[0], &reference[0]);
+        let diff = max_damped_rel_diff(&outputs[0], &reference[0]);
         assert!(diff <= TIGHT_TOL, "seed {seed}: diff {diff}");
-        assert_eq!(served.fused_regions, 1);
-        assert!(served.glue_ops >= 6);
+        assert_eq!(stats.fused_regions, 1);
+        assert!(stats.glue_ops >= 6);
     }
     let metrics = engine.metrics();
     assert_eq!(metrics.graphs_served, 2);
@@ -94,9 +120,9 @@ fn moe_block_graph_matches_the_unfused_reference() {
     let engine = tiny_engine();
     for seed in [7, 99] {
         let inputs = builders::moe_block_inputs(6, 16, 4, seed);
-        let served = engine.submit_graph(&graph, &inputs).unwrap();
+        let (outputs, _) = serve_graph(&engine, &graph, &inputs).unwrap();
         let reference = graph.evaluate(&inputs).unwrap();
-        let diff = max_damped_rel_diff(&served.outputs[0], &reference[0]);
+        let diff = max_damped_rel_diff(&outputs[0], &reference[0]);
         assert!(diff <= TIGHT_TOL, "seed {seed}: diff {diff}");
     }
 }
@@ -110,10 +136,10 @@ fn quantized_mlp_graph_stays_within_the_fp8_noise_floor() {
     let engine = tiny_engine();
     for seed in [3, 77] {
         let inputs = builders::quantized_mlp_inputs(4, 32, 16, 8, seed);
-        let served = engine.submit_graph(&graph, &inputs).unwrap();
+        let (outputs, _) = serve_graph(&engine, &graph, &inputs).unwrap();
         let reference = graph.evaluate(&inputs).unwrap();
         let floor = QUANT_NOISE * peak(&reference[0]) + 1e-9;
-        let diff = served.outputs[0].max_abs_diff(&reference[0]);
+        let diff = outputs[0].max_abs_diff(&reference[0]);
         assert!(
             diff <= floor,
             "seed {seed}: diff {diff} exceeds the noise floor {floor}"
@@ -125,7 +151,7 @@ fn quantized_mlp_graph_stays_within_the_fp8_noise_floor() {
 fn graph_serving_reports_missing_inputs() {
     let graph = builders::moe_block(4, 8, 4);
     let engine = tiny_engine();
-    let err = engine.submit_graph(&graph, &[]).unwrap_err();
+    let err = serve_graph(&engine, &graph, &[]).unwrap_err();
     assert!(err.to_string().contains("not bound"));
 }
 
