@@ -1,0 +1,33 @@
+//! Criterion benchmark: the tile-VM execute path against its profiled twin.
+//! `execute_profiled` wraps the unmodified interpreter and derives op counts
+//! analytically, so its overhead must stay a small constant per call — this
+//! bench is the guard for that property (and for the serving engine's claim
+//! that `TraceConfig::profile = false` costs nothing, since that path never
+//! takes the profiled entry point at all).
+use criterion::{criterion_group, criterion_main, Criterion};
+use rf_codegen::{compile_workload, Workload};
+use rf_gpusim::GpuArch;
+use rf_tile::exec::{execute, execute_profiled, ExecInput};
+use rf_workloads::random_matrix;
+
+fn bench_profiler(c: &mut Criterion) {
+    let workload = Workload::Softmax {
+        rows: 64,
+        len: 1024,
+    };
+    let kernel = compile_workload(&workload, &GpuArch::a10());
+    let program = kernel.program.expect("compiled kernels ship a program");
+    let rows = random_matrix(64, 1024, 11, -2.0, 2.0);
+    let input = ExecInput::Rows(&rows);
+    let mut group = c.benchmark_group("tile_vm_profiler");
+    group.bench_function("execute_plain", |b| {
+        b.iter(|| execute(&program, &input).unwrap())
+    });
+    group.bench_function("execute_profiled", |b| {
+        b.iter(|| execute_profiled(&program, &input).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiler);
+criterion_main!(benches);

@@ -15,7 +15,7 @@
 //! | `arch` | `h800` | `a10 \| a100 \| h800 \| mi308x` |
 //! | `devices` | unset | homogeneous fleet: N tile-VM devices of `arch` |
 //! | `fleet` | unset | heterogeneous fleet: `+`-separated `arch[:backend]` specs, e.g. `a10+h800:cost` (backends: `vm \| cost`); overrides `arch`/`devices` |
-//! | `routing` | `least-loaded` | fleet placement: `least-loaded \| sticky \| row-shard` |
+//! | `routing` | `least-loaded` | fleet placement: `least-loaded \| sticky \| row-shard \| predicted` |
 //! | `suite` | unset | `fleet`: run the single/fleet4/hetero scenario suite and write one multi-scenario document |
 //! | `requests` | `256` | total submissions (workloads + graphs) |
 //! | `mode` | `closed` | `closed` (client windows) or `open` (Poisson) |
@@ -32,11 +32,18 @@
 //! | `trace` | `hist` | engine telemetry: `off \| hist \| full` |
 //! | `trace-buffer` | `65536` | span-buffer bound at `trace=full` |
 //! | `trace-out` | `TRACE_serving.json` | Perfetto trace path (`trace=full`) |
+//! | `profile` | `0` | `1`: capture the tile-VM op profiler and write a folded-stack profile |
+//! | `profile-out` | `PROFILE_serving.txt` | folded-stack profile path (`profile=1`) |
+//! | `window-ms` | `250` | rolling-telemetry window width, milliseconds |
+//! | `windows` | `64` | rolling-telemetry windows retained |
 //! | `out` | `BENCH_serving.json` | report path |
 //!
 //! At `trace=full` the run additionally writes a Chrome trace-event JSON
 //! document (validated before writing) that loads directly into Perfetto
-//! (`ui.perfetto.dev`) or `chrome://tracing`.
+//! (`ui.perfetto.dev`) or `chrome://tracing`. At `profile=1` it writes a
+//! folded-stack op profile (`device;class;region;op weight` lines — prefixed
+//! with the scenario name under `suite=fleet`) that feeds any
+//! inferno/flamegraph toolchain directly.
 //!
 //! The two historical positional arguments (`serve_trace [arch] [requests]`)
 //! are still accepted.
@@ -53,6 +60,7 @@ struct Args {
     suite: bool,
     out: String,
     trace_out: String,
+    profile_out: String,
 }
 
 /// Parses a `fleet=` spec: `+`-separated `arch[:backend]` items.
@@ -96,8 +104,12 @@ fn parse_args() -> Result<Args, String> {
     let mut max_in_flight: usize = 1024;
     let mut trace_level = TraceLevel::Histograms;
     let mut trace_buffer: usize = 65_536;
+    let mut profile = false;
+    let mut window_ms: u64 = 250;
+    let mut windows: usize = 64;
     let mut out = "BENCH_serving.json".to_string();
     let mut trace_out = "TRACE_serving.json".to_string();
+    let mut profile_out = "PROFILE_serving.txt".to_string();
 
     for (position, raw) in std::env::args().skip(1).enumerate() {
         let (key, value) = match raw.split_once('=') {
@@ -118,7 +130,7 @@ fn parse_args() -> Result<Args, String> {
             "fleet" => fleet_spec = Some(value),
             "routing" => {
                 routing = RoutingPolicy::by_name(&value).ok_or(format!(
-                    "unknown routing `{value}` (expected least-loaded|sticky|row-shard)"
+                    "unknown routing `{value}` (expected least-loaded|sticky|row-shard|predicted)"
                 ))?;
             }
             "suite" => {
@@ -160,6 +172,16 @@ fn parse_args() -> Result<Args, String> {
             }
             "trace-buffer" => trace_buffer = value.parse().map_err(|_| parse_err("an integer"))?,
             "trace-out" => trace_out = value,
+            "profile" => {
+                profile = match value.as_str() {
+                    "1" | "true" | "on" => true,
+                    "0" | "false" | "off" => false,
+                    _ => return Err(parse_err("a boolean (0|1)")),
+                };
+            }
+            "profile-out" => profile_out = value,
+            "window-ms" => window_ms = value.parse().map_err(|_| parse_err("an integer"))?,
+            "windows" => windows = value.parse().map_err(|_| parse_err("an integer"))?,
             "out" => out = value,
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -173,6 +195,9 @@ fn parse_args() -> Result<Args, String> {
         .trace(rf_trace::TraceConfig {
             level: trace_level,
             capacity: trace_buffer,
+            profile,
+            window_ms,
+            windows,
         })
         .build()
         .map_err(|err| format!("invalid engine config: {err}"))?;
@@ -208,7 +233,17 @@ fn parse_args() -> Result<Args, String> {
         suite,
         out,
         trace_out,
+        profile_out,
     })
+}
+
+/// Validates and writes folded-stack profile text, reporting the frame count.
+fn write_profile(path: &str, folded: &str) -> Result<(), String> {
+    let frames = rf_trace::validate_folded(folded)
+        .map_err(|err| format!("malformed folded profile: {err}"))?;
+    std::fs::write(path, folded).map_err(|err| format!("cannot write {path}: {err}"))?;
+    println!("wrote {path} ({frames} op frames, flamegraph-ready)");
+    Ok(())
 }
 
 /// Runs the fleet scenario suite off the base config: the same trace served
@@ -279,6 +314,24 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote {}", args.out);
+        if args.config.runtime.trace.profile {
+            // One folded-stack document for the whole suite: each frame is
+            // prefixed with its scenario name so the flamegraph separates
+            // single/fleet4/hetero at the root.
+            let folded: String = scenarios
+                .iter()
+                .flat_map(|(name, report)| {
+                    report
+                        .folded_profile
+                        .lines()
+                        .map(move |line| format!("{name};{line}\n"))
+                })
+                .collect();
+            if let Err(err) = write_profile(&args.profile_out, &folded) {
+                eprintln!("serve_trace: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
         return ExitCode::SUCCESS;
     }
     println!(
@@ -296,6 +349,12 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("wrote {}", args.out);
+    if args.config.runtime.trace.profile {
+        if let Err(err) = write_profile(&args.profile_out, &report.folded_profile) {
+            eprintln!("serve_trace: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
     if let Some(trace_json) = trace_json {
         // Validate before writing: a malformed trace artifact is a bug, not
         // something to hand to Perfetto.

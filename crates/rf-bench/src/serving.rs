@@ -29,8 +29,9 @@ use rf_codegen::Workload;
 use rf_gpusim::GpuArch;
 use rf_graph::{partition, GraphPlan, OpGraph};
 use rf_runtime::{
-    metrics::percentile_sorted, DeviceSpec, Engine, FleetConfig, Priority, Request, RequestInput,
-    RoutingPolicy, RuntimeConfig, RuntimeError, Submission, Ticket,
+    metrics::percentile_sorted, CalibrationSnapshot, DeviceSpec, Engine, FleetConfig, Priority,
+    Request, RequestInput, RoutingPolicy, RuntimeConfig, RuntimeError, Submission, Ticket,
+    TimeSeriesSnapshot,
 };
 use rf_workloads::{
     inertia_tiny, mha_tiny, mla_tiny, moe_tiny, quant_tiny, random_matrix, random_vec,
@@ -309,6 +310,17 @@ pub struct ServingReport {
     /// Wall-clock per-stage breakdown (queue/compile/tune/execute/e2e), in
     /// lifecycle order. Empty when the engine ran with tracing off.
     pub stages: Vec<StageReport>,
+    /// Cost-model calibration ledger: per (class, arch, backend) predicted
+    /// vs measured error statistics. Empty when the engine ran with tracing
+    /// off.
+    pub calibration: Vec<CalibrationSnapshot>,
+    /// Rolling time-windowed telemetry over the run. Empty when the engine
+    /// ran with tracing off.
+    pub timeseries: TimeSeriesSnapshot,
+    /// Folded-stack tile-VM op profile (`device;class;region;op weight`
+    /// lines, flamegraph-ready). Empty unless the run profiled
+    /// ([`rf_trace::TraceConfig::profile`]).
+    pub folded_profile: String,
 }
 
 fn json_num(value: f64) -> String {
@@ -370,6 +382,59 @@ impl ServingReport {
             })
             .collect::<Vec<_>>()
             .join(",");
+        let calibration = self
+            .calibration
+            .iter()
+            .map(|entry| {
+                format!(
+                    concat!(
+                        "{{\"class\":\"{}\",\"arch\":\"{}\",\"backend\":\"{}\",",
+                        "\"samples\":{},\"predicted_mean_us\":{},\"measured_mean_us\":{},",
+                        "\"mape_pct\":{},\"rel_err_p50\":{},\"rel_err_p95\":{},",
+                        "\"mean_ratio\":{},\"drifting\":{}}}"
+                    ),
+                    entry.class,
+                    entry.arch,
+                    entry.backend,
+                    entry.samples,
+                    json_num(entry.predicted_mean_us),
+                    json_num(entry.measured_mean_us),
+                    json_num(entry.mape_pct),
+                    json_num(entry.rel_err_p50),
+                    json_num(entry.rel_err_p95),
+                    json_num(entry.mean_ratio),
+                    entry.drifting
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let windows = self
+            .timeseries
+            .windows
+            .iter()
+            .map(|w| {
+                format!(
+                    concat!(
+                        "{{\"start_ms\":{},\"submitted\":{},\"completed\":{},",
+                        "\"failed\":{},\"shed\":{},\"batches\":{},",
+                        "\"throughput_rps\":{},\"p99_us\":{},\"shed_rate\":{},",
+                        "\"mean_batch\":{},\"busy_frac\":{}}}"
+                    ),
+                    w.start_ms,
+                    w.submitted,
+                    w.completed,
+                    w.failed,
+                    w.shed,
+                    w.batches,
+                    json_num(w.throughput_rps),
+                    json_num(w.p99_us),
+                    json_num(w.shed_rate),
+                    json_num(w.mean_batch),
+                    json_num(w.busy_frac)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             concat!(
                 "{{\n",
@@ -394,7 +459,9 @@ impl ServingReport {
                 "  \"graphs_served\": {},\n",
                 "  \"devices\": [{}],\n",
                 "  \"lanes\": [{}],\n",
-                "  \"stages\": [{}]\n",
+                "  \"stages\": [{}],\n",
+                "  \"calibration\": [{}],\n",
+                "  \"timeseries\": {{\"window_ms\": {}, \"windows\": [{}]}}\n",
                 "}}\n",
             ),
             self.arch,
@@ -417,7 +484,10 @@ impl ServingReport {
             self.graphs_served,
             devices,
             lanes,
-            stages
+            stages,
+            calibration,
+            self.timeseries.window_ms,
+            windows
         )
     }
 
@@ -473,6 +543,32 @@ impl ServingReport {
             out.push_str(&format!(
                 "\n  stage {:<8} n {:>6}  p50 {:>9.1} us  p99 {:>9.1} us",
                 stage.stage, stage.count, stage.p50_us, stage.p99_us
+            ));
+        }
+        if !self.calibration.is_empty() {
+            let drifting = self.calibration.iter().filter(|e| e.drifting).count();
+            let worst = self
+                .calibration
+                .iter()
+                .map(|e| e.mape_pct)
+                .fold(0.0, f64::max);
+            out.push_str(&format!(
+                "\n  calibration: {} ledger entries, worst MAPE {:.1}%, {} drifting",
+                self.calibration.len(),
+                worst,
+                drifting
+            ));
+        }
+        if let Some(window) = self.timeseries.latest_active() {
+            out.push_str(&format!(
+                "\n  latest window ({} ms): {:.1} rps, p99 {:.1} us, \
+                 shed {:.1}%, batch {:.2}, busy {:.0}%",
+                self.timeseries.window_ms,
+                window.throughput_rps,
+                window.p99_us,
+                window.shed_rate * 100.0,
+                window.mean_batch,
+                window.busy_frac * 100.0
             ));
         }
         out
@@ -684,6 +780,9 @@ pub fn run_traced(config: &TraceConfig) -> (ServingReport, Option<String>) {
                 p99_us: stage.wall.p99_us,
             })
             .collect(),
+        calibration: metrics.calibration,
+        timeseries: metrics.timeseries,
+        folded_profile: engine.op_profile().folded(),
     };
     (report, trace_json)
 }
@@ -849,6 +948,7 @@ fn run_open(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rf_runtime::WindowSnapshot;
     use std::collections::HashSet;
 
     #[test]
@@ -932,6 +1032,33 @@ mod tests {
                 p50_us: 120.0,
                 p99_us: 800.0,
             }],
+            calibration: vec![CalibrationSnapshot {
+                class: "softmax".into(),
+                arch: "NVIDIA H800".into(),
+                backend: "tile-vm".into(),
+                fingerprint: 7,
+                samples: 80,
+                predicted_mean_us: 10.0,
+                measured_mean_us: 9.0,
+                mape_pct: 10.0,
+                rel_err_p50: 0.1,
+                rel_err_p95: 0.1,
+                mean_ratio: 0.9,
+                last_ratio: 0.9,
+                drift_count: 0,
+                drifting: false,
+            }],
+            timeseries: TimeSeriesSnapshot {
+                window_ms: 250,
+                windows: vec![WindowSnapshot {
+                    start_ms: 0,
+                    submitted: 90,
+                    completed: 90,
+                    throughput_rps: 360.0,
+                    ..WindowSnapshot::default()
+                }],
+            },
+            folded_profile: String::new(),
         };
         let json = report.to_json();
         for key in [
@@ -947,12 +1074,19 @@ mod tests {
             "\"busy_sim_us\":75000.000",
             "\"lanes\": [{\"lane\":\"high\"",
             "\"stages\": [{\"stage\":\"e2e\",\"count\":90,\"p50_us\":120.000",
+            "\"calibration\": [{\"class\":\"softmax\",\"arch\":\"NVIDIA H800\"",
+            "\"mape_pct\":10.000",
+            "\"drifting\":false",
+            "\"timeseries\": {\"window_ms\": 250, \"windows\": [{\"start_ms\":0",
+            "\"throughput_rps\":360.000",
         ] {
             assert!(json.contains(key), "missing `{key}` in:\n{json}");
         }
         assert!(report.summary().contains("90"));
         assert!(report.summary().contains("stage e2e"));
         assert!(report.summary().contains("device 0 [h800 / tile-vm]"));
+        assert!(report.summary().contains("calibration: 1 ledger entries"));
+        assert!(report.summary().contains("latest window (250 ms)"));
         // Non-finite metrics must not produce invalid JSON.
         assert_eq!(json_num(f64::NAN), "null");
         // The suite document embeds each named report verbatim.
@@ -996,6 +1130,50 @@ mod tests {
             .expect("e2e stage present");
         assert_eq!(e2e.count, report.completed);
         assert!(e2e.p99_us >= e2e.p50_us);
+        // …and the calibration ledger and rolling telemetry, which the CI
+        // serving-smoke job asserts are non-empty in the committed report.
+        assert!(
+            report.calibration.iter().any(|e| e.class == "softmax"),
+            "softmax-heavy traffic calibrates the softmax estimate"
+        );
+        assert!(report.calibration.iter().all(|e| e.samples > 0));
+        assert!(
+            report.timeseries.latest_active().is_some(),
+            "completions land in at least one telemetry window"
+        );
+        assert!(
+            report.folded_profile.is_empty(),
+            "profiling stays off unless asked for"
+        );
+    }
+
+    #[test]
+    fn profiled_trace_exports_a_valid_folded_stack() {
+        let config = TraceConfig {
+            requests: 20,
+            mode: Mode::Closed {
+                clients: 2,
+                window: 8,
+            },
+            runtime: RuntimeConfig::builder()
+                .workers(2)
+                .max_batch(8)
+                .cache_capacity(32)
+                .trace(rf_trace::TraceConfig::default().with_profile(true))
+                .build()
+                .unwrap(),
+            ..TraceConfig::default()
+        };
+        let report = run_trace(&config);
+        assert!(report.completed > 0);
+        let frames =
+            rf_trace::validate_folded(&report.folded_profile).expect("folded profile is valid");
+        assert!(frames >= 1, "profiled runs capture op frames");
+        assert!(
+            report.folded_profile.contains(";softmax;"),
+            "frames carry the workload class: {}",
+            report.folded_profile
+        );
     }
 
     #[test]

@@ -217,6 +217,29 @@ impl CompiledKernel {
             })?;
         rf_tile::exec::execute(program, input)
     }
+
+    /// Executes the compiled kernel like [`CompiledKernel::run`] and
+    /// additionally returns the tile-VM's op-level profile
+    /// ([`rf_tile::ExecProfile`]): per-op invocation/row/byte counts plus
+    /// the measured wall time. The numeric output is bit-identical to
+    /// [`CompiledKernel::run`]'s — the profiled VM entry point wraps the
+    /// same interpreter.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`CompiledKernel::run`].
+    pub fn run_profiled(
+        &self,
+        input: &ExecInput<'_>,
+    ) -> Result<(ExecOutput, rf_tile::ExecProfile), ExecError> {
+        let program = self
+            .program
+            .as_ref()
+            .ok_or_else(|| ExecError::NotExecutable {
+                program: self.name.clone(),
+            })?;
+        rf_tile::exec::execute_profiled(program, input)
+    }
 }
 
 /// Clamps an attention tuning point to the shape, exactly as the tuner's

@@ -22,10 +22,11 @@
 //! * [`cost`] — analytical launch profiles for glue ops and for the
 //!   fully-unfused baseline plan.
 //!
-//! The serving side lives in `rf-runtime`: `Engine::submit_graph` executes a
-//! [`GraphPlan`] end-to-end, compiling each region through the ordinary
-//! pipeline (cached in the engine's plan cache) and threading intermediate
-//! tensors between steps.
+//! The serving side lives in `rf-runtime`: a graph submission
+//! (`Engine::submit` with `Submission::graph`) executes a [`GraphPlan`]
+//! end-to-end, compiling each region through the ordinary pipeline (cached
+//! in the engine's plan cache) and threading intermediate tensors between
+//! steps.
 //!
 //! # Example: detecting and partitioning a transformer layer
 //!

@@ -31,7 +31,7 @@ use rf_tile::exec::{ExecError, ExecInput, ExecOutput, TopKDecision};
 use rf_workloads::Matrix;
 
 use crate::config::BackendKind;
-use crate::request::{execute_plan, Request, RequestOutput, RuntimeError};
+use crate::request::{execute_plan, execute_plan_profiled, Request, RequestOutput, RuntimeError};
 use crate::stream::batch_latency_us;
 
 /// How a fleet device executes compiled plans. See the module docs.
@@ -68,6 +68,28 @@ pub trait ExecBackend: Send + Sync {
         plan: &CompiledKernel,
         request: &Request,
     ) -> Result<RequestOutput, RuntimeError>;
+
+    /// Executes one validated request like [`ExecBackend::execute`] and, when
+    /// the backend actually interprets a program, returns the tile-VM's
+    /// op-level profile alongside the output. The default forwards to
+    /// `execute` with no profile — accounting-only backends have no
+    /// interpreter loops to attribute time to.
+    ///
+    /// The output must be bit-identical to [`ExecBackend::execute`]'s for the
+    /// same `(plan, request)`; the engine switches between the two entry
+    /// points on the `TraceConfig::profile` gate and the acceptance tests
+    /// pin the equivalence down.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`ExecBackend::execute`].
+    fn execute_profiled(
+        &self,
+        plan: &CompiledKernel,
+        request: &Request,
+    ) -> Result<(RequestOutput, Option<rf_tile::ExecProfile>), RuntimeError> {
+        self.execute(plan, request).map(|output| (output, None))
+    }
 
     /// Executes one fused graph region over borrowed tensors. `workload` is
     /// the region's compilation key — backends that synthesise outputs
@@ -126,6 +148,14 @@ impl ExecBackend for TileVmBackend {
         request: &Request,
     ) -> Result<RequestOutput, RuntimeError> {
         execute_plan(plan, request)
+    }
+
+    fn execute_profiled(
+        &self,
+        plan: &CompiledKernel,
+        request: &Request,
+    ) -> Result<(RequestOutput, Option<rf_tile::ExecProfile>), RuntimeError> {
+        execute_plan_profiled(plan, request).map(|(output, profile)| (output, Some(profile)))
     }
 
     fn run_region(

@@ -152,6 +152,12 @@ impl RuntimeConfig {
                     .into(),
             );
         }
+        if self.trace.window_ms == 0 || self.trace.windows == 0 {
+            return invalid(format!(
+                "telemetry windows must be non-degenerate, got window_ms={} windows={}",
+                self.trace.window_ms, self.trace.windows
+            ));
+        }
         Ok(())
     }
 }
@@ -235,16 +241,25 @@ pub enum RoutingPolicy {
     /// partial results are merged deterministically in device order.
     /// Everything that cannot shard falls back to [`Self::LeastLoaded`].
     RowShard,
+    /// Route to the device with the lowest *predicted completion time*:
+    /// queue backlog × the device's calibrated per-class latency estimate
+    /// (measured wall µs from the calibration ledger, falling back to the
+    /// device's observed mean and finally to plain least-loaded while cold).
+    /// Opt-in: unlike [`Self::LeastLoaded`] this biases toward devices that
+    /// have *measured* faster, so a straggler arch stops absorbing half the
+    /// queue just because its queue drains slowly.
+    PredictedLatency,
 }
 
 impl RoutingPolicy {
     /// The policy's stable name (`"least-loaded"`, `"sticky"`,
-    /// `"row-shard"`).
+    /// `"row-shard"`, `"predicted-latency"`).
     pub fn name(self) -> &'static str {
         match self {
             RoutingPolicy::LeastLoaded => "least-loaded",
             RoutingPolicy::StickyByKey => "sticky",
             RoutingPolicy::RowShard => "row-shard",
+            RoutingPolicy::PredictedLatency => "predicted-latency",
         }
     }
 
@@ -254,6 +269,9 @@ impl RoutingPolicy {
             "least-loaded" | "leastloaded" | "least" => Some(RoutingPolicy::LeastLoaded),
             "sticky" | "sticky-by-key" => Some(RoutingPolicy::StickyByKey),
             "row-shard" | "rowshard" | "shard" => Some(RoutingPolicy::RowShard),
+            "predicted-latency" | "predicted" | "predictedlatency" => {
+                Some(RoutingPolicy::PredictedLatency)
+            }
             _ => None,
         }
     }
@@ -456,6 +474,12 @@ mod tests {
             .trace(TraceConfig::off().with_capacity(0))
             .build()
             .is_ok());
+        // Degenerate telemetry windows are rejected at any level.
+        let err = RuntimeConfig::builder()
+            .trace(TraceConfig::off().with_windows(0, 64))
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("telemetry windows"));
     }
 
     #[test]
@@ -476,6 +500,7 @@ mod tests {
             RoutingPolicy::LeastLoaded,
             RoutingPolicy::StickyByKey,
             RoutingPolicy::RowShard,
+            RoutingPolicy::PredictedLatency,
         ] {
             assert_eq!(RoutingPolicy::by_name(policy.name()), Some(policy));
         }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use rf_trace::{ArgValue, TraceCollector, TraceEvent, Track};
+use rf_trace::{ArgValue, OpProfiler, OpSample, TraceCollector, TraceEvent, Track};
 
 use crate::backend::{make_backend, ExecBackend};
 use crate::cache::PlanCache;
@@ -45,6 +45,10 @@ pub(crate) struct DeviceShared {
     pub scheduler: StreamScheduler,
     /// The fleet-wide span collector (events are device-tagged).
     pub trace: Arc<TraceCollector>,
+    /// The fleet-wide tile-VM op profiler (entries are device-keyed).
+    /// Disabled unless [`rf_trace::TraceConfig::profile`] is set, in which
+    /// case workload batches execute through the backend's profiled path.
+    pub profiler: Arc<OpProfiler>,
 }
 
 impl DeviceShared {
@@ -129,18 +133,20 @@ impl Device {
         spec: &DeviceSpec,
         config: &RuntimeConfig,
         trace: Arc<TraceCollector>,
+        profiler: Arc<OpProfiler>,
     ) -> Device {
         let shared = Arc::new(DeviceShared {
             id,
             backend: make_backend(spec.backend, spec.arch.clone()),
             cache: PlanCache::new(spec.arch.clone(), config.cache_capacity),
-            metrics: RuntimeMetrics::with_level(config.trace.level),
+            metrics: RuntimeMetrics::with_trace(config.trace),
             scheduler: StreamScheduler::new(
                 config.max_batch,
                 config.max_in_flight,
                 config.lane_weights.as_array(),
             ),
             trace,
+            profiler,
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -250,7 +256,19 @@ fn run_workload_batch(
         let Submission::Workload { request, .. } = &queued.submission else {
             unreachable!("workload iterations contain only workload submissions");
         };
-        let outcome = shared.backend.execute(&plan, request);
+        let outcome = if shared.profiler.enabled() {
+            shared
+                .backend
+                .execute_profiled(&plan, request)
+                .map(|(output, profile)| {
+                    if let Some(profile) = &profile {
+                        record_op_profile(shared, class, &request.workload.name(), profile);
+                    }
+                    output
+                })
+        } else {
+            shared.backend.execute(&plan, request)
+        };
         let delivered_at = Instant::now();
         let timing = RequestTiming {
             queue_us: duration_us(queued.submitted_at, formed_at),
@@ -302,9 +320,47 @@ fn run_workload_batch(
         }
         queued.fulfil(result);
     }
+    // Calibrate the cost model: the analytical estimate for this batch
+    // against the wall-clock time the backend actually took to serve it.
+    let measured_us = duration_us(plan_ready, Instant::now());
+    shared.metrics.record_calibration(
+        class,
+        shared.backend.arch().name,
+        shared.backend.fingerprint(),
+        shared.backend.name(),
+        simulated_us,
+        measured_us,
+    );
     shared
         .metrics
         .record_batch(class, executed, failed, simulated_us, cache_hit);
+}
+
+/// Feeds one profiled execution's per-op counters into the fleet-wide op
+/// profiler: one folded-stack leaf per TileOp kind, under this device, the
+/// batch's workload class and the request's concrete shape (the region
+/// frame).
+fn record_op_profile(
+    shared: &DeviceShared,
+    class: &'static str,
+    region: &str,
+    profile: &rf_tile::ExecProfile,
+) {
+    for op in &profile.ops {
+        shared.profiler.record(
+            shared.id,
+            class,
+            region,
+            op.op,
+            &OpSample {
+                invocations: op.invocations,
+                rows: op.rows,
+                bytes_read: op.bytes_read,
+                bytes_written: op.bytes_written,
+                wall_ns: op.wall_ns,
+            },
+        );
+    }
 }
 
 /// Records one served request's lifecycle spans on its own trace track:
@@ -462,6 +518,14 @@ fn run_graph(shared: &DeviceShared, index: u64, work: QueuedWork) {
             // already-compiled plan.
             let cache_hit =
                 stats.fused_regions > 0 && stats.region_cache_hits == stats.fused_regions;
+            shared.metrics.record_calibration(
+                "graph",
+                shared.backend.arch().name,
+                shared.backend.fingerprint(),
+                shared.backend.name(),
+                graph_response.simulated_us,
+                timing.execute_us,
+            );
             shared
                 .metrics
                 .record_batch("graph", 1, 0, graph_response.simulated_us, cache_hit);

@@ -14,7 +14,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use rf_trace::{ArgValue, TraceCollector, TraceEvent, Track};
+use rf_trace::{ArgValue, OpProfiler, TraceCollector, TraceConfig, TraceEvent, Track};
 use rf_workloads::Matrix;
 
 use crate::config::{FleetConfig, RoutingPolicy};
@@ -66,6 +66,12 @@ pub(crate) struct Fleet {
     pub devices: Vec<Device>,
     pub routing: RoutingPolicy,
     pub trace: Arc<TraceCollector>,
+    /// The trace configuration every device started with (the merged
+    /// fleet-wide snapshot re-uses its window geometry).
+    pub trace_config: TraceConfig,
+    /// The fleet-wide tile-VM op profiler; a no-op unless
+    /// [`TraceConfig::profile`] is set.
+    pub profiler: Arc<OpProfiler>,
     merges: Arc<MergeLedger>,
     merger_tx: Mutex<Option<Sender<MergeJob>>>,
     merger: Option<JoinHandle<()>>,
@@ -76,11 +82,20 @@ impl Fleet {
     /// thread.
     pub fn start(config: &FleetConfig) -> Fleet {
         let trace = Arc::new(TraceCollector::new(config.runtime.trace));
+        let profiler = Arc::new(OpProfiler::new(config.runtime.trace.profile));
         let devices: Vec<Device> = config
             .devices
             .iter()
             .enumerate()
-            .map(|(id, spec)| Device::start(id, spec, &config.runtime, Arc::clone(&trace)))
+            .map(|(id, spec)| {
+                Device::start(
+                    id,
+                    spec,
+                    &config.runtime,
+                    Arc::clone(&trace),
+                    Arc::clone(&profiler),
+                )
+            })
             .collect();
         let merges = Arc::new(MergeLedger::default());
         let (tx, rx) = std::sync::mpsc::channel();
@@ -96,6 +111,8 @@ impl Fleet {
             devices,
             routing: config.routing,
             trace,
+            trace_config: config.runtime.trace,
+            profiler,
             merges,
             merger_tx: Mutex::new(Some(tx)),
             merger: Some(merger),

@@ -61,13 +61,12 @@ mod router;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use rf_gpusim::GpuArch;
-use rf_trace::{TraceCollector, TraceSnapshot};
+use rf_trace::{OpProfileSnapshot, TraceCollector, TraceSnapshot};
 
 use crate::cache::CacheStats;
 use crate::config::{DeviceSpec, FleetConfig, RoutingPolicy, RuntimeConfig};
-use crate::graph::GraphResponse;
 use crate::metrics::{MetricsSnapshot, RuntimeMetrics};
-use crate::request::{RequestOutput, RuntimeError};
+use crate::request::RuntimeError;
 use crate::stream::Ticket;
 use crate::submit::{Submission, LANES};
 
@@ -199,9 +198,11 @@ impl Engine {
     /// [`crate::Priority::Normal`].
     ///
     /// Placement follows the fleet's [`RoutingPolicy`]: least-loaded picks
-    /// the shallowest queue, sticky-by-key hashes the workload key, and
-    /// row-shard fans eligible workloads out across every device (the
-    /// returned ticket then resolves to the merged response). The request
+    /// the shallowest queue, sticky-by-key hashes the workload key,
+    /// predicted-latency weighs each device's backlog by its calibrated
+    /// per-class cost, and row-shard fans eligible workloads out across
+    /// every device (the returned ticket then resolves to the merged
+    /// response). The request
     /// joins its device's open stream immediately: if a batch is executing
     /// right now, the request is eligible for the next iteration boundary —
     /// it never waits for the queue to drain.
@@ -234,6 +235,27 @@ impl Engine {
         }
         let target = if self.fleet.devices.len() == 1 {
             0
+        } else if self.fleet.routing == RoutingPolicy::PredictedLatency {
+            // Predicted completion time: backlog × this device's calibrated
+            // per-class cost. An uncalibrated device falls back to its
+            // observed mean, and while everything is cold the costs are
+            // equal and the choice degrades to least-loaded.
+            let class = match &submission {
+                Submission::Workload { request, .. } => request.workload.class(),
+                Submission::Graph { .. } => "graph",
+            };
+            let costs: Vec<f64> = self
+                .fleet
+                .devices
+                .iter()
+                .map(|device| {
+                    let metrics = &device.shared.metrics;
+                    metrics
+                        .calibrated_us(class)
+                        .unwrap_or_else(|| metrics.mean_us())
+                })
+                .collect();
+            router::predicted_latency(&self.fleet.depths(), &costs)
         } else {
             router::route(self.fleet.routing, &submission, &self.fleet.depths())
         };
@@ -244,89 +266,6 @@ impl Engine {
     /// row-sharded submission has been merged and delivered).
     pub fn run_until_drained(&self) {
         self.fleet.wait_drained();
-    }
-
-    /// Serves a whole operator graph end-to-end and blocks for the result.
-    ///
-    /// This is a compatibility wrapper over [`Engine::submit`] with
-    /// [`Submission::graph`] — it clones the graph and bindings, queues them
-    /// on the open stream at normal priority and blocks on the ticket.
-    /// Prefer the unified API, which shares the graph behind an `Arc`, picks
-    /// a priority lane and does not block:
-    ///
-    /// ```ignore
-    /// let ticket = engine.submit(Submission::graph(graph, bindings))?;
-    /// let response = ticket.wait()?;
-    /// ```
-    ///
-    /// The graph is partitioned into maximal fusable regions plus glue ops
-    /// (`rf-graph`); each region compiles through the serving device's
-    /// [`crate::PlanCache`] so repeated submissions of the same graph — or
-    /// different graphs sharing a region shape — re-use the tuned plans.
-    ///
-    /// # Errors
-    ///
-    /// [`RuntimeError::Graph`] when an input binding is missing or misshapen
-    /// or a region rejects its tensors at execution time; see
-    /// [`Engine::submit`] for admission errors.
-    #[deprecated(note = "use Engine::submit with Submission::graph")]
-    pub fn submit_graph(
-        &self,
-        graph: &rf_graph::OpGraph,
-        bindings: &[(&str, rf_workloads::Matrix)],
-    ) -> Result<GraphResponse, RuntimeError> {
-        self.submit_graph_compat(graph, None, bindings)
-    }
-
-    /// Like [`Engine::submit_graph`], with a pre-partitioned
-    /// [`rf_graph::GraphPlan`] (partition once, serve many times).
-    ///
-    /// Compatibility wrapper over [`Engine::submit`] with
-    /// [`Submission::graph_plan`]; see [`Engine::submit_graph`].
-    ///
-    /// # Errors
-    ///
-    /// See [`Engine::submit_graph`].
-    #[deprecated(note = "use Engine::submit with Submission::graph_plan")]
-    pub fn submit_graph_plan(
-        &self,
-        graph: &rf_graph::OpGraph,
-        plan: &rf_graph::GraphPlan,
-        bindings: &[(&str, rf_workloads::Matrix)],
-    ) -> Result<GraphResponse, RuntimeError> {
-        self.submit_graph_compat(graph, Some(std::sync::Arc::new(plan.clone())), bindings)
-    }
-
-    fn submit_graph_compat(
-        &self,
-        graph: &rf_graph::OpGraph,
-        plan: Option<std::sync::Arc<rf_graph::GraphPlan>>,
-        bindings: &[(&str, rf_workloads::Matrix)],
-    ) -> Result<GraphResponse, RuntimeError> {
-        let graph = std::sync::Arc::new(graph.clone());
-        let owned: Vec<(String, rf_workloads::Matrix)> = bindings
-            .iter()
-            .map(|(name, matrix)| (name.to_string(), matrix.clone()))
-            .collect();
-        let submission = match plan {
-            Some(plan) => Submission::graph_plan(graph, plan, owned),
-            None => Submission::graph(graph, owned),
-        };
-        let response = self.submit(submission)?.wait()?;
-        let stats = response
-            .graph
-            .expect("graph submissions always carry graph stats");
-        let RequestOutput::Tensors(outputs) = response.output else {
-            unreachable!("graph submissions always produce tensor outputs");
-        };
-        Ok(GraphResponse {
-            outputs,
-            fused_regions: stats.fused_regions,
-            fused_ops: stats.fused_ops,
-            glue_ops: stats.glue_ops,
-            region_cache_hits: stats.region_cache_hits,
-            simulated_us: response.simulated_us,
-        })
     }
 
     /// Submissions currently queued or executing, summed over the fleet.
@@ -389,7 +328,7 @@ impl Engine {
                 device.cache.tuning_stats(),
             );
         }
-        let merged = RuntimeMetrics::with_level(self.fleet.devices[0].shared.metrics.level());
+        let merged = RuntimeMetrics::with_trace(self.fleet.trace_config);
         let mut tuning = rf_codegen::TuningCacheStats::default();
         for device in &self.fleet.devices {
             merged.merge_from(&device.shared.metrics);
@@ -419,6 +358,23 @@ impl Engine {
                 }
             })
             .collect()
+    }
+
+    /// The fleet-wide tile-VM op profile: per-op-kind invocation, row and
+    /// byte counters with attributed wall time, aggregated per (device,
+    /// workload class, region). Empty unless the engine was started with
+    /// [`rf_trace::TraceConfig::with_profile`]; render it with
+    /// [`OpProfileSnapshot::folded`] for inferno-style flamegraph tools.
+    pub fn op_profile(&self) -> OpProfileSnapshot {
+        self.fleet.profiler.snapshot()
+    }
+
+    /// The fleet-wide metrics in Prometheus exposition format, including
+    /// per-device labelled gauges from [`Engine::device_snapshots`] —
+    /// serve it verbatim under a `/metrics` endpoint.
+    pub fn prometheus(&self) -> String {
+        self.metrics()
+            .prometheus_with_devices(&self.device_snapshots())
     }
 
     /// The fleet's span collector (level, timestamps, drop count). Only
@@ -457,7 +413,7 @@ impl std::fmt::Debug for Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::{execute_reference, Request, RequestInput};
+    use crate::request::{execute_reference, Request, RequestInput, RequestOutput};
     use crate::stream::Ticket;
     use crate::submit::{Priority, Response};
     use rf_codegen::Workload;
@@ -952,6 +908,105 @@ mod tests {
             .iter()
             .any(|e| e.name == "execute" && e.class == Some("graph")));
         rf_trace::validate_chrome_trace(&engine.chrome_trace()).expect("graph trace well-formed");
+    }
+
+    #[test]
+    fn serving_populates_calibration_and_timeseries() {
+        let engine = tiny_engine(2);
+        for seed in 0..6 {
+            engine
+                .submit(Request::softmax(random_matrix(4, 64, seed, -1.0, 1.0)))
+                .unwrap();
+        }
+        engine.run_until_drained();
+        let metrics = engine.metrics();
+        assert!(!metrics.calibration.is_empty());
+        let entry = &metrics.calibration[0];
+        assert_eq!(entry.class, "softmax");
+        assert_eq!(entry.arch, "NVIDIA A10");
+        assert_eq!(entry.backend, "tile-vm");
+        assert!(entry.samples >= 1);
+        assert!(entry.predicted_mean_us > 0.0);
+        assert!(entry.measured_mean_us > 0.0);
+        assert!(entry.mean_ratio > 0.0);
+        let window = metrics
+            .timeseries
+            .latest_active()
+            .expect("serving filled a telemetry window");
+        assert!(window.completed >= 1);
+        assert!(window.throughput_rps > 0.0);
+        // The engine-level exposition carries the fleet families plus
+        // per-device labels.
+        let text = engine.prometheus();
+        assert!(text.contains("redfuser_calibration_mape_pct"));
+        assert!(text.contains("redfuser_window_throughput_rps"));
+        assert!(text.contains("redfuser_device_queue_depth{device=\"0\""));
+    }
+
+    #[test]
+    fn op_profiler_captures_folded_stacks_only_when_enabled() {
+        let engine = Engine::with_config(
+            GpuArch::a10(),
+            RuntimeConfig::builder()
+                .workers(1)
+                .trace(rf_trace::TraceConfig::default().with_profile(true))
+                .build()
+                .unwrap(),
+        );
+        engine
+            .submit(Request::softmax(random_matrix(4, 64, 1, -2.0, 2.0)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let profile = engine.op_profile();
+        assert!(!profile.is_empty(), "profiling was on");
+        let folded = profile.folded();
+        let frames = rf_trace::validate_folded(&folded).expect("folded output validates");
+        assert!(frames >= 3, "softmax runs several op kinds, got {frames}");
+        assert!(
+            folded.contains("device-0;softmax;softmax_4x64;"),
+            "frames are device;class;region;op:\n{folded}"
+        );
+        // Without the opt-in the profiler records nothing.
+        let plain = tiny_engine(1);
+        plain
+            .submit(Request::softmax(random_matrix(4, 64, 1, -2.0, 2.0)))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(plain.op_profile().is_empty());
+    }
+
+    #[test]
+    fn predicted_latency_fleet_serves_and_stays_correct() {
+        let engine = Engine::with_fleet(FleetConfig {
+            devices: vec![
+                DeviceSpec::tile_vm(GpuArch::a10()),
+                DeviceSpec::tile_vm(GpuArch::h800()),
+            ],
+            routing: RoutingPolicy::PredictedLatency,
+            runtime: RuntimeConfig::builder()
+                .workers(1)
+                .max_batch(4)
+                .build()
+                .unwrap(),
+        });
+        assert_eq!(engine.routing(), RoutingPolicy::PredictedLatency);
+        let requests: Vec<Request> = (0..12)
+            .map(|seed| Request::softmax(random_matrix(4, 64, seed, -1.0, 1.0)))
+            .collect();
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|r| engine.submit(r.clone()).unwrap())
+            .collect();
+        engine.run_until_drained();
+        for (request, ticket) in requests.iter().zip(tickets) {
+            let response = ticket.wait().unwrap();
+            let oracle = execute_reference(&request.workload, &request.input);
+            assert!(response.output.approx_eq(&oracle, 1e-9));
+            assert!(response.device < 2);
+        }
+        assert_eq!(engine.metrics().completed, 12);
     }
 
     #[test]

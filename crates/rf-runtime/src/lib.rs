@@ -82,5 +82,6 @@ pub use submit::{GraphStats, Priority, RequestResult, RequestTiming, Response, S
 // Tracing/telemetry types (from `rf-trace`), re-exported so engine users
 // configure and consume tracing without naming the crate.
 pub use rf_trace::{
-    HistogramSnapshot, Stage, TraceCollector, TraceConfig, TraceLevel, TraceSnapshot,
+    CalibrationSnapshot, HistogramSnapshot, OpProfileSnapshot, Stage, TimeSeriesSnapshot,
+    TraceCollector, TraceConfig, TraceLevel, TraceSnapshot, WindowSnapshot,
 };

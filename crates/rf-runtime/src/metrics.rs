@@ -20,7 +20,10 @@ use std::sync::Mutex;
 use std::time::Duration;
 
 use rf_codegen::TuningCacheStats;
-use rf_trace::{HistogramSnapshot, LogHistogram, Stage, TraceLevel, STAGES};
+use rf_trace::{
+    CalibrationLedger, CalibrationSnapshot, HistogramSnapshot, LogHistogram, RollingTelemetry,
+    Stage, TimeSeriesSnapshot, TraceConfig, TraceLevel, STAGES,
+};
 
 use crate::cache::CacheStats;
 use crate::submit::{Priority, RequestTiming, LANES};
@@ -104,7 +107,7 @@ pub struct RuntimeMetrics {
     classes: Mutex<HashMap<&'static str, ClassTrack>>,
     /// Sum of batch sizes, for the mean batch size.
     batched_requests: AtomicU64,
-    /// Whole graphs served end-to-end via `Engine::submit_graph`.
+    /// Whole graphs served end-to-end via graph submissions.
     graphs_served: AtomicU64,
     /// Graph ops executed inside fused regions, over all served graphs.
     graph_fused_ops: AtomicU64,
@@ -114,6 +117,11 @@ pub struct RuntimeMetrics {
     region_lookups: AtomicU64,
     /// Fused-region plan lookups served from the plan cache.
     region_hits: AtomicU64,
+    /// Predicted-vs-measured latency ledger per (class, arch, backend).
+    calibration: CalibrationLedger,
+    /// Rolling time-windowed telemetry (throughput, p99, shed rate, batch
+    /// occupancy, busy fraction per fixed-width window).
+    telemetry: RollingTelemetry,
 }
 
 /// A point-in-time view of one workload class's serving health.
@@ -250,7 +258,7 @@ pub struct MetricsSnapshot {
     /// Per-workload-class breakdown (requests, latency percentiles, cache
     /// effectiveness), sorted by class name.
     pub classes: Vec<ClassSnapshot>,
-    /// Whole graphs served end-to-end (`Engine::submit_graph`).
+    /// Whole graphs served end-to-end (graph submissions).
     pub graphs_served: u64,
     /// Graph ops executed inside fused regions, over all served graphs.
     pub graph_fused_ops: u64,
@@ -260,6 +268,13 @@ pub struct MetricsSnapshot {
     pub region_lookups: u64,
     /// Fused-region plan lookups served from the plan cache.
     pub region_hits: u64,
+    /// Cost-model calibration per (class, arch, backend): predicted vs
+    /// measured latency, MAPE, relative-error percentiles and the drift
+    /// flag. Empty at [`TraceLevel::Off`].
+    pub calibration: Vec<CalibrationSnapshot>,
+    /// Rolling time-windowed telemetry, oldest window first. Empty at
+    /// [`TraceLevel::Off`].
+    pub timeseries: TimeSeriesSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -317,6 +332,16 @@ impl RuntimeMetrics {
     pub fn with_level(level: TraceLevel) -> Self {
         RuntimeMetrics {
             level,
+            ..Self::default()
+        }
+    }
+
+    /// Creates zeroed metrics from a full [`TraceConfig`]: the trace level
+    /// plus the rolling-telemetry window geometry (`window_ms` × `windows`).
+    pub fn with_trace(config: TraceConfig) -> Self {
+        RuntimeMetrics {
+            level: config.level,
+            telemetry: RollingTelemetry::new(config.window_ms, config.windows),
             ..Self::default()
         }
     }
@@ -400,6 +425,10 @@ impl RuntimeMetrics {
             }
             merged.lifetime.merge_from(&track.lifetime);
         }
+        drop(mine);
+        drop(theirs);
+        self.calibration.merge_from(&other.calibration);
+        self.telemetry.merge_from(&other.telemetry);
     }
 
     /// Records one accepted submission on `priority`'s lane.
@@ -408,6 +437,9 @@ impl RuntimeMetrics {
         self.lanes[priority.lane()]
             .submitted
             .fetch_add(1, Ordering::Relaxed);
+        if self.level.histograms_enabled() {
+            self.telemetry.record_submit();
+        }
     }
 
     /// Rolls back one [`RuntimeMetrics::record_submit`] whose submission was
@@ -417,6 +449,9 @@ impl RuntimeMetrics {
         self.lanes[priority.lane()]
             .submitted
             .fetch_sub(1, Ordering::Relaxed);
+        if self.level.histograms_enabled() {
+            self.telemetry.cancel_submit();
+        }
     }
 
     /// Records one submission shed by admission control, together with the
@@ -433,6 +468,9 @@ impl RuntimeMetrics {
             .store(hint_us.to_bits(), Ordering::Relaxed);
         self.shed_retry_sum_us
             .fetch_add(hint_us as u64, Ordering::Relaxed);
+        if self.level.histograms_enabled() {
+            self.telemetry.record_shed();
+        }
     }
 
     /// Records `failed` submissions from `priority`'s lane delivered an
@@ -535,6 +573,10 @@ impl RuntimeMetrics {
                 }
             }
         }
+        if self.level.histograms_enabled() {
+            self.telemetry
+                .record_batch(executed as u64, failed as u64, latency_us, size as u64);
+        }
         if !latency_us.is_finite() {
             return;
         }
@@ -553,6 +595,34 @@ impl RuntimeMetrics {
             }
             track.window.push_back(latency_us);
         }
+    }
+
+    /// Records one executed batch into the cost-model calibration ledger:
+    /// `predicted_us` is the analytical model's estimate for the batch,
+    /// `measured_us` the wall-clock time the backend actually took, keyed by
+    /// (workload class, arch, arch fingerprint, backend). No-op at
+    /// [`TraceLevel::Off`].
+    pub fn record_calibration(
+        &self,
+        class: &str,
+        arch: &str,
+        fingerprint: u64,
+        backend: &str,
+        predicted_us: f64,
+        measured_us: f64,
+    ) {
+        if !self.level.histograms_enabled() {
+            return;
+        }
+        self.calibration
+            .record(class, arch, fingerprint, backend, predicted_us, measured_us);
+    }
+
+    /// The calibrated (measured) mean latency in µs for `class`, `None`
+    /// until the ledger has seen at least one sample. The predicted-latency
+    /// router weighs per-device queue backlogs with this.
+    pub fn calibrated_us(&self, class: &str) -> Option<f64> {
+        self.calibration.calibrated_us(class)
     }
 
     /// Records one graph served end-to-end: `fused_ops` graph ops were
@@ -684,6 +754,8 @@ impl RuntimeMetrics {
             graph_glue_ops: self.graph_glue_ops.load(Ordering::Relaxed),
             region_lookups: self.region_lookups.load(Ordering::Relaxed),
             region_hits: self.region_hits.load(Ordering::Relaxed),
+            calibration: self.calibration.snapshot(),
+            timeseries: self.telemetry.snapshot(),
         }
     }
 }
@@ -799,6 +871,35 @@ impl MetricsSnapshot {
                     class.cache_hit_rate() * 100.0
                 ));
             }
+        }
+        if !self.calibration.is_empty() {
+            out.push_str("  cost-model calibration\n");
+            for entry in &self.calibration {
+                out.push_str(&format!(
+                    "    {:<10} {:<10} n {:>6}  mape {:>6.1}%  rel-err p50 {:>5.2} p95 {:>5.2}  \
+                     ratio {:>9.2}{}\n",
+                    entry.class,
+                    entry.backend,
+                    entry.samples,
+                    entry.mape_pct,
+                    entry.rel_err_p50,
+                    entry.rel_err_p95,
+                    entry.mean_ratio,
+                    if entry.drifting { "  DRIFTING" } else { "" }
+                ));
+            }
+        }
+        if let Some(window) = self.timeseries.latest_active() {
+            out.push_str(&format!(
+                "  latest window ({} ms)  rps {:>8.1}  p99 {:>9.2} us  shed {:>5.1}%  \
+                 batch {:>5.2}  busy {:>5.1}%\n",
+                self.timeseries.window_ms,
+                window.throughput_rps,
+                window.p99_us,
+                window.shed_rate * 100.0,
+                window.mean_batch,
+                window.busy_frac * 100.0
+            ));
         }
         out
     }
@@ -965,8 +1066,180 @@ impl MetricsSnapshot {
                 &class.lifetime,
             );
         }
+        if !self.calibration.is_empty() {
+            meta(
+                &mut out,
+                "redfuser_calibration_samples_total",
+                "counter",
+                "Predicted-vs-measured latency pairs recorded per (class, arch, backend).",
+            );
+            for entry in &self.calibration {
+                out.push_str(&format!(
+                    "redfuser_calibration_samples_total{{{}}} {}\n",
+                    calibration_labels(entry),
+                    entry.samples
+                ));
+            }
+            type Gauge = fn(&CalibrationSnapshot) -> f64;
+            for (name, help, value) in [
+                (
+                    "redfuser_calibration_mape_pct",
+                    "Mean absolute percentage error of the cost model's predictions.",
+                    (|e: &CalibrationSnapshot| e.mape_pct) as Gauge,
+                ),
+                (
+                    "redfuser_calibration_rel_err_p50",
+                    "Median relative error of the cost model's predictions (windowed).",
+                    |e: &CalibrationSnapshot| e.rel_err_p50,
+                ),
+                (
+                    "redfuser_calibration_rel_err_p95",
+                    "95th-percentile relative error of the cost model's predictions (windowed).",
+                    |e: &CalibrationSnapshot| e.rel_err_p95,
+                ),
+                (
+                    "redfuser_calibration_mean_ratio",
+                    "Lifetime mean measured/predicted latency ratio.",
+                    |e: &CalibrationSnapshot| e.mean_ratio,
+                ),
+                (
+                    "redfuser_calibration_drifting",
+                    "1 when the mean measured/predicted ratio left the drift band.",
+                    |e: &CalibrationSnapshot| f64::from(e.drifting),
+                ),
+            ] {
+                meta(&mut out, name, "gauge", help);
+                for entry in &self.calibration {
+                    out.push_str(&format!(
+                        "{name}{{{}}} {}\n",
+                        calibration_labels(entry),
+                        value(entry)
+                    ));
+                }
+            }
+        }
+        if let Some(window) = self.timeseries.latest_active() {
+            for (name, help, value) in [
+                (
+                    "redfuser_window_throughput_rps",
+                    "Completions per second over the latest active telemetry window.",
+                    window.throughput_rps,
+                ),
+                (
+                    "redfuser_window_p99_us",
+                    "p99 simulated batch latency in the latest active window, microseconds.",
+                    window.p99_us,
+                ),
+                (
+                    "redfuser_window_shed_rate",
+                    "Shed fraction of arrivals in the latest active window.",
+                    window.shed_rate,
+                ),
+                (
+                    "redfuser_window_mean_batch",
+                    "Mean batch occupancy in the latest active window.",
+                    window.mean_batch,
+                ),
+                (
+                    "redfuser_window_busy_frac",
+                    "Simulated device-busy fraction of the latest active window.",
+                    window.busy_frac,
+                ),
+            ] {
+                meta(&mut out, name, "gauge", help);
+                out.push_str(&format!("{name} {value}\n"));
+            }
+        }
         out
     }
+
+    /// [`MetricsSnapshot::prometheus`] plus per-device gauges: each device of
+    /// the fleet contributes its own traffic counters, queue depth and
+    /// latency summary under `device`/`arch`/`backend` labels (from
+    /// [`crate::Engine::device_snapshots`]), so a scrape can tell a hot
+    /// device from an idle one inside an otherwise-aggregated fleet.
+    pub fn prometheus_with_devices(&self, devices: &[crate::engine::DeviceSnapshot]) -> String {
+        fn meta(out: &mut String, name: &str, kind: &str, help: &str) {
+            out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        }
+        let mut out = self.prometheus();
+        if devices.is_empty() {
+            return out;
+        }
+        let label = |d: &crate::engine::DeviceSnapshot| {
+            format!(
+                "device=\"{}\",arch=\"{}\",backend=\"{}\"",
+                d.device, d.arch, d.backend
+            )
+        };
+        meta(
+            &mut out,
+            "redfuser_device_requests_total",
+            "counter",
+            "Per-device request traffic by outcome.",
+        );
+        for d in devices {
+            for (outcome, value) in [
+                ("submitted", d.metrics.submitted),
+                ("completed", d.metrics.completed),
+                ("failed", d.metrics.failed),
+                ("shed", d.metrics.shed),
+            ] {
+                out.push_str(&format!(
+                    "redfuser_device_requests_total{{{},outcome=\"{outcome}\"}} {value}\n",
+                    label(d)
+                ));
+            }
+        }
+        meta(
+            &mut out,
+            "redfuser_device_queue_depth",
+            "gauge",
+            "Per-device submissions queued or executing right now.",
+        );
+        for d in devices {
+            out.push_str(&format!(
+                "redfuser_device_queue_depth{{{}}} {}\n",
+                label(d),
+                d.metrics.queue_depth
+            ));
+        }
+        meta(
+            &mut out,
+            "redfuser_device_busy_us",
+            "gauge",
+            "Per-device lifetime simulated busy time, microseconds.",
+        );
+        for d in devices {
+            out.push_str(&format!(
+                "redfuser_device_busy_us{{{}}} {}\n",
+                label(d),
+                d.metrics.busy_us
+            ));
+        }
+        meta(
+            &mut out,
+            "redfuser_device_p99_us",
+            "gauge",
+            "Per-device recent-window p99 simulated latency, microseconds.",
+        );
+        for d in devices {
+            out.push_str(&format!(
+                "redfuser_device_p99_us{{{}}} {}\n",
+                label(d),
+                d.metrics.p99_us
+            ));
+        }
+        out
+    }
+}
+
+/// The Prometheus label set of one calibration entry.
+fn calibration_labels(entry: &CalibrationSnapshot) -> String {
+    format!(
+        "class=\"{}\",arch=\"{}\",backend=\"{}\"",
+        entry.class, entry.arch, entry.backend
+    )
 }
 
 #[cfg(test)]
@@ -1280,11 +1553,163 @@ mod tests {
             assert!(
                 line.starts_with('#')
                     || line
-                        .split_once(' ')
+                        .rsplit_once(' ')
                         .is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
                 "malformed exposition line: `{line}`"
             );
         }
+    }
+
+    #[test]
+    fn calibration_and_timeseries_ride_the_snapshot() {
+        let metrics = RuntimeMetrics::new();
+        metrics.record_submit(Priority::Normal);
+        metrics.record_batch("softmax", 2, 0, 10.0, false);
+        // 10% over-prediction on every sample: MAPE 10, no drift.
+        for _ in 0..4 {
+            metrics.record_calibration("softmax", "NVIDIA A10", 42, "tile-vm", 100.0, 90.0);
+        }
+        let snap = metrics.snapshot(0, empty_cache_stats(), empty_tuning_stats());
+        assert_eq!(snap.calibration.len(), 1);
+        let entry = &snap.calibration[0];
+        assert_eq!((entry.class.as_str(), entry.samples), ("softmax", 4));
+        assert!((entry.mape_pct - 10.0).abs() < 1e-9);
+        assert!((entry.mean_ratio - 0.9).abs() < 1e-9);
+        assert!(!entry.drifting);
+        // The telemetry ring saw both the submit and the batch in its
+        // current window.
+        let window = snap.timeseries.latest_active().expect("an active window");
+        assert_eq!(window.submitted, 1);
+        assert_eq!(window.completed, 2);
+        assert!(window.throughput_rps > 0.0);
+        assert!(window.p99_us >= 10.0);
+        // Both surface in the report and the exposition.
+        let report = snap.report();
+        assert!(report.contains("cost-model calibration"));
+        assert!(!report.contains("DRIFTING"));
+        assert!(report.contains("latest window"));
+        let text = snap.prometheus();
+        for needle in [
+            "redfuser_calibration_samples_total{class=\"softmax\",arch=\"NVIDIA A10\",\
+             backend=\"tile-vm\"} 4",
+            "# TYPE redfuser_calibration_mape_pct gauge",
+            "redfuser_calibration_drifting{class=\"softmax\",arch=\"NVIDIA A10\",\
+             backend=\"tile-vm\"} 0",
+            "redfuser_window_throughput_rps",
+            "redfuser_window_busy_frac",
+        ] {
+            assert!(
+                text.contains(needle),
+                "exposition must contain `{needle}`:\n{text}"
+            );
+        }
+        // The new families keep every line scrape-parseable.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#')
+                    || line
+                        .rsplit_once(' ')
+                        .is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+                "malformed exposition line: `{line}`"
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_is_gated_off_and_merges_across_devices() {
+        // At TraceLevel::Off neither ledger records anything.
+        let off = RuntimeMetrics::with_level(TraceLevel::Off);
+        off.record_calibration("softmax", "NVIDIA A10", 42, "tile-vm", 100.0, 90.0);
+        off.record_submit(Priority::Normal);
+        off.record_batch("softmax", 1, 0, 10.0, false);
+        let snap = off.snapshot(0, empty_cache_stats(), empty_tuning_stats());
+        assert!(snap.calibration.is_empty());
+        assert!(snap.timeseries.is_empty());
+        assert_eq!(off.calibrated_us("softmax"), None);
+
+        // Two device ledgers fold into one fleet view.
+        let a = RuntimeMetrics::new();
+        let b = RuntimeMetrics::new();
+        a.record_calibration("softmax", "NVIDIA A10", 42, "tile-vm", 100.0, 90.0);
+        b.record_calibration("softmax", "NVIDIA A10", 42, "tile-vm", 100.0, 110.0);
+        b.record_calibration("mha", "NVIDIA H800", 7, "cost-model", 50.0, 50.0);
+        b.record_batch("mha", 1, 0, 20.0, true);
+        let merged = RuntimeMetrics::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        let snap = merged.snapshot(0, empty_cache_stats(), empty_tuning_stats());
+        assert_eq!(snap.calibration.len(), 2);
+        let softmax = snap
+            .calibration
+            .iter()
+            .find(|e| e.class == "softmax")
+            .unwrap();
+        assert_eq!(softmax.samples, 2);
+        assert!((softmax.mean_ratio - 1.0).abs() < 1e-9);
+        // Calibrated cost: the sample-weighted measured mean.
+        assert_eq!(merged.calibrated_us("softmax"), Some(100.0));
+        assert_eq!(merged.calibrated_us("mha"), Some(50.0));
+        // The merged telemetry ring carries b's batch.
+        let window = snap.timeseries.latest_active().expect("an active window");
+        assert_eq!(window.completed, 1);
+    }
+
+    #[test]
+    fn per_device_prometheus_carries_device_labels() {
+        let a = RuntimeMetrics::new();
+        a.record_submit(Priority::Normal);
+        a.record_batch("softmax", 1, 0, 10.0, false);
+        let b = RuntimeMetrics::new();
+        let devices: Vec<crate::engine::DeviceSnapshot> = [("NVIDIA A10", &a), ("NVIDIA H800", &b)]
+            .into_iter()
+            .enumerate()
+            .map(|(id, (arch, metrics))| crate::engine::DeviceSnapshot {
+                device: id,
+                arch,
+                backend: "tile-vm",
+                fingerprint: id as u64,
+                metrics: metrics.snapshot(id, empty_cache_stats(), empty_tuning_stats()),
+            })
+            .collect();
+        let merged = RuntimeMetrics::new();
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        let text = merged
+            .snapshot(1, empty_cache_stats(), empty_tuning_stats())
+            .prometheus_with_devices(&devices);
+        for needle in [
+            "# TYPE redfuser_device_requests_total counter",
+            "redfuser_device_requests_total{device=\"0\",arch=\"NVIDIA A10\",\
+             backend=\"tile-vm\",outcome=\"completed\"} 1",
+            "redfuser_device_requests_total{device=\"1\",arch=\"NVIDIA H800\",\
+             backend=\"tile-vm\",outcome=\"completed\"} 0",
+            "redfuser_device_queue_depth{device=\"1\",arch=\"NVIDIA H800\",backend=\"tile-vm\"} 1",
+            "redfuser_device_busy_us{device=\"0\",arch=\"NVIDIA A10\",backend=\"tile-vm\"} 10",
+            "redfuser_device_p99_us{device=\"0\"",
+        ] {
+            assert!(
+                text.contains(needle),
+                "exposition must contain `{needle}`:\n{text}"
+            );
+        }
+        // The device families keep every line scrape-parseable.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#')
+                    || line
+                        .rsplit_once(' ')
+                        .is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+                "malformed exposition line: `{line}`"
+            );
+        }
+        // No devices => exactly the plain exposition.
+        let plain = merged
+            .snapshot(1, empty_cache_stats(), empty_tuning_stats())
+            .prometheus();
+        let with_none = merged
+            .snapshot(1, empty_cache_stats(), empty_tuning_stats())
+            .prometheus_with_devices(&[]);
+        assert_eq!(plain, with_none);
     }
 
     #[test]

@@ -1,10 +1,9 @@
 //! The unified submission surface: everything the engine can serve flows
 //! through one typed entry point.
 //!
-//! A [`Submission`] covers the three historical front doors — single
-//! workloads (`Engine::submit(Request)`), whole graphs
-//! (`Engine::submit_graph`) and pre-partitioned plans
-//! (`Engine::submit_graph_plan`) — as variants of one enum, each carrying a
+//! A [`Submission`] covers everything the engine serves — single workloads,
+//! whole graphs ([`Submission::graph`]) and pre-partitioned plans
+//! ([`Submission::graph_plan`]) — as variants of one enum, each carrying a
 //! [`Priority`] lane. [`Engine::submit`](crate::Engine::submit) accepts
 //! `impl Into<Submission>`, so a bare [`Request`] still submits directly.
 //!

@@ -312,6 +312,246 @@ pub fn execute(program: &TileProgram, input: &ExecInput<'_>) -> Result<ExecOutpu
     }
 }
 
+/// Per-op-kind counters of one profiled program execution.
+///
+/// Invocation, row and byte counts are the deterministic loop-structure
+/// counts of the tile template — they depend only on the live shapes and the
+/// tuned extents, never on tensor values — so profiles of identical
+/// (program, shape) pairs are identical. `wall_ns` is measured: the
+/// execution's host wall time apportioned across the ops by their share of
+/// modelled traffic (the VM interleaves the template steps per tile, so
+/// per-op timers would perturb exactly the loop being measured).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpStats {
+    /// Op kind within the store → correct → reduce template.
+    pub op: &'static str,
+    /// Times the op ran (e.g. once per main-loop tile per row).
+    pub invocations: u64,
+    /// Output rows the op contributed to.
+    pub rows: u64,
+    /// Modelled bytes read.
+    pub bytes_read: u64,
+    /// Modelled bytes written.
+    pub bytes_written: u64,
+    /// Measured wall time attributed to this op, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+/// The op-level profile of one [`execute_profiled`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecProfile {
+    /// Per-op counters, in template order.
+    pub ops: Vec<OpStats>,
+    /// Total measured wall time of the execution, in nanoseconds. The
+    /// per-op `wall_ns` values sum exactly to this.
+    pub wall_ns: u64,
+}
+
+/// Executes `program` over `input` exactly like [`execute`] and additionally
+/// returns the op-level profile: the template's per-op invocation/row/byte
+/// counts plus the measured wall time.
+///
+/// The numeric output is bit-identical to [`execute`]'s — this entry point
+/// wraps the same interpreter without touching its loops, which is what lets
+/// the serving engine keep the unprofiled path byte-for-byte unchanged when
+/// profiling is off.
+///
+/// # Errors
+///
+/// Exactly the errors of [`execute`].
+pub fn execute_profiled(
+    program: &TileProgram,
+    input: &ExecInput<'_>,
+) -> Result<(ExecOutput, ExecProfile), ExecError> {
+    let start = std::time::Instant::now();
+    let output = execute(program, input)?;
+    let wall_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let binding = program
+        .binding
+        .as_ref()
+        .expect("execute succeeded, so the program is bound");
+    let mut ops = op_breakdown(binding, input);
+    attribute_wall(&mut ops, wall_ns);
+    Ok((output, ExecProfile { ops, wall_ns }))
+}
+
+/// Number of main-loop tiles and non-empty segments for a live axis length
+/// under the binding's (clamped) segment count and tile width.
+fn loop_extents(axis_len: usize, segments: usize, block_axis: usize) -> (u64, u64) {
+    let ranges = segment_ranges(axis_len, segments);
+    let tiles: usize = ranges
+        .iter()
+        .map(|&(start, end)| tile_ranges(start, end, block_axis).len())
+        .sum();
+    (tiles as u64, ranges.len() as u64)
+}
+
+/// The deterministic per-op counts of one execution: which template ops ran,
+/// how often, over how many rows, touching how many modelled bytes. Mirrors
+/// the loop structure of the `exec_*` interpreters (including their clamps).
+fn op_breakdown(binding: &ExecBinding, input: &ExecInput<'_>) -> Vec<OpStats> {
+    const F64: u64 = 8;
+    let op = |op, invocations, rows, bytes_read, bytes_written| OpStats {
+        op,
+        invocations,
+        rows,
+        bytes_read,
+        bytes_written,
+        wall_ns: 0,
+    };
+    match (&binding.semantics, input) {
+        (Semantics::Softmax, ExecInput::Rows(m)) => {
+            let (rows, len) = (m.rows() as u64, m.cols() as u64);
+            let (tiles, segs) = loop_extents(m.cols(), binding.segments, binding.block_axis);
+            let mut ops = vec![
+                op("store", rows * tiles, rows, 0, 0),
+                op("correct", rows * tiles, rows, 0, 0),
+                op("reduce", rows * tiles, rows, rows * len * F64, 0),
+            ];
+            if segs > 1 {
+                ops.push(op("combine", rows * segs, rows, 0, 0));
+            }
+            ops.push(op(
+                "epilogue",
+                rows,
+                rows,
+                rows * len * F64,
+                rows * len * F64,
+            ));
+            ops
+        }
+        (Semantics::Variance, ExecInput::Rows(m)) => {
+            let (rows, len) = (m.rows() as u64, m.cols() as u64);
+            let (tiles, segs) = loop_extents(m.cols(), binding.segments, binding.block_axis);
+            let mut ops = vec![op("reduce", rows * tiles, rows, rows * len * F64, 0)];
+            if segs > 1 {
+                ops.push(op("combine", rows * segs, rows, 0, 0));
+            }
+            ops.push(op("epilogue", rows, rows, 0, rows * F64));
+            ops
+        }
+        (Semantics::Attention { qk_dim, head_dim }, ExecInput::Attention { q, k, .. }) => {
+            let (rows, kv) = (q.rows() as u64, k.rows() as u64);
+            let (qk, hd) = (*qk_dim as u64, *head_dim as u64);
+            let (tiles, segs) = loop_extents(k.rows(), binding.segments, binding.block_axis);
+            let mut ops = vec![
+                op(
+                    "score-gemm",
+                    rows * tiles,
+                    rows,
+                    rows * (tiles * qk + kv * qk) * F64,
+                    0,
+                ),
+                op("store", rows * tiles, rows, 0, 0),
+                op("correct", rows * tiles, rows, 0, rows * tiles * hd * F64),
+                op(
+                    "reduce",
+                    rows * tiles,
+                    rows,
+                    rows * kv * hd * F64,
+                    rows * kv * hd * F64,
+                ),
+            ];
+            if segs > 1 {
+                ops.push(op("combine", rows * segs, rows, rows * segs * hd * F64, 0));
+            }
+            ops.push(op("epilogue", rows, rows, 0, rows * hd * F64));
+            ops
+        }
+        (Semantics::Routing { topk }, ExecInput::Routing { x, w }) => {
+            let (tokens, hidden, experts) = (x.rows() as u64, x.cols() as u64, w.cols() as u64);
+            let (_, segs) = loop_extents(w.cols(), binding.segments, binding.block_axis);
+            let scores = tokens * experts;
+            let mut ops = vec![
+                op("score-gemm", scores, tokens, scores * hidden * 2 * F64, 0),
+                op("store", scores, tokens, 0, 0),
+                op("correct", scores, tokens, 0, 0),
+                op("reduce", scores, tokens, 0, 0),
+            ];
+            if segs > 1 {
+                ops.push(op("combine", tokens * segs, tokens, 0, 0));
+            }
+            ops.push(op(
+                "epilogue",
+                tokens,
+                tokens,
+                0,
+                tokens * (*topk as u64) * 2 * F64,
+            ));
+            ops
+        }
+        (Semantics::QuantGemm { n }, ExecInput::QuantGemm { a, .. }) => {
+            let (rows, k_len, width) = (a.rows() as u64, a.cols() as u64, *n as u64);
+            let (tiles, segs) = loop_extents(a.cols(), binding.segments, binding.block_axis);
+            let mut ops = vec![
+                op("store", rows * tiles, rows, 0, 0),
+                op("correct", rows * tiles, rows, 0, rows * tiles * width * F64),
+                op(
+                    "reduce",
+                    rows * tiles,
+                    rows,
+                    rows * (2 * k_len + k_len * width) * F64,
+                    0,
+                ),
+            ];
+            if segs > 1 {
+                ops.push(op(
+                    "combine",
+                    rows * segs,
+                    rows,
+                    rows * segs * width * F64,
+                    0,
+                ));
+            }
+            ops.push(op("epilogue", rows, rows, 0, rows * width * F64));
+            ops
+        }
+        (Semantics::Inertia { dim }, ExecInput::Inertia { masses, .. }) => {
+            let particles = masses.len() as u64;
+            let (tiles, segs) = loop_extents(masses.len(), binding.segments, binding.block_axis);
+            let mut ops = vec![op(
+                "reduce",
+                tiles,
+                1,
+                particles * (1 + *dim as u64) * F64,
+                0,
+            )];
+            if segs > 1 {
+                ops.push(op("combine", segs, 1, 0, 0));
+            }
+            ops.push(op("epilogue", 1, 1, 0, F64));
+            ops
+        }
+        // `execute` validated the (semantics, input) pairing already.
+        _ => Vec::new(),
+    }
+}
+
+/// Apportions the measured wall time across ops by their modelled traffic
+/// (bytes moved, plus a small per-invocation term so compute-only ops like
+/// `store` keep a visible share). The shares sum exactly to `wall_ns`.
+fn attribute_wall(ops: &mut [OpStats], wall_ns: u64) {
+    if ops.is_empty() {
+        return;
+    }
+    let weights: Vec<u128> = ops
+        .iter()
+        .map(|o| (o.bytes_read + o.bytes_written).max(1) as u128 + 16 * o.invocations as u128)
+        .collect();
+    let total_weight: u128 = weights.iter().sum();
+    let mut assigned = 0u64;
+    let mut heaviest = 0usize;
+    for (index, (stats, weight)) in ops.iter_mut().zip(&weights).enumerate() {
+        let share = (wall_ns as u128 * weight / total_weight) as u64;
+        stats.wall_ns = share;
+        assigned += share;
+        if *weight > weights[heaviest] {
+            heaviest = index;
+        }
+    }
+    ops[heaviest].wall_ns += wall_ns - assigned;
+}
+
 fn expected_kind(semantics: &Semantics) -> &'static str {
     match semantics {
         Semantics::Softmax | Semantics::Variance => "row-matrix",
@@ -911,6 +1151,109 @@ mod tests {
         let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let sum: f64 = row.iter().map(|&v| (v - max).exp()).sum();
         row.iter().map(|&v| (v - max).exp() / sum).collect()
+    }
+
+    #[test]
+    fn profiled_execution_is_bit_identical_to_plain_execution() {
+        let m = random_matrix(4, 64, 10, -3.0, 3.0);
+        let q = random_matrix(4, 16, 1, -1.0, 1.0);
+        let k = random_matrix(32, 16, 2, -1.0, 1.0);
+        let v = random_matrix(32, 8, 3, -1.0, 1.0);
+        let x = random_matrix(6, 16, 4, -1.0, 1.0);
+        let w = random_matrix(16, 8, 5, -1.0, 1.0);
+        let a = random_matrix(4, 32, 6, -1.0, 1.0);
+        let wq = random_matrix(32, 8, 7, -1.0, 1.0);
+        let masses = random_vec(24, 8, 0.1, 2.0);
+        let positions = random_matrix(24, 3, 9, -1.0, 1.0);
+        let cases: Vec<(TileProgram, ExecInput<'_>)> = vec![
+            (
+                bound_program(Semantics::Softmax, 4, 64, (2, 16, 2)),
+                ExecInput::Rows(&m),
+            ),
+            (
+                bound_program(Semantics::Variance, 4, 64, (2, 16, 2)),
+                ExecInput::Rows(&m),
+            ),
+            (
+                bound_program(
+                    Semantics::Attention {
+                        qk_dim: 16,
+                        head_dim: 8,
+                    },
+                    4,
+                    32,
+                    (2, 8, 2),
+                ),
+                ExecInput::Attention {
+                    q: &q,
+                    k: &k,
+                    v: &v,
+                },
+            ),
+            (
+                bound_program(Semantics::Routing { topk: 2 }, 6, 8, (2, 4, 2)),
+                ExecInput::Routing { x: &x, w: &w },
+            ),
+            (
+                bound_program(Semantics::QuantGemm { n: 8 }, 4, 32, (2, 8, 2)),
+                ExecInput::QuantGemm { a: &a, w: &wq },
+            ),
+            (
+                bound_program(Semantics::Inertia { dim: 3 }, 1, 24, (1, 8, 2)),
+                ExecInput::Inertia {
+                    masses: &masses,
+                    positions: &positions,
+                },
+            ),
+        ];
+        for (program, input) in &cases {
+            let plain = execute(program, input).expect("plain execution");
+            let (profiled, profile) = execute_profiled(program, input).expect("profiled execution");
+            // Bit-identical: the profiled entry point wraps the exact same
+            // interpreter call.
+            assert_eq!(plain, profiled);
+            assert!(!profile.ops.is_empty());
+            let attributed: u64 = profile.ops.iter().map(|o| o.wall_ns).sum();
+            assert_eq!(attributed, profile.wall_ns, "wall time fully attributed");
+        }
+    }
+
+    #[test]
+    fn profiled_counts_mirror_the_loop_structure() {
+        let m = random_matrix(4, 64, 10, -3.0, 3.0);
+        let program = bound_program(Semantics::Softmax, 4, 64, (2, 16, 2));
+        let (_, profile) = execute_profiled(&program, &ExecInput::Rows(&m)).unwrap();
+        let find = |op: &str| {
+            profile
+                .ops
+                .iter()
+                .find(|o| o.op == op)
+                .unwrap_or_else(|| panic!("missing op {op}"))
+        };
+        // 2 segments × 2 tiles each × 4 rows = 16 main-loop reductions.
+        assert_eq!(find("reduce").invocations, 16);
+        assert_eq!(find("reduce").rows, 4);
+        assert_eq!(find("reduce").bytes_read, 4 * 64 * 8);
+        // Multi-Segment: the combine op is present.
+        assert_eq!(find("combine").invocations, 4 * 2);
+        assert_eq!(find("epilogue").bytes_written, 4 * 64 * 8);
+        // Single-Segment drops the combine op entirely.
+        let single = bound_program(Semantics::Softmax, 4, 64, (2, 16, 1));
+        let (_, profile) = execute_profiled(&single, &ExecInput::Rows(&m)).unwrap();
+        assert!(profile.ops.iter().all(|o| o.op != "combine"));
+    }
+
+    #[test]
+    fn profiled_execution_propagates_vm_errors() {
+        let program = bound_program(Semantics::Softmax, 2, 8, (2, 4, 1));
+        let empty = Matrix::zeros(0, 0);
+        assert!(execute_profiled(&program, &ExecInput::Rows(&empty)).is_err());
+        let bare = TileProgram::new("bare", 1, 128);
+        let m = random_matrix(2, 8, 1, -1.0, 1.0);
+        assert!(matches!(
+            execute_profiled(&bare, &ExecInput::Rows(&m)),
+            Err(ExecError::NotExecutable { .. })
+        ));
     }
 
     #[test]

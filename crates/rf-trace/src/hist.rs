@@ -285,6 +285,72 @@ mod tests {
         assert_eq!(merged.snapshot(), before);
     }
 
+    mod percentile_bound {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// The exact percentile under the histogram's own rank rule:
+        /// `rank = ceil(q·n)` clamped to `1..=n`, value = the rank-th
+        /// smallest sample.
+        fn exact_percentile(sorted: &[f64], q: f64) -> f64 {
+            let total = sorted.len() as f64;
+            let rank = ((q * total).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        }
+
+        /// Adversarial sample distributions: sub-bucket-resolution values,
+        /// huge values, log-uniform spreads across many octaves, tight
+        /// clusters with far outliers, and constants.
+        fn samples() -> impl Strategy<Value = Vec<f64>> {
+            let tiny = prop::collection::vec(0.0f64..0.05, 1..200);
+            let large = prop::collection::vec(1e3f64..1e7, 1..200);
+            let log_uniform =
+                prop::collection::vec((0u32..40, 1.0f64..2.0), 1..200).prop_map(|pairs| {
+                    pairs
+                        .into_iter()
+                        .map(|(octave, jitter)| 2f64.powi(octave as i32) * jitter / 1000.0)
+                        .collect()
+                });
+            let clustered = (1.0f64..100.0, prop::collection::vec(0.9f64..1.1, 1..100)).prop_map(
+                |(center, factors)| {
+                    let mut v: Vec<f64> = factors.iter().map(|f| center * f).collect();
+                    v.push(center * 1e6); // one far outlier
+                    v
+                },
+            );
+            let constant = (0.0f64..1e6, 1usize..100).prop_map(|(value, n)| vec![value; n]);
+            prop_oneof![tiny, large, log_uniform, clustered, constant]
+        }
+
+        proptest! {
+            /// Every exposed quantile is within one bucket's relative width
+            /// (`1/SUB_BUCKETS`) of the exact sorted-sample percentile, plus
+            /// the nanosecond quantisation slack.
+            #[test]
+            fn quantile_error_is_bounded_by_one_bucket_width(values in samples()) {
+                let h = LogHistogram::new();
+                for &v in &values {
+                    h.record_us(v);
+                }
+                let mut sorted = values.clone();
+                sorted.sort_by(|a, b| a.total_cmp(b));
+                let snap = h.snapshot();
+                for (estimate, q) in [
+                    (snap.p50_us, 0.50),
+                    (snap.p99_us, 0.99),
+                    (snap.p999_us, 0.999),
+                ] {
+                    let exact = exact_percentile(&sorted, q);
+                    let tolerance = exact / SUB_BUCKETS as f64 + 0.002;
+                    prop_assert!(
+                        (estimate - exact).abs() <= tolerance,
+                        "q={q}: estimate {estimate} vs exact {exact} (tolerance {tolerance})"
+                    );
+                }
+            }
+        }
+    }
+
     #[test]
     fn bucket_index_is_monotonic_and_mid_is_inside() {
         let mut last = 0usize;

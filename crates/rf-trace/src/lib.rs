@@ -17,21 +17,40 @@
 //!   [`validate_chrome_trace`] as the matching well-formedness check used by
 //!   tests and CI (the workspace is offline, so the crate carries its own
 //!   minimal JSON reader, [`json::parse`]).
+//! * [`OpProfiler`] — op-level aggregation of tile-VM interpreter samples
+//!   per `(device, class, region, op)`, exportable as folded-stack text for
+//!   `inferno`-style flamegraph tools ([`validate_folded`] checks the
+//!   format).
+//! * [`CalibrationLedger`] — predicted-vs-measured latency reconciliation
+//!   per `(class, arch, backend)`: MAPE, relative-error percentiles and a
+//!   drift flag that fires when the measured/predicted ratio leaves a
+//!   configurable band.
+//! * [`RollingTelemetry`] — a ring of fixed-width time windows (default
+//!   250 ms × 64) tracking throughput, p99, shed rate, batch occupancy and
+//!   busy fraction over time.
 //!
 //! The crate is dependency-free and knows nothing about the engine; the
 //! runtime re-exports it as `redfuser::trace` and threads the collector
 //! through its hot path.
 
+pub mod calib;
 pub mod chrome;
 pub mod hist;
 pub mod json;
+pub mod profile;
 pub mod span;
+pub mod timeseries;
 
+pub use calib::{CalibrationLedger, CalibrationSnapshot, DEFAULT_DRIFT_BAND};
 pub use chrome::{chrome_trace_json, validate_chrome_trace, TraceStats};
 pub use hist::{HistogramSnapshot, LogHistogram, SUB_BUCKETS};
+pub use profile::{validate_folded, OpProfileEntry, OpProfileSnapshot, OpProfiler, OpSample};
 pub use span::{
     ArgValue, EventPhase, TraceCollector, TraceConfig, TraceEvent, TraceLevel, TraceSnapshot,
     Track, REQUEST_TRACK_BASE,
+};
+pub use timeseries::{
+    RollingTelemetry, TimeSeriesSnapshot, WindowSnapshot, DEFAULT_WINDOWS, DEFAULT_WINDOW_MS,
 };
 
 /// The instrumented stages of the serving pipeline, in lifecycle order.

@@ -59,6 +59,16 @@ pub struct TraceConfig {
     /// is full the oldest event is dropped (and counted) — the collector
     /// keeps the most recent window of activity.
     pub capacity: usize,
+    /// Whether the tile-VM op profiler is live (see
+    /// [`crate::profile::OpProfiler`]). Off by default: the serving path
+    /// only takes the profiled interpreter entry point when this is set, so
+    /// the plain path stays bit-identical and overhead-free.
+    pub profile: bool,
+    /// Width of one rolling-telemetry window, milliseconds (see
+    /// [`crate::timeseries::RollingTelemetry`]).
+    pub window_ms: u64,
+    /// Number of rolling-telemetry windows retained.
+    pub windows: usize,
 }
 
 impl Default for TraceConfig {
@@ -66,6 +76,9 @@ impl Default for TraceConfig {
         TraceConfig {
             level: TraceLevel::default(),
             capacity: 65_536,
+            profile: false,
+            window_ms: crate::timeseries::DEFAULT_WINDOW_MS,
+            windows: crate::timeseries::DEFAULT_WINDOWS,
         }
     }
 }
@@ -98,6 +111,22 @@ impl TraceConfig {
     /// Returns the configuration with `capacity` buffered events.
     pub fn with_capacity(mut self, capacity: usize) -> Self {
         self.capacity = capacity;
+        self
+    }
+
+    /// Returns the configuration with the tile-VM op profiler switched
+    /// on/off. Independent of `level`: a profile can be captured even with
+    /// span tracing off.
+    pub fn with_profile(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Returns the configuration with a rolling-telemetry ring of `windows`
+    /// windows of `window_ms` milliseconds each.
+    pub fn with_windows(mut self, window_ms: u64, windows: usize) -> Self {
+        self.window_ms = window_ms;
+        self.windows = windows;
         self
     }
 }

@@ -1,0 +1,345 @@
+//! Rolling time-windowed telemetry: the bench trajectory, not just its
+//! endpoints.
+//!
+//! A [`RollingTelemetry`] keeps a ring of fixed-width time windows (default
+//! 250 ms × 64). Each completed batch, shed decision and admission lands in
+//! the window that contains its wall-clock instant; windows older than the
+//! ring rolls off. The snapshot derives per-window throughput, p99 simulated
+//! latency, shed rate, mean batch occupancy and busy fraction — exported as
+//! the `timeseries` section of `BENCH_serving.json` and as Prometheus
+//! gauges for the most recent complete window.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Default window width, milliseconds.
+pub const DEFAULT_WINDOW_MS: u64 = 250;
+
+/// Default number of windows the ring retains.
+pub const DEFAULT_WINDOWS: usize = 64;
+
+/// Bounded number of latency samples kept per window for the p99 estimate
+/// (counters remain exact; excess samples are dropped and counted).
+const WINDOW_SAMPLES: usize = 512;
+
+#[derive(Debug, Default)]
+struct Slot {
+    index: u64,
+    submitted: u64,
+    completed: u64,
+    failed: u64,
+    shed: u64,
+    batches: u64,
+    batched_requests: u64,
+    busy_us: f64,
+    latencies: Vec<f64>,
+    dropped_samples: u64,
+}
+
+impl Slot {
+    fn new(index: u64) -> Slot {
+        Slot {
+            index,
+            ..Slot::default()
+        }
+    }
+}
+
+/// A ring of fixed-width telemetry windows shared by one device's workers.
+#[derive(Debug)]
+pub struct RollingTelemetry {
+    width_ms: u64,
+    slots: usize,
+    /// Streams merged into this ring (1 per device; fleet merges sum it so
+    /// busy fractions stay normalised).
+    streams: AtomicU64,
+    epoch: Instant,
+    ring: Mutex<VecDeque<Slot>>,
+}
+
+impl Default for RollingTelemetry {
+    fn default() -> Self {
+        RollingTelemetry::new(DEFAULT_WINDOW_MS, DEFAULT_WINDOWS)
+    }
+}
+
+impl RollingTelemetry {
+    /// A ring of `slots` windows, each `width_ms` wide (both clamped ≥ 1).
+    pub fn new(width_ms: u64, slots: usize) -> RollingTelemetry {
+        RollingTelemetry {
+            width_ms: width_ms.max(1),
+            slots: slots.max(1),
+            streams: AtomicU64::new(1),
+            epoch: Instant::now(),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Window width in milliseconds.
+    pub fn width_ms(&self) -> u64 {
+        self.width_ms
+    }
+
+    /// Ring capacity in windows.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    fn index_now(&self) -> u64 {
+        (self.epoch.elapsed().as_millis() as u64) / self.width_ms
+    }
+
+    fn with_slot<R>(&self, f: impl FnOnce(&mut Slot) -> R) -> R {
+        let index = self.index_now();
+        let mut ring = self.ring.lock().expect("telemetry ring poisoned");
+        if ring.back().is_none_or(|slot| slot.index < index) {
+            ring.push_back(Slot::new(index));
+        }
+        while ring.len() > self.slots {
+            ring.pop_front();
+        }
+        let slot = ring.back_mut().expect("ring holds the current slot");
+        f(slot)
+    }
+
+    /// Counts one accepted submission in the current window.
+    pub fn record_submit(&self) {
+        self.with_slot(|slot| slot.submitted += 1);
+    }
+
+    /// Rolls back one [`RollingTelemetry::record_submit`] whose submission
+    /// was rejected after counting (saturating: the submit may have landed
+    /// in a window that already rotated out).
+    pub fn cancel_submit(&self) {
+        self.with_slot(|slot| slot.submitted = slot.submitted.saturating_sub(1));
+    }
+
+    /// Counts one shed submission in the current window.
+    pub fn record_shed(&self) {
+        self.with_slot(|slot| slot.shed += 1);
+    }
+
+    /// Records one executed batch in the current window: completed/failed
+    /// request counts, the batch's simulated latency (one p99 sample) and
+    /// its occupancy. `busy_us` accumulates into the window's busy fraction.
+    pub fn record_batch(&self, completed: u64, failed: u64, latency_us: f64, batch_size: u64) {
+        self.with_slot(|slot| {
+            slot.completed += completed;
+            slot.failed += failed;
+            slot.batches += 1;
+            slot.batched_requests += batch_size;
+            if latency_us.is_finite() && latency_us >= 0.0 {
+                slot.busy_us += latency_us;
+                if slot.latencies.len() < WINDOW_SAMPLES {
+                    slot.latencies.push(latency_us);
+                } else {
+                    slot.dropped_samples += 1;
+                }
+            }
+        });
+    }
+
+    /// Folds another ring into this one, aligning windows by index. The two
+    /// rings' epochs differ by device start-up skew (microseconds), which is
+    /// far below the window width; the merged busy fraction renormalises by
+    /// the summed stream count.
+    pub fn merge_from(&self, other: &RollingTelemetry) {
+        self.streams
+            .fetch_add(other.streams.load(Ordering::Relaxed), Ordering::Relaxed);
+        let theirs = other.ring.lock().expect("telemetry ring poisoned");
+        let mut guard = self.ring.lock().expect("telemetry ring poisoned");
+        let ours = &mut *guard;
+        for slot in theirs.iter() {
+            let target = match ours.iter_mut().find(|s| s.index == slot.index) {
+                Some(existing) => existing,
+                None => {
+                    let at = ours.partition_point(|s| s.index < slot.index);
+                    ours.insert(at, Slot::new(slot.index));
+                    &mut ours[at]
+                }
+            };
+            target.submitted += slot.submitted;
+            target.completed += slot.completed;
+            target.failed += slot.failed;
+            target.shed += slot.shed;
+            target.batches += slot.batches;
+            target.batched_requests += slot.batched_requests;
+            target.busy_us += slot.busy_us;
+            let room = WINDOW_SAMPLES.saturating_sub(target.latencies.len());
+            target.dropped_samples +=
+                slot.dropped_samples + slot.latencies.len().saturating_sub(room) as u64;
+            target
+                .latencies
+                .extend(slot.latencies.iter().take(room).copied());
+        }
+        while ours.len() > self.slots {
+            ours.pop_front();
+        }
+    }
+
+    /// A point-in-time per-window summary, oldest window first.
+    pub fn snapshot(&self) -> TimeSeriesSnapshot {
+        let ring = self.ring.lock().expect("telemetry ring poisoned");
+        let width_s = self.width_ms as f64 / 1000.0;
+        let busy_capacity_us =
+            self.width_ms as f64 * 1000.0 * self.streams.load(Ordering::Relaxed) as f64;
+        let windows = ring
+            .iter()
+            .map(|slot| {
+                let mut sorted = slot.latencies.clone();
+                sorted.sort_by(|a, b| a.total_cmp(b));
+                let arrivals = slot.completed + slot.failed + slot.shed;
+                WindowSnapshot {
+                    start_ms: slot.index * self.width_ms,
+                    submitted: slot.submitted,
+                    completed: slot.completed,
+                    failed: slot.failed,
+                    shed: slot.shed,
+                    batches: slot.batches,
+                    throughput_rps: slot.completed as f64 / width_s,
+                    p99_us: percentile_sorted(&sorted, 99.0),
+                    shed_rate: if arrivals > 0 {
+                        slot.shed as f64 / arrivals as f64
+                    } else {
+                        0.0
+                    },
+                    mean_batch: if slot.batches > 0 {
+                        slot.batched_requests as f64 / slot.batches as f64
+                    } else {
+                        0.0
+                    },
+                    busy_frac: (slot.busy_us / busy_capacity_us).min(1.0),
+                }
+            })
+            .collect();
+        TimeSeriesSnapshot {
+            window_ms: self.width_ms,
+            windows,
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (`p` in 0..=100).
+fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Exportable per-window time series, oldest window first.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeriesSnapshot {
+    /// Window width, milliseconds.
+    pub window_ms: u64,
+    /// One summary per retained window.
+    pub windows: Vec<WindowSnapshot>,
+}
+
+impl TimeSeriesSnapshot {
+    /// True when no window recorded any traffic.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The most recent window with any completions — the scrape target for
+    /// the Prometheus gauges.
+    pub fn latest_active(&self) -> Option<&WindowSnapshot> {
+        self.windows.iter().rev().find(|w| w.completed > 0)
+    }
+}
+
+/// Derived telemetry of one time window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WindowSnapshot {
+    /// Window start, milliseconds since the telemetry epoch.
+    pub start_ms: u64,
+    /// Submissions accepted in the window.
+    pub submitted: u64,
+    /// Requests completed in the window.
+    pub completed: u64,
+    /// Requests failed in the window.
+    pub failed: u64,
+    /// Submissions shed in the window.
+    pub shed: u64,
+    /// Batches executed in the window.
+    pub batches: u64,
+    /// Completions per second over the window width.
+    pub throughput_rps: f64,
+    /// p99 of the simulated batch latencies landing in the window, µs.
+    pub p99_us: f64,
+    /// Shed submissions over all arrivals resolved in the window.
+    pub shed_rate: f64,
+    /// Mean batch occupancy (requests per executed batch).
+    pub mean_batch: f64,
+    /// Fraction of the window the device(s) spent busy (simulated), 0..=1.
+    pub busy_frac: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_land_in_the_current_window_with_derived_rates() {
+        let telemetry = RollingTelemetry::new(60_000, 4);
+        telemetry.record_submit();
+        telemetry.record_submit();
+        telemetry.record_batch(2, 0, 1000.0, 2);
+        telemetry.record_shed();
+        let snapshot = telemetry.snapshot();
+        assert_eq!(snapshot.window_ms, 60_000);
+        assert_eq!(snapshot.windows.len(), 1);
+        let w = &snapshot.windows[0];
+        assert_eq!((w.submitted, w.completed, w.shed), (2, 2, 1));
+        assert!((w.throughput_rps - 2.0 / 60.0).abs() < 1e-12);
+        assert!((w.shed_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert!((w.mean_batch - 2.0).abs() < 1e-12);
+        assert!((w.p99_us - 1000.0).abs() < 1e-12);
+        assert!(w.busy_frac > 0.0);
+        assert_eq!(snapshot.latest_active().unwrap().completed, 2);
+    }
+
+    #[test]
+    fn merge_aligns_windows_and_renormalises_busy() {
+        let a = RollingTelemetry::new(60_000, 4);
+        let b = RollingTelemetry::new(60_000, 4);
+        a.record_batch(1, 0, 30_000_000.0, 1);
+        b.record_batch(3, 1, 30_000_000.0, 4);
+        let busy_alone = a.snapshot().windows[0].busy_frac;
+        a.merge_from(&b);
+        let snapshot = a.snapshot();
+        assert_eq!(snapshot.windows.len(), 1);
+        let w = &snapshot.windows[0];
+        assert_eq!((w.completed, w.failed, w.batches), (4, 1, 2));
+        // Two streams, same busy time each: the merged fraction matches one
+        // device's fraction instead of doubling.
+        assert!((w.busy_frac - busy_alone).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ring_drops_the_oldest_window_beyond_capacity() {
+        // 1 ms windows: force distinct indices by spinning past boundaries.
+        let telemetry = RollingTelemetry::new(1, 2);
+        let mut seen = std::collections::BTreeSet::new();
+        let start = Instant::now();
+        while seen.len() < 4 && start.elapsed().as_millis() < 500 {
+            telemetry.record_batch(1, 0, 1.0, 1);
+            seen.insert(telemetry.index_now());
+        }
+        assert!(telemetry.snapshot().windows.len() <= 2);
+    }
+
+    #[test]
+    fn non_finite_latencies_keep_counters_but_add_no_samples() {
+        let telemetry = RollingTelemetry::new(60_000, 4);
+        telemetry.record_batch(1, 0, f64::NAN, 1);
+        let w = telemetry.snapshot().windows[0];
+        assert_eq!(w.completed, 1);
+        assert_eq!(w.p99_us, 0.0);
+        assert_eq!(w.busy_frac, 0.0);
+    }
+}

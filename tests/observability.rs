@@ -17,8 +17,8 @@ use std::thread;
 
 use redfuser::gpusim::GpuArch;
 use redfuser::runtime::{
-    Engine, Priority, Request, RuntimeConfig, RuntimeError, Submission, TraceConfig, TraceLevel,
-    LANES,
+    Engine, Priority, Request, RequestOutput, RuntimeConfig, RuntimeError, Submission, TraceConfig,
+    TraceLevel, LANES,
 };
 use redfuser::trace::validate_chrome_trace;
 use redfuser::workloads::random_matrix;
@@ -178,6 +178,53 @@ fn a_flood_surfaces_retry_hints_and_shed_rates() {
     let exposition = snapshot.prometheus();
     assert!(exposition.contains("redfuser_requests_total{outcome=\"shed\"}"));
     assert!(exposition.contains("redfuser_shed_retry_hint_us"));
+}
+
+/// Instrumentation is observational only: the same requests served with
+/// tracing fully off and with everything on (full spans, the tile-VM op
+/// profiler, rolling telemetry windows) produce bit-identical outputs. With
+/// tracing off, the profiler, calibration ledger and window ring all stay
+/// empty — the off path never touches them.
+#[test]
+fn tracing_off_is_bit_identical_to_fully_instrumented_serving() {
+    let serve = |trace: TraceConfig| -> (Engine, Vec<RequestOutput>) {
+        let engine = engine(2, 256, trace);
+        let tickets: Vec<_> = (0..24u64)
+            .map(|seed| {
+                engine
+                    .submit(Request::softmax(random_matrix(4, 128, seed, -2.0, 2.0)))
+                    .expect("a 256-slot budget admits 24 requests")
+            })
+            .collect();
+        let outputs = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("request completes").output)
+            .collect();
+        engine.run_until_drained();
+        (engine, outputs)
+    };
+    let (dark, plain) = serve(TraceConfig::off());
+    let (instrumented, traced) =
+        serve(TraceConfig::full().with_profile(true).with_windows(100, 32));
+    assert_eq!(
+        plain, traced,
+        "profiling and telemetry must not perturb results"
+    );
+
+    let snapshot = dark.metrics();
+    assert!(
+        snapshot.calibration.is_empty(),
+        "off records no calibration"
+    );
+    assert!(snapshot.timeseries.latest_active().is_none());
+    assert!(dark.op_profile().is_empty(), "off never profiles");
+
+    let snapshot = instrumented.metrics();
+    assert!(!snapshot.calibration.is_empty());
+    assert!(snapshot.timeseries.latest_active().is_some());
+    let folded = instrumented.op_profile().folded();
+    redfuser::trace::validate_folded(&folded).expect("profile exports valid folded stacks");
+    assert!(folded.contains(";softmax;"), "frames carry the class");
 }
 
 /// Full tracing under concurrency: the exported Chrome trace must stay

@@ -77,10 +77,11 @@ fn requests_join_iterations_mid_flight_without_a_drain_barrier() {
     assert_eq!(engine.metrics().completed, 16);
 }
 
-/// The unified front door serves the same numbers as the legacy entry
-/// points and the whole-graph reference evaluator.
+/// The unified front door serves every submission kind with numbers that
+/// match the whole-graph reference evaluator, and repeated submissions are
+/// deterministic.
 #[test]
-fn unified_submission_front_door_matches_the_legacy_entry_points() {
+fn unified_submission_front_door_matches_the_reference() {
     let engine = engine(2, 4, 1024);
 
     // A bare Request and an explicit Submission::workload are the same call.
@@ -98,28 +99,26 @@ fn unified_submission_front_door_matches_the_legacy_entry_points() {
     assert_eq!(via_request.output, via_submission.output);
     assert_eq!(via_submission.priority, Priority::High);
 
-    // A graph through the unified door matches both the deprecated wrapper
-    // and the unfused whole-graph reference.
+    // A graph through the unified door matches the unfused whole-graph
+    // reference, and serving it twice is bit-identical.
     let graph = builders::moe_block(4, 8, 4);
     let inputs = builders::moe_block_inputs(4, 8, 4, 42);
     let reference = graph.evaluate(&inputs).expect("reference evaluates");
-    // The deprecated wrapper is kept (and exercised here, deliberately) until
-    // the next breaking release.
-    #[allow(deprecated)]
-    let legacy = engine.submit_graph(&graph, &inputs).expect("legacy door");
-
     let bindings: Vec<(String, Matrix)> = inputs
         .iter()
         .map(|(name, matrix)| (name.to_string(), matrix.clone()))
         .collect();
-    let response = engine
-        .submit(Submission::graph(Arc::new(graph), bindings))
-        .expect("graph accepted")
-        .wait()
-        .expect("graph served");
+    let graph = Arc::new(graph);
+    let serve = || {
+        engine
+            .submit(Submission::graph(Arc::clone(&graph), bindings.clone()))
+            .expect("graph accepted")
+            .wait()
+            .expect("graph served")
+    };
+    let response = serve();
     let stats = response.graph.expect("graph responses carry stats");
-    assert_eq!(stats.fused_regions, legacy.fused_regions);
-    assert_eq!(stats.glue_ops, legacy.glue_ops);
+    assert!(stats.fused_regions >= 1);
     let RequestOutput::Tensors(outputs) = &response.output else {
         panic!("graph submissions resolve to tensor outputs");
     };
@@ -130,7 +129,11 @@ fn unified_submission_front_door_matches_the_legacy_entry_points() {
             "unified door matches the reference"
         );
     }
-    assert_eq!(outputs[0], legacy.outputs[0]);
+    let again = serve();
+    let RequestOutput::Tensors(second) = &again.output else {
+        panic!("graph submissions resolve to tensor outputs");
+    };
+    assert_eq!(outputs, second, "graph serving is deterministic");
 }
 
 /// Flooding past the in-flight budget sheds gracefully: every rejection is
